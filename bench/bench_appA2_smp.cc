@@ -1,0 +1,90 @@
+// Experiment appA2-smp: Appendix A.2's symmetric-multiprocessing argument.
+//
+// "Algorithms that tie up a common data structure for a large period of time will
+// reduce efficiency. For instance in Scheme 2, when Processor A inserts a timer
+// into the ordered list other processors cannot process timer module routines until
+// Processor A finishes and releases its semaphore. Scheme 5, 6, and 7 seem suited
+// for implementation in symmetric multiprocessors."
+//
+// Threads hammer start/stop pairs against: (a) a global lock around Scheme 2 — the
+// criticized configuration, whose critical section is the O(n) insertion scan;
+// (b) a global lock around Scheme 6 — O(1) critical sections but still serialized;
+// (c) the sharded Scheme 6 wheel — O(1) critical sections on independent locks.
+// Throughput must collapse for (a), plateau for (b), and scale for (c).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/baselines/sorted_list_timers.h"
+#include "src/concurrent/locked_service.h"
+#include "src/concurrent/sharded_wheel.h"
+#include "src/core/hashed_wheel_unsorted.h"
+#include "src/rng/rng.h"
+
+namespace {
+
+using namespace twheel;
+
+constexpr std::size_t kPreload = 2048;  // list depth: the Scheme 2 scan length
+
+std::unique_ptr<TimerService> g_service;
+
+void Preload(TimerService& service) {
+  rng::Xoshiro256 gen(42);
+  for (std::size_t i = 0; i < kPreload; ++i) {
+    (void)service.StartTimer(1 + gen.NextBounded(1 << 20), i);
+  }
+}
+
+template <typename Make>
+void RunContended(benchmark::State& state, Make make) {
+  if (state.thread_index() == 0) {
+    g_service = make();
+    Preload(*g_service);
+  }
+  rng::Xoshiro256 gen(1000 + state.thread_index());
+  for (auto _ : state) {
+    auto handle = g_service->StartTimer(1 + gen.NextBounded(1 << 20), 0);
+    benchmark::DoNotOptimize(handle);
+    g_service->StopTimer(handle.value());
+  }
+  state.SetItemsProcessed(state.iterations() * 2);  // one start + one stop
+  if (state.thread_index() == 0) {
+    g_service.reset();
+  }
+}
+
+void BM_GlobalLockScheme2(benchmark::State& state) {
+  RunContended(state, [] {
+    return std::make_unique<concurrent::LockedService>(std::make_unique<SortedListTimers>());
+  });
+}
+
+void BM_GlobalLockScheme6(benchmark::State& state) {
+  RunContended(state, [] {
+    return std::make_unique<concurrent::LockedService>(
+        std::make_unique<HashedWheelUnsorted>(4096));
+  });
+}
+
+void BM_ShardedScheme6(benchmark::State& state) {
+  RunContended(state, [] { return std::make_unique<concurrent::ShardedWheel>(16, 4096); });
+}
+
+}  // namespace
+
+BENCHMARK(BM_GlobalLockScheme2)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->Name("appA2/global_lock_scheme2");
+BENCHMARK(BM_GlobalLockScheme6)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->Name("appA2/global_lock_scheme6");
+BENCHMARK(BM_ShardedScheme6)
+    ->ThreadRange(1, 8)
+    ->UseRealTime()
+    ->Name("appA2/sharded_scheme6");
+
+BENCHMARK_MAIN();

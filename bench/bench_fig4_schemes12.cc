@@ -1,0 +1,97 @@
+// Experiment fig4-schemes12: Figure 4's latency table for Schemes 1 and 2.
+//
+//              START_TIMER   STOP_TIMER   PER_TICK_BOOKKEEPING
+//   Scheme 1      O(1)          O(1)            O(n)
+//   Scheme 2      O(n)          O(1)            O(1)
+//
+// google-benchmark wall-clock measurements with n preloaded timers. The O(n) cells
+// must grow ~linearly across the n range; the O(1) cells must stay flat.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "src/baselines/sorted_list_timers.h"
+#include "src/baselines/unordered_timers.h"
+#include "src/rng/distributions.h"
+#include "src/rng/rng.h"
+
+namespace {
+
+using namespace twheel;
+
+// Preload n timers with exponential lives far enough out that benchmark ticks
+// never expire them. Intervals are inserted in descending order so the sorted
+// list's preload is O(n) (each insert lands at the head) instead of O(n^2); the
+// steady-state list contents are identical either way.
+template <typename Scheme>
+std::unique_ptr<Scheme> Loaded(std::size_t n) {
+  auto scheme = std::make_unique<Scheme>();
+  rng::Xoshiro256 gen(42);
+  rng::ExponentialInterval dist(1 << 20);
+  std::vector<Duration> intervals(n);
+  for (auto& interval : intervals) {
+    interval = dist.Draw(gen);
+  }
+  std::sort(intervals.rbegin(), intervals.rend());
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)scheme->StartTimer(intervals[i], i);
+  }
+  return scheme;
+}
+
+template <typename Scheme>
+void BM_StartStop(benchmark::State& state) {
+  auto scheme = Loaded<Scheme>(static_cast<std::size_t>(state.range(0)));
+  rng::Xoshiro256 gen(7);
+  rng::ExponentialInterval dist(1 << 20);
+  const std::uint64_t preload_comparisons = scheme->counts().comparisons;
+  for (auto _ : state) {
+    auto handle = scheme->StartTimer(dist.Draw(gen), 0);
+    benchmark::DoNotOptimize(handle);
+    scheme->StopTimer(handle.value());  // keeps n constant across iterations
+  }
+  state.counters["cmp/op"] = benchmark::Counter(
+      static_cast<double>(scheme->counts().comparisons - preload_comparisons) /
+      static_cast<double>(state.iterations()));
+}
+
+template <typename Scheme>
+void BM_Tick(benchmark::State& state) {
+  // Constant far-future expiries: the population must not drain mid-benchmark even
+  // when small n makes individual ticks nanosecond-cheap (millions of iterations).
+  auto scheme = std::make_unique<Scheme>();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)scheme->StartTimer(Duration{1} << 40, i);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme->PerTickBookkeeping());
+  }
+  state.counters["work/tick"] = benchmark::Counter(
+      static_cast<double>(scheme->counts().TickWork()) /
+      static_cast<double>(state.iterations()));
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_StartStop, UnorderedTimers)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Name("fig4/scheme1/start_stop");
+BENCHMARK_TEMPLATE(BM_Tick, UnorderedTimers)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Name("fig4/scheme1/per_tick");
+BENCHMARK_TEMPLATE(BM_StartStop, SortedListTimers)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Name("fig4/scheme2/start_stop");
+BENCHMARK_TEMPLATE(BM_Tick, SortedListTimers)
+    ->RangeMultiplier(8)
+    ->Range(8, 32768)
+    ->Name("fig4/scheme2/per_tick");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,134 @@
+// Experiment fig6-trees: Figure 6's tree-based Scheme 3 latencies.
+//
+//   START_TIMER O(log n); STOP_TIMER O(1)/O(log n); PER_TICK O(1)
+//
+// plus the two caveats in the surrounding text: the unbalanced BST degenerates to a
+// list under equal intervals, and lazy cancellation (the simulation idiom, here in
+// the leftist heap) retains memory. Wall-clock via google-benchmark; the caveats as
+// op-count counters.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "src/baselines/avl_timers.h"
+#include "src/baselines/bst_timers.h"
+#include "src/baselines/heap_timers.h"
+#include "src/baselines/leftist_heap_timers.h"
+#include "src/rng/distributions.h"
+#include "src/rng/rng.h"
+
+namespace {
+
+using namespace twheel;
+
+template <typename Scheme>
+void BM_TreeStartStop(benchmark::State& state) {
+  auto scheme = std::make_unique<Scheme>();
+  rng::Xoshiro256 gen(42);
+  rng::ExponentialInterval dist(1 << 20);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)scheme->StartTimer(dist.Draw(gen), i);
+  }
+  const std::uint64_t preload_comparisons = scheme->counts().comparisons;
+  for (auto _ : state) {
+    auto handle = scheme->StartTimer(dist.Draw(gen), 0);
+    benchmark::DoNotOptimize(handle);
+    scheme->StopTimer(handle.value());
+  }
+  state.counters["cmp/op"] =
+      benchmark::Counter(static_cast<double>(scheme->counts().comparisons - preload_comparisons) /
+                         static_cast<double>(state.iterations()));
+}
+
+void BM_BstDegenerateConstantIntervals(benchmark::State& state) {
+  // "Unbalanced binary trees easily degenerate into a linear list ... if a set of
+  // equal timer intervals are inserted": start cost becomes O(n), not O(log n).
+  auto scheme = std::make_unique<BstTimers>();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)scheme->StartTimer(Duration{1} << 30, i);
+  }
+  for (auto _ : state) {
+    auto handle = scheme->StartTimer(Duration{1} << 30, 0);
+    benchmark::DoNotOptimize(handle);
+    scheme->StopTimer(handle.value());
+  }
+  state.counters["height"] = benchmark::Counter(static_cast<double>(scheme->HeightSlow()));
+}
+
+void BM_AvlConstantIntervalsStayBalanced(benchmark::State& state) {
+  // The balanced counterpoint to the BST degeneration: same adversarial input,
+  // logarithmic cost (Figure 6's "balanced" column earning its rebalancing tax).
+  auto scheme = std::make_unique<AvlTimers>();
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    (void)scheme->StartTimer(Duration{1} << 30, i);
+  }
+  for (auto _ : state) {
+    auto handle = scheme->StartTimer(Duration{1} << 30, 0);
+    benchmark::DoNotOptimize(handle);
+    scheme->StopTimer(handle.value());
+  }
+  state.counters["height"] = benchmark::Counter(static_cast<double>(scheme->HeightSlow()));
+}
+
+void BM_LeftistLazyCancelRetention(benchmark::State& state) {
+  // STOP_TIMER is O(1) but memory is retained until corpses surface — report the
+  // peak retention alongside the latency.
+  auto scheme = std::make_unique<LeftistHeapTimers>();
+  rng::Xoshiro256 gen(43);
+  rng::ExponentialInterval dist(1 << 20);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  std::vector<TimerHandle> handles;
+  handles.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    handles.push_back(scheme->StartTimer(dist.Draw(gen), i).value());
+  }
+  std::size_t cursor = 0;
+  double peak_retained = 0;
+  for (auto _ : state) {
+    // Stop one old timer and start a replacement: pure churn at constant n.
+    benchmark::DoNotOptimize(scheme->StopTimer(handles[cursor]));
+    handles[cursor] = scheme->StartTimer(dist.Draw(gen), cursor).value();
+    cursor = (cursor + 1) % n;
+    peak_retained = std::max(peak_retained, static_cast<double>(scheme->RetainedRecords()));
+  }
+  state.counters["peak_retained"] = benchmark::Counter(peak_retained);
+}
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_TreeStartStop, HeapTimers)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Name("fig6/heap/start_stop");
+BENCHMARK_TEMPLATE(BM_TreeStartStop, BstTimers)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Name("fig6/bst_random/start_stop");
+BENCHMARK_TEMPLATE(BM_TreeStartStop, LeftistHeapTimers)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Name("fig6/leftist/start_stop");
+BENCHMARK_TEMPLATE(BM_TreeStartStop, AvlTimers)
+    ->RangeMultiplier(8)
+    ->Range(64, 262144)
+    ->Name("fig6/avl_balanced/start_stop");
+BENCHMARK(BM_AvlConstantIntervalsStayBalanced)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Name("fig6/avl_constant_no_degenerate/start_stop");
+BENCHMARK(BM_BstDegenerateConstantIntervals)
+    ->RangeMultiplier(4)
+    ->Range(64, 4096)
+    ->Name("fig6/bst_constant_degenerate/start_stop");
+// Fixed iteration count: without ticks, every cancelled record is retained, so the
+// benchmark's memory footprint is proportional to its iteration count.
+BENCHMARK(BM_LeftistLazyCancelRetention)
+    ->Arg(4096)
+    ->Iterations(100000)
+    ->Name("fig6/leftist_lazy_cancel/churn");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Experiment fig7-sim-wheel: the Figure 7 logic-simulation wheel versus the paper's
+// wheels, on a timer-module workload.
+//
+// Section 4.2: "In Digital Simulations, most events happen within a short interval
+// beyond the current time. Since timing wheel implementations rarely place event
+// notices in the overflow list, they do not optimize this case. This is not true
+// for a general purpose timer facility." The TEGAS wheel rescans its single,
+// unsorted overflow list on every rotation — each far-future timer is touched once
+// per cycle. Scheme 6 also touches each far timer once per cycle, but spread across
+// buckets with no list rebuild; Scheme 4 simply bounds its range.
+//
+// Rows: interval spread (as a multiple of the wheel size) x structure, reporting
+// bookkeeping ops per tick and the overflow-scan share. As intervals stretch beyond
+// the cycle length, the TEGAS wheels' per-tick cost inflates with overflow
+// residency while Scheme 6's stays at n/TableSize.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/hashed_wheel_unsorted.h"
+#include "src/sim/tegas_wheel.h"
+#include "src/workload/workload.h"
+
+int main() {
+  using namespace twheel;
+
+  constexpr std::size_t kWheel = 64;
+  std::printf("== fig7-sim-wheel: TEGAS overflow list vs hashed wheel (N = %zu) ==\n\n",
+              kWheel);
+  bench::Table table({"max interval", "structure", "ops/tick", "overflow scans",
+                      "overflow moves", "p99 tick work"});
+
+  for (Duration spread_multiplier : {Duration{1}, Duration{4}, Duration{16}}) {
+    const Duration hi = kWheel * spread_multiplier;
+    for (int which = 0; which < 3; ++which) {
+      workload::WorkloadSpec spec;
+      spec.seed = 700 + spread_multiplier;
+      spec.intervals = workload::IntervalKind::kUniform;
+      spec.interval_lo = 1;
+      spec.interval_hi = hi;
+      spec.arrival_rate = 4.0;
+      spec.warmup_starts = 4000;
+      spec.measured_starts = 40000;
+
+      std::unique_ptr<TimerService> service;
+      std::uint64_t scans = 0, moves = 0;
+      std::string label;
+      if (which == 0) {
+        auto tegas = std::make_unique<sim::TegasWheel>(kWheel, sim::RotatePolicy::kFullCycle);
+        sim::TegasWheel* raw = tegas.get();
+        service = std::move(tegas);
+        auto result = workload::Run(*service, spec);
+        scans = raw->overflow_scans();
+        moves = raw->overflow_drains();
+        table.Row({std::to_string(hi), "tegas-full", bench::Fmt(result.tick_work.mean()),
+                   bench::FmtU(scans), bench::FmtU(moves),
+                   bench::FmtU(result.tick_work_hist.Quantile(0.99))});
+      } else if (which == 1) {
+        auto tegas = std::make_unique<sim::TegasWheel>(kWheel, sim::RotatePolicy::kHalfCycle);
+        sim::TegasWheel* raw = tegas.get();
+        service = std::move(tegas);
+        auto result = workload::Run(*service, spec);
+        scans = raw->overflow_scans();
+        moves = raw->overflow_drains();
+        table.Row({std::to_string(hi), "tegas-half", bench::Fmt(result.tick_work.mean()),
+                   bench::FmtU(scans), bench::FmtU(moves),
+                   bench::FmtU(result.tick_work_hist.Quantile(0.99))});
+      } else {
+        service = std::make_unique<HashedWheelUnsorted>(kWheel);
+        auto result = workload::Run(*service, spec);
+        table.Row({std::to_string(hi), "scheme6", bench::Fmt(result.tick_work.mean()),
+                   "0", "0", bench::FmtU(result.tick_work_hist.Quantile(0.99))});
+      }
+    }
+  }
+  table.Print();
+  std::printf("\nAt max interval == N everything fits one cycle and the structures tie.\n"
+              "Beyond that, the TEGAS overflow list is rescanned every rotation (and\n"
+              "every drained record is a second insertion), while Scheme 6's per-bucket\n"
+              "rounds spread the same once-per-cycle touch with no list rebuilding.\n");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Experiment overall: the Section 7 conclusions, end to end.
+//
+// "For a general timer module, similar to the operating system facilities found in
+// UNIX or VMS, that is expected to work well in a variety of environments, we
+// recommend Scheme 6 or 7."
+//
+// Every scheme serves the same two mixed workloads — a retransmission-flavoured one
+// (most timers stopped early) and a rate-control-flavoured one (every timer
+// expires) — at small and large n. google-benchmark reports wall time per
+// START_TIMER issued (bookkeeping, stops and expiries included), i.e. the cost of
+// *being* the timer module for this stream.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/timer_facility.h"
+#include "src/workload/workload.h"
+
+namespace {
+
+using namespace twheel;
+
+workload::WorkloadSpec MakeSpec(bool stop_heavy, double outstanding) {
+  workload::WorkloadSpec spec;
+  spec.seed = 4242;
+  spec.intervals = workload::IntervalKind::kExponential;
+  spec.interval_mean = 512.0;
+  spec.interval_cap = 16000;
+  spec.arrival_rate = outstanding / spec.interval_mean;
+  spec.stop_fraction = stop_heavy ? 0.85 : 0.0;
+  spec.warmup_starts = 1000;
+  spec.measured_starts = 20000;
+  return spec;
+}
+
+void BM_Workload(benchmark::State& state) {
+  const SchemeId scheme = static_cast<SchemeId>(state.range(0));
+  const bool stop_heavy = state.range(1) != 0;
+  const double outstanding = static_cast<double>(state.range(2));
+
+  FacilityConfig config;
+  config.scheme = scheme;
+  config.wheel_size = scheme == SchemeId::kScheme4BasicWheel ||
+                              scheme == SchemeId::kScheme4HybridList
+                          ? 16384
+                          : 256;
+  config.level_sizes = {256, 64, 64};
+
+  const auto spec = MakeSpec(stop_heavy, outstanding);
+  double ticks = 0;
+  for (auto _ : state) {
+    auto service = MakeTimerService(config);
+    auto result = workload::Run(*service, spec);
+    benchmark::DoNotOptimize(result.expiries);
+    ticks += static_cast<double>(result.ticks_run);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(spec.measured_starts + spec.warmup_starts));
+  state.counters["ticks/run"] = benchmark::Counter(ticks / static_cast<double>(state.iterations()));
+  state.SetLabel(SchemeName(scheme));
+}
+
+void RegisterAll() {
+  for (SchemeId id : kAllSchemes) {
+    for (int stop_heavy : {1, 0}) {
+      for (int n : {100, 5000}) {
+        std::string name = std::string("overall/") + SchemeName(id) +
+                           (stop_heavy ? "/retransmit_style" : "/rate_control_style") +
+                           "/n=" + std::to_string(n);
+        benchmark::RegisterBenchmark(name.c_str(), BM_Workload)
+            ->Args({static_cast<int>(id), stop_heavy, n})
+            ->Unit(benchmark::kMillisecond)
+            ->Iterations(3);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

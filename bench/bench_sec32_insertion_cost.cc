@@ -1,0 +1,85 @@
+// Experiment sec32-insertion-cost: Section 3.2's closed-form insertion costs for
+// the ordered list (Scheme 2) under Poisson arrivals.
+//
+// The paper quotes (from Reeves [4]): "the average cost of insertion for negative
+// exponential and uniform timer interval distributions is 2 + 2/3 n (exponential)
+// and 2 + 1/2 n (uniform)... For a negative exponential distribution we can reduce
+// the average cost to 2 + n/3 by searching the list from the rear."
+//
+// This bench measures elements examined per START_TIMER at steady state for each
+// (distribution, direction) pair across a sweep of n, and prints the measurement
+// next to BOTH the paper's attribution and the renewal-theory model (scan fraction
+// p = P(residual < fresh draw): exponential 1/2 front and rear; uniform 2/3 front,
+// 1/3 rear; constant 1 front, 0 rear). The linear shape and the constants {1/3,
+// 1/2, 2/3} reproduce; which distribution owns which constant is decided by the
+// data — see EXPERIMENTS.md for the discussion.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "src/baselines/sorted_list_timers.h"
+#include "src/queueing/mginf.h"
+#include "src/workload/workload.h"
+
+int main() {
+  using namespace twheel;
+  using workload::IntervalKind;
+
+  std::printf("== sec32-insertion-cost: Scheme 2 comparisons per START_TIMER ==\n\n");
+  bench::Table table({"distribution", "dir", "n", "measured", "model n*p+1",
+                      "paper 2+2n/3", "paper 2+n/2", "paper 2+n/3"});
+
+  const double kMeanInterval = 128.0;
+  struct Case {
+    const char* label;
+    IntervalKind kind;
+    SearchDirection direction;
+    double fraction;
+  };
+  const Case cases[] = {
+      {"exponential", IntervalKind::kExponential, SearchDirection::kFromFront,
+       queueing::ScanFractionFrontExponential()},
+      {"exponential", IntervalKind::kExponential, SearchDirection::kFromRear,
+       queueing::ScanFractionRear(queueing::ScanFractionFrontExponential())},
+      {"uniform", IntervalKind::kUniform, SearchDirection::kFromFront,
+       queueing::ScanFractionFrontUniform(1, 255)},
+      {"uniform", IntervalKind::kUniform, SearchDirection::kFromRear,
+       queueing::ScanFractionRear(queueing::ScanFractionFrontUniform(1, 255))},
+      {"constant", IntervalKind::kConstant, SearchDirection::kFromFront, 1.0},
+      {"constant", IntervalKind::kConstant, SearchDirection::kFromRear, 0.0},
+  };
+
+  for (const Case& c : cases) {
+    for (double n : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+      workload::WorkloadSpec spec;
+      spec.seed = 320 + static_cast<std::uint64_t>(n);
+      spec.intervals = c.kind;
+      spec.interval_mean = kMeanInterval;
+      spec.interval_lo = c.kind == IntervalKind::kConstant ? 128 : 1;
+      spec.interval_hi = 255;
+      spec.arrival_rate = n / kMeanInterval;  // Little's law: target n outstanding
+      spec.warmup_starts = 4000;
+      spec.measured_starts = 30000;
+
+      SortedListTimers service(c.direction);
+      auto result = workload::Run(service, spec);
+      double n_measured = result.outstanding.mean();
+
+      table.Row({c.label,
+                 c.direction == SearchDirection::kFromFront ? "front" : "rear",
+                 bench::Fmt(n_measured, 0), bench::Fmt(result.start_comparisons.mean(), 1),
+                 bench::Fmt(queueing::ModelScanLength(n_measured, c.fraction), 1),
+                 bench::Fmt(queueing::PaperInsertCostExponentialFront(n_measured), 1),
+                 bench::Fmt(queueing::PaperInsertCostUniformFront(n_measured), 1),
+                 bench::Fmt(queueing::PaperInsertCostExponentialRear(n_measured), 1)});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nShape reproduced: cost is linear in n for every distribution, rear search\n"
+      "beats front search for uniform (n/3 vs 2n/3) and is O(1) for constant\n"
+      "intervals. The renewal model (column 5) tracks measurement; the paper's\n"
+      "exponential<->uniform constant attribution appears transposed (see\n"
+      "EXPERIMENTS.md).\n");
+  return 0;
+}

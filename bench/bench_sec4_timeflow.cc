@@ -1,0 +1,96 @@
+// Experiment sec4-timeflow: the two time-flow mechanisms of Section 4, head to
+// head on the same discrete-event simulation.
+//
+// Method 1 (GPSS/SIMULA): "the earliest event is immediately retrieved from some
+// data structure (e.g. a priority queue) and the clock jumps to the time of this
+// event" — Simulator::RunUntilIdleJumping over a peekable scheme.
+// Method 2 (TEGAS/DECSIM): "the program ... increments the clock variable by c
+// until it finds any outstanding events" — tick-stepping over a wheel.
+//
+// The trade is event density: sparse events favour jumping (no empty ticks at all);
+// dense events favour the wheel (O(1) inserts, and "some entity needs to do O(1)
+// work per tick to update the current time" anyway). Rows sweep mean event spacing;
+// wall time per simulated event is the figure of merit.
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/timer_facility.h"
+#include "src/rng/distributions.h"
+#include "src/rng/rng.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+using namespace twheel;
+
+struct RunResult {
+  double wall_us_per_event = 0;
+  std::uint64_t bookkeeping_calls = 0;
+};
+
+// A self-sustaining event cascade: each event schedules its successor at an
+// exponential gap, `chains` of them in parallel, for `events` total firings.
+RunResult Drive(SchemeId scheme, bool jump, double mean_gap, std::size_t chains,
+                std::size_t events) {
+  FacilityConfig config;
+  config.scheme = scheme;
+  config.wheel_size = 1 << 16;
+  sim::Simulator simulator(MakeTimerService(config));
+  rng::Xoshiro256 gen(4);
+  rng::ExponentialInterval dist(mean_gap);
+
+  std::size_t fired = 0;
+  std::function<void()> hop = [&] {
+    ++fired;
+    if (fired + chains <= events) {
+      simulator.After(dist.Draw(gen), hop);
+    }
+  };
+  for (std::size_t c = 0; c < chains; ++c) {
+    simulator.After(dist.Draw(gen), hop);
+  }
+
+  auto start = std::chrono::steady_clock::now();
+  if (jump) {
+    auto covered = simulator.RunUntilIdleJumping();
+    TWHEEL_ASSERT(covered.has_value());
+  } else {
+    simulator.RunUntilIdle();
+  }
+  auto stop = std::chrono::steady_clock::now();
+
+  RunResult result;
+  result.wall_us_per_event = std::chrono::duration<double, std::micro>(stop - start).count() /
+                             static_cast<double>(fired);
+  result.bookkeeping_calls = simulator.service().counts().ticks;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== sec4-timeflow: clock-jumping priority queue vs tick-stepping wheel ==\n\n");
+  bench::Table table({"mean gap", "method", "us/event", "bookkeeping calls"});
+
+  constexpr std::size_t kEvents = 200000;
+  for (double gap : {2.0, 64.0, 4096.0}) {
+    // Method 1: heap with clock jumping (16 sparse chains).
+    auto jumping = Drive(SchemeId::kScheme3Heap, /*jump=*/true, gap, 16, kEvents);
+    table.Row({bench::Fmt(gap, 0), "jump (heap, method 1)",
+               bench::Fmt(jumping.wall_us_per_event, 3), bench::FmtU(jumping.bookkeeping_calls)});
+    // Method 2: hashed wheel, tick stepping.
+    auto ticking = Drive(SchemeId::kScheme6HashedUnsorted, /*jump=*/false, gap, 16, kEvents);
+    table.Row({bench::Fmt(gap, 0), "tick (wheel, method 2)",
+               bench::Fmt(ticking.wall_us_per_event, 3), bench::FmtU(ticking.bookkeeping_calls)});
+  }
+  table.Print();
+  std::printf("\nWith sub-tick-dense events the wheel's O(1) inserts win; as events\n"
+              "sparsen, tick-stepping pays ~gap empty bookkeeping calls per event while\n"
+              "the jumping scheduler's cost stays flat — Section 4's observation that a\n"
+              "timer module (which must tick anyway) and a simulator (which needn't)\n"
+              "price empty time differently.\n");
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Experiment space: the paper's SPACE performance measure (Section 2), tabulated.
+//
+// "SPACE: The memory required for the data structures used by the timer module."
+// The paper's scattered space commentary, in one table: Scheme 1's minimum, Scheme
+// 2's pointer overhead, the wheels' memory-for-speed trade, Section 6.2's 244-slot
+// hierarchy versus the 8.64-million-slot flat wheel, and Appendix A's chip memory.
+//
+// Two views: (a) configured instances as the other benches use them; (b) the
+// structure cost of covering a full 32-bit interval range, the paper's "it is
+// difficult to justify 2^32 words of memory to implement 32 bit timers" scenario.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "src/core/hierarchical_wheel.h"
+#include "src/core/timer_facility.h"
+#include "src/hw/timer_chip.h"
+
+int main() {
+  using namespace twheel;
+
+  std::printf("== space: the Section 2 SPACE measure ==\n\n");
+  std::printf("-- (a) configured instances (wheels M=256, hierarchy 256/64/64) --\n");
+  bench::Table table({"scheme", "fixed bytes", "essential B/timer", "actual B/timer",
+                      "aux B @1k timers"});
+  for (SchemeId id : kAllSchemes) {
+    FacilityConfig config;
+    config.scheme = id;
+    config.wheel_size = 256;
+    config.level_sizes = {256, 64, 64};
+    auto service = MakeTimerService(config);
+    for (RequestId i = 0; i < 1000; ++i) {
+      (void)service->StartTimer(1 + (i % 200), i);
+    }
+    auto profile = service->Space();
+    table.Row({std::string(service->name()), bench::FmtU(profile.fixed_bytes),
+               bench::FmtU(profile.essential_record_bytes),
+               bench::FmtU(profile.actual_record_bytes),
+               bench::FmtU(profile.auxiliary_bytes)});
+  }
+  table.Print();
+
+  std::printf("\n-- (b) fixed structure to cover a 32-bit interval range --\n");
+  bench::Table coverage({"structure", "slots", "fixed bytes", "note"});
+  const std::size_t head = sizeof(IntrusiveList<TimerRecord>);
+  coverage.Row({"flat wheel (Scheme 4)", "4294967296",
+                bench::FmtU(std::size_t{4294967296ULL} * head),
+                "\"difficult to justify\""});
+  coverage.Row({"hashed wheel (Scheme 6)", "256", bench::FmtU(256 * head),
+                "rounds absorb the range"});
+  {
+    // 256 * 256 * 256 * 256 = 2^32 ticks with 4 levels of 256.
+    HierarchicalWheel hierarchy(std::vector<std::size_t>{256, 256, 256, 256});
+    coverage.Row({"hierarchy 4 x 256 (Scheme 7)", "1024",
+                  bench::FmtU(hierarchy.Space().fixed_bytes),
+                  "spans 2^32 exactly"});
+  }
+  {
+    HierarchicalWheel paper(std::vector<std::size_t>{60, 60, 24, 100});
+    coverage.Row({"paper's s/min/h/day hierarchy", "244",
+                  bench::FmtU(paper.Space().fixed_bytes),
+                  "vs 8.64M flat slots"});
+  }
+  coverage.Row({"sorted list (Scheme 2)", "0", "0", "all cost is per-record"});
+  coverage.Print();
+
+  std::printf("\nThe wheels buy O(1) bookkeeping with fixed arrays; hashing and hierarchy\n"
+              "shrink those arrays by 7 and 6-7 orders of magnitude respectively while\n"
+              "keeping bounded per-tick work — the paper's central memory story.\n");
+  return 0;
+}

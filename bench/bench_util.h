@@ -1,0 +1,76 @@
+// Shared helpers for the per-experiment benchmark binaries.
+//
+// Two bench styles coexist in bench/:
+//  * google-benchmark binaries for wall-clock latencies (Figures 4, 6, 8 and the
+//    SMP study), where modern-hardware nanoseconds are the point, and
+//  * self-printing table binaries for the paper's analytic results (Sections 3.2,
+//    6.1.2, 6.2, 7, Appendix A), where operation counts are the point and each
+//    binary regenerates the corresponding rows of EXPERIMENTS.md.
+//
+// Helpers here cover the second style: aligned table output.
+
+#ifndef TWHEEL_BENCH_BENCH_UTIL_H_
+#define TWHEEL_BENCH_BENCH_UTIL_H_
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace twheel::bench {
+
+// Minimal fixed-width table printer.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+  void Row(const std::vector<std::string>& cells) { rows_.push_back(cells); }
+
+  void Print() const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    PrintRow(headers_, widths);
+    std::string rule;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      rule += std::string(widths[c], '-') + (c + 1 < widths.size() ? "  " : "");
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells,
+                       const std::vector<std::size_t>& widths) {
+    std::string line;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      std::string cell = c < cells.size() ? cells[c] : "";
+      cell.resize(widths[c], ' ');
+      line += cell + (c + 1 < widths.size() ? "  " : "");
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double v, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, v);
+  return buffer;
+}
+
+inline std::string FmtU(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace twheel::bench
+
+#endif  // TWHEEL_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,73 @@
+// Compare all seven schemes on one workload — the paper's Figures 4 and 6 as a CLI.
+//
+// Usage: ./build/examples/scheme_explorer [outstanding] [starts] [stop%]
+//
+// Drives an identical Poisson/exponential request stream through every scheme and
+// prints a table of the measured costs: comparisons per START_TIMER, bookkeeping
+// ops per tick, VAX-weighted instruction estimates, and wall time. The analytic
+// rows of Figure 4 / Figure 6 emerge as the n-dependence of each column.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/timer_facility.h"
+#include "src/metrics/vax_cost.h"
+#include "src/workload/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace twheel;
+
+  double outstanding = argc > 1 ? std::atof(argv[1]) : 200.0;
+  std::size_t starts = argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 50000;
+  double stop_fraction = (argc > 3 ? std::atof(argv[3]) : 30.0) / 100.0;
+
+  // lambda * E[T] = outstanding (Little's law): fix E[T]=128, derive lambda.
+  workload::WorkloadSpec spec;
+  spec.seed = 7;
+  spec.intervals = workload::IntervalKind::kExponential;
+  spec.interval_mean = 128.0;
+  spec.interval_cap = 4000;
+  spec.arrival_rate = outstanding / spec.interval_mean;
+  spec.stop_fraction = stop_fraction;
+  spec.warmup_starts = starts / 10;
+  spec.measured_starts = starts;
+
+  std::printf("workload: poisson(%.3f/tick) x exponential(mean %.0f), %zu starts, "
+              "%.0f%% stopped -> ~%.0f outstanding\n\n",
+              spec.arrival_rate, spec.interval_mean, starts, 100 * stop_fraction,
+              outstanding);
+  std::printf("%-24s %12s %12s %12s %12s %10s\n", "scheme", "cmp/start", "ops/tick",
+              "vax/start", "vax/tick", "wall ms");
+
+  metrics::VaxCostModel vax;
+  for (SchemeId id : kAllSchemes) {
+    FacilityConfig config;
+    config.scheme = id;
+    config.wheel_size = id == SchemeId::kScheme4BasicWheel ||
+                                id == SchemeId::kScheme4HybridList
+                            ? 8192
+                            : 256;
+    config.level_sizes = {256, 64, 64};
+    auto service = MakeTimerService(config);
+    auto result = workload::Run(*service, spec);
+
+    const auto& ops = result.measured_ops;
+    double vax_per_start =
+        ops.start_calls
+            ? (vax.insert * static_cast<double>(ops.insert_link_ops) +
+               vax.compare * static_cast<double>(ops.comparisons)) /
+                  static_cast<double>(ops.start_calls)
+            : 0.0;
+    std::printf("%-24s %12.2f %12.2f %12.1f %12.1f %10.1f\n",
+                result.scheme_name.c_str(), result.start_comparisons.mean(),
+                result.tick_work.mean(), vax_per_start, vax.PerTick(ops),
+                result.wall_seconds * 1000.0);
+  }
+
+  std::printf("\ncolumns: cmp/start = key comparisons per START_TIMER; ops/tick = "
+              "bookkeeping ops per tick;\nvax/* = Section 7 instruction-weighted "
+              "costs. Note Scheme 2's cmp/start growing with n while wheels stay "
+              "flat,\nand Scheme 1's ops/tick tracking n while Scheme 2's stays "
+              "constant (Figure 4).\n");
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Lightweight always-on assertion macros for the twheel library.
+//
+// The library is exception-free (Google style); invariant violations are programming
+// errors and abort with a diagnostic. TWHEEL_ASSERT stays enabled in release builds
+// because the checks guard O(1) pointer surgery where silent corruption would be far
+// more expensive to debug than the branch is to execute.
+
+#ifndef TWHEEL_SRC_BASE_ASSERT_H_
+#define TWHEEL_SRC_BASE_ASSERT_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#define TWHEEL_ASSERT(cond)                                                              \
+  do {                                                                                   \
+    if (!(cond)) [[unlikely]] {                                                          \
+      std::fprintf(stderr, "twheel assertion failed: %s at %s:%d\n", #cond, __FILE__,    \
+                   __LINE__);                                                            \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (false)
+
+#define TWHEEL_ASSERT_MSG(cond, msg)                                                     \
+  do {                                                                                   \
+    if (!(cond)) [[unlikely]] {                                                          \
+      std::fprintf(stderr, "twheel assertion failed: %s (%s) at %s:%d\n", #cond, (msg),  \
+                   __FILE__, __LINE__);                                                  \
+      std::abort();                                                                      \
+    }                                                                                    \
+  } while (false)
+
+#endif  // TWHEEL_SRC_BASE_ASSERT_H_

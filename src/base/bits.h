@@ -1,0 +1,37 @@
+// Power-of-two arithmetic helpers.
+//
+// The paper recommends power-of-two wheel sizes so the hash "Timer Value mod
+// TableSize" is a single AND instruction (Section 6.1.2): "Obtaining the remainder
+// after dividing by a power of 2 is cheap (AND instruction), and consequently
+// recommended."
+
+#ifndef TWHEEL_SRC_BASE_BITS_H_
+#define TWHEEL_SRC_BASE_BITS_H_
+
+#include <cstdint>
+
+namespace twheel {
+
+constexpr bool IsPowerOfTwo(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+// Smallest power of two >= v (v must be >= 1 and <= 2^63).
+constexpr std::uint64_t NextPowerOfTwo(std::uint64_t v) {
+  std::uint64_t p = 1;
+  while (p < v) {
+    p <<= 1;
+  }
+  return p;
+}
+
+// floor(log2(v)) for v >= 1.
+constexpr std::uint32_t Log2Floor(std::uint64_t v) {
+  std::uint32_t r = 0;
+  while (v >>= 1) {
+    ++r;
+  }
+  return r;
+}
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASE_BITS_H_

@@ -1,0 +1,92 @@
+// Minimal Expected<T, E>: a value or an error, exception-free.
+//
+// C++20 has no std::expected (that arrives in C++23), and the library avoids
+// exceptions per the Google/Fuchsia style, so this small utility carries fallible
+// results. It is intentionally tiny: trivially-copyable payloads only, no monadic
+// combinators — timer start results are a handle or an error code.
+
+#ifndef TWHEEL_SRC_BASE_EXPECTED_H_
+#define TWHEEL_SRC_BASE_EXPECTED_H_
+
+#include <type_traits>
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+template <typename T, typename E>
+class Expected {
+  static_assert(!std::is_same_v<T, E>, "value and error types must differ");
+
+ public:
+  // Implicit construction from either alternative keeps call sites terse:
+  //   return handle;        // success
+  //   return TimerError::kNoCapacity;  // failure
+  constexpr Expected(T value) : has_value_(true) { new (&storage_.value) T(std::move(value)); }
+  constexpr Expected(E error) : has_value_(false) { new (&storage_.error) E(std::move(error)); }
+
+  constexpr Expected(const Expected& other) : has_value_(other.has_value_) {
+    if (has_value_) {
+      new (&storage_.value) T(other.storage_.value);
+    } else {
+      new (&storage_.error) E(other.storage_.error);
+    }
+  }
+
+  constexpr Expected& operator=(const Expected& other) {
+    if (this != &other) {
+      destroy();
+      has_value_ = other.has_value_;
+      if (has_value_) {
+        new (&storage_.value) T(other.storage_.value);
+      } else {
+        new (&storage_.error) E(other.storage_.error);
+      }
+    }
+    return *this;
+  }
+
+  ~Expected() { destroy(); }
+
+  constexpr bool has_value() const { return has_value_; }
+  constexpr explicit operator bool() const { return has_value_; }
+
+  // Precondition-checked accessors. Calling value() on an error (or error() on a
+  // value) is a programming bug and aborts.
+  constexpr const T& value() const {
+    TWHEEL_ASSERT(has_value_);
+    return storage_.value;
+  }
+  constexpr T& value() {
+    TWHEEL_ASSERT(has_value_);
+    return storage_.value;
+  }
+  constexpr const E& error() const {
+    TWHEEL_ASSERT(!has_value_);
+    return storage_.error;
+  }
+
+  constexpr T value_or(T fallback) const { return has_value_ ? storage_.value : fallback; }
+
+ private:
+  void destroy() {
+    if (has_value_) {
+      storage_.value.~T();
+    } else {
+      storage_.error.~E();
+    }
+  }
+
+  union Storage {
+    Storage() {}
+    ~Storage() {}
+    T value;
+    E error;
+  } storage_;
+  bool has_value_;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASE_EXPECTED_H_

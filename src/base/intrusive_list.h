@@ -1,0 +1,158 @@
+// Intrusive circular doubly-linked list.
+//
+// Every timer scheme in the paper relies on one property (Section 3.2): "STOP_TIMER
+// need not search the list if the list is doubly linked... STOP_TIMER can then use
+// this pointer to delete the element in O(1) time." Records embed their links, so a
+// record can unlink itself from whichever bucket it currently sits in without knowing
+// the list head — that is exactly the O(1) STOP_TIMER of Schemes 2 and 4-7.
+//
+// The list is circular with a sentinel: no null checks on the hot paths, and an empty
+// list is a sentinel pointing at itself. Nodes must outlive their membership; the
+// list never owns elements (records are owned by TimerArena).
+
+#ifndef TWHEEL_SRC_BASE_INTRUSIVE_LIST_H_
+#define TWHEEL_SRC_BASE_INTRUSIVE_LIST_H_
+
+#include <cstddef>
+#include <type_traits>
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+// Embed (derive from) ListNode to make a type linkable. A node is in at most one list
+// at a time; linked() distinguishes membership.
+class ListNode {
+ public:
+  ListNode() = default;
+
+  // Nodes are address-identified; copying a linked node would corrupt both lists.
+  ListNode(const ListNode&) = delete;
+  ListNode& operator=(const ListNode&) = delete;
+
+  ~ListNode() { TWHEEL_ASSERT_MSG(!linked(), "node destroyed while still in a list"); }
+
+  bool linked() const { return next_ != nullptr; }
+
+  // Unlink this node from whichever list contains it. O(1). No-op prerequisite:
+  // the node must currently be linked.
+  void Unlink() {
+    TWHEEL_ASSERT(linked());
+    prev_->next_ = next_;
+    next_->prev_ = prev_;
+    next_ = nullptr;
+    prev_ = nullptr;
+  }
+
+ private:
+  template <typename T>
+  friend class IntrusiveList;
+
+  ListNode* next_ = nullptr;
+  ListNode* prev_ = nullptr;
+};
+
+// Doubly-linked list of T, where T publicly derives from ListNode.
+template <typename T>
+class IntrusiveList {
+  static_assert(std::is_base_of_v<ListNode, T>, "T must derive from ListNode");
+
+ public:
+  IntrusiveList() { Reset(); }
+
+  IntrusiveList(const IntrusiveList&) = delete;
+  IntrusiveList& operator=(const IntrusiveList&) = delete;
+
+  ~IntrusiveList() {
+    TWHEEL_ASSERT_MSG(empty(), "list destroyed while non-empty");
+    // Detach the sentinel so ~ListNode's membership check passes.
+    sentinel_.next_ = nullptr;
+    sentinel_.prev_ = nullptr;
+  }
+
+  bool empty() const { return sentinel_.next_ == &sentinel_; }
+
+  // Insert at the front. O(1). Scheme 4 "put[s] the timer at the head of a list of
+  // timers that will expire at a time = CurrentTime + j".
+  void PushFront(T* node) { InsertBetween(node, &sentinel_, sentinel_.next_); }
+
+  // Insert at the back. O(1). Used for FIFO expiry order and rear-search insertion.
+  void PushBack(T* node) { InsertBetween(node, sentinel_.prev_, &sentinel_); }
+
+  // Insert `node` immediately before `pos` (which must be in this list, or be a
+  // sentinel-derived end()). O(1). Used by Scheme 2/5 sorted insertion.
+  void InsertBefore(T* node, ListNode* pos) { InsertBetween(node, pos->prev_, pos); }
+
+  // First element, or nullptr when empty.
+  T* front() const {
+    return empty() ? nullptr : static_cast<T*>(sentinel_.next_);
+  }
+  // Last element, or nullptr when empty.
+  T* back() const {
+    return empty() ? nullptr : static_cast<T*>(sentinel_.prev_);
+  }
+
+  // Remove and return the first element; list must be non-empty.
+  T* PopFront() {
+    TWHEEL_ASSERT(!empty());
+    T* node = static_cast<T*>(sentinel_.next_);
+    node->Unlink();
+    return node;
+  }
+
+  // Forward/backward traversal helpers. `Next(back()) == nullptr`,
+  // `Prev(front()) == nullptr`. Callers doing remove-while-iterating must fetch the
+  // successor before unlinking.
+  T* Next(const T* node) const {
+    ListNode* n = node->next_;
+    return n == &sentinel_ ? nullptr : static_cast<T*>(n);
+  }
+  T* Prev(const T* node) const {
+    ListNode* p = node->prev_;
+    return p == &sentinel_ ? nullptr : static_cast<T*>(p);
+  }
+
+  // Splice the entire contents of `other` onto the back of this list. O(1).
+  void SpliceBack(IntrusiveList& other) {
+    if (other.empty()) {
+      return;
+    }
+    ListNode* first = other.sentinel_.next_;
+    ListNode* last = other.sentinel_.prev_;
+    ListNode* tail = sentinel_.prev_;
+    tail->next_ = first;
+    first->prev_ = tail;
+    last->next_ = &sentinel_;
+    sentinel_.prev_ = last;
+    other.Reset();
+  }
+
+  // O(n) count, for tests and diagnostics only; schemes track their own counters.
+  std::size_t CountSlow() const {
+    std::size_t n = 0;
+    for (const ListNode* p = sentinel_.next_; p != &sentinel_; p = p->next_) {
+      ++n;
+    }
+    return n;
+  }
+
+ private:
+  void Reset() {
+    sentinel_.next_ = &sentinel_;
+    sentinel_.prev_ = &sentinel_;
+  }
+
+  void InsertBetween(T* node, ListNode* before, ListNode* after) {
+    TWHEEL_ASSERT_MSG(!node->linked(), "node already in a list");
+    node->prev_ = before;
+    node->next_ = after;
+    before->next_ = node;
+    after->prev_ = node;
+  }
+
+  ListNode sentinel_;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASE_INTRUSIVE_LIST_H_

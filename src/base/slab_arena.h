@@ -1,0 +1,137 @@
+// Chunked slab arena with generational references.
+//
+// Timer records are linked into intrusive lists, so their addresses must be stable
+// for their whole lifetime: the arena allocates fixed-size chunks and never moves or
+// reallocates constructed objects. Freed slots go on a LIFO free list and are reused.
+//
+// Each slot carries a generation counter, bumped on every Free. A Ref is
+// (slot, generation); resolving a Ref whose generation no longer matches yields
+// nullptr. This is what makes the public TimerHandle safe: stopping a timer that
+// already expired (and whose record was recycled for a new timer) is detected rather
+// than corrupting the new timer. The paper notes simulation packages tolerate lazy
+// "mark cancelled" semantics but a timer module cannot (Section 4.2) — eager free
+// plus generations gives immediate reclamation *and* stale-handle safety.
+
+#ifndef TWHEEL_SRC_BASE_SLAB_ARENA_H_
+#define TWHEEL_SRC_BASE_SLAB_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+// Reference to an arena slot; see TimerHandle for the public mirror of this type.
+struct SlabRef {
+  std::uint32_t slot = std::numeric_limits<std::uint32_t>::max();
+  std::uint32_t generation = 0;
+
+  constexpr bool valid() const { return slot != std::numeric_limits<std::uint32_t>::max(); }
+  friend constexpr bool operator==(const SlabRef&, const SlabRef&) = default;
+};
+
+template <typename T>
+class SlabArena {
+ public:
+  // `max_slots` bounds total capacity; 0 means unbounded (grow by chunks on demand).
+  explicit SlabArena(std::size_t max_slots = 0) : max_slots_(max_slots) {}
+
+  SlabArena(const SlabArena&) = delete;
+  SlabArena& operator=(const SlabArena&) = delete;
+
+  ~SlabArena() {
+    // Destroy any objects the owner leaked; the arena owns storage unconditionally.
+    for (std::uint32_t s = 0; s < meta_.size(); ++s) {
+      if (meta_[s].live) {
+        SlotPtr(s)->~T();
+      }
+    }
+  }
+
+  // Construct a T in a fresh or recycled slot. Returns {nullptr, invalid} when the
+  // arena is at its configured capacity.
+  template <typename... Args>
+  std::pair<T*, SlabRef> Allocate(Args&&... args) {
+    std::uint32_t slot;
+    if (free_head_ != kNone) {
+      slot = free_head_;
+      free_head_ = meta_[slot].next_free;
+    } else {
+      if (max_slots_ != 0 && meta_.size() >= max_slots_) {
+        return {nullptr, SlabRef{}};
+      }
+      slot = static_cast<std::uint32_t>(meta_.size());
+      if (slot % kChunkSize == 0) {
+        chunks_.push_back(std::make_unique<Chunk>());
+      }
+      meta_.push_back(Meta{});
+    }
+    Meta& m = meta_[slot];
+    m.live = true;
+    T* obj = new (SlotPtr(slot)) T(std::forward<Args>(args)...);
+    ++live_;
+    return {obj, SlabRef{slot, m.generation}};
+  }
+
+  // Destroy the object named by `ref` and recycle its slot. The ref must be live.
+  void Free(SlabRef ref) {
+    TWHEEL_ASSERT(ref.slot < meta_.size());
+    Meta& m = meta_[ref.slot];
+    TWHEEL_ASSERT_MSG(m.live && m.generation == ref.generation, "freeing a stale SlabRef");
+    SlotPtr(ref.slot)->~T();
+    m.live = false;
+    ++m.generation;  // Invalidate all outstanding refs to this slot.
+    m.next_free = free_head_;
+    free_head_ = ref.slot;
+    --live_;
+  }
+
+  // Resolve a ref to its object; nullptr when the ref is stale or never valid.
+  T* Get(SlabRef ref) const {
+    if (!ref.valid() || ref.slot >= meta_.size()) {
+      return nullptr;
+    }
+    const Meta& m = meta_[ref.slot];
+    if (!m.live || m.generation != ref.generation) {
+      return nullptr;
+    }
+    return SlotPtr(ref.slot);
+  }
+
+  std::size_t live() const { return live_; }
+  std::size_t capacity() const { return max_slots_; }
+
+ private:
+  static constexpr std::size_t kChunkSize = 1024;
+  static constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+  struct Meta {
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNone;
+    bool live = false;
+  };
+
+  struct Chunk {
+    alignas(T) unsigned char bytes[kChunkSize * sizeof(T)];
+  };
+
+  T* SlotPtr(std::uint32_t slot) const {
+    Chunk& c = *chunks_[slot / kChunkSize];
+    return reinterpret_cast<T*>(c.bytes + (slot % kChunkSize) * sizeof(T));
+  }
+
+  std::size_t max_slots_;
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<Meta> meta_;
+  std::uint32_t free_head_ = kNone;
+  std::size_t live_ = 0;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASE_SLAB_ARENA_H_

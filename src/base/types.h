@@ -1,0 +1,77 @@
+// Fundamental types shared by every timer scheme.
+//
+// The paper's model (Section 2) is tick-driven: a hardware clock of granularity T
+// drives PER_TICK_BOOKKEEPING. We represent time as an unsigned 64-bit tick count and
+// never consult a wall clock, so every test, bench, and simulation is deterministic.
+
+#ifndef TWHEEL_SRC_BASE_TYPES_H_
+#define TWHEEL_SRC_BASE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace twheel {
+
+// Discrete time. One Tick is one invocation of PER_TICK_BOOKKEEPING.
+using Tick = std::uint64_t;
+
+// Duration in ticks. Kept distinct from Tick in signatures for readability; both are
+// raw 64-bit counters.
+using Duration = std::uint64_t;
+
+// Client-supplied cookie identifying a timer request; delivered back to the client's
+// ExpiryHandler (the paper's Request_ID parameter to START_TIMER).
+using RequestId = std::uint64_t;
+
+// Opaque handle to an outstanding timer, returned by StartTimer and consumed by
+// StopTimer. A handle is an (arena slot, generation) pair: the generation is bumped
+// every time a slot is recycled, so a stale handle (timer already expired or stopped)
+// is detected instead of cancelling an unrelated timer.
+struct TimerHandle {
+  std::uint32_t slot = kInvalidSlot;
+  std::uint32_t generation = 0;
+
+  static constexpr std::uint32_t kInvalidSlot = std::numeric_limits<std::uint32_t>::max();
+
+  constexpr bool valid() const { return slot != kInvalidSlot; }
+  friend constexpr bool operator==(const TimerHandle&, const TimerHandle&) = default;
+};
+
+constexpr TimerHandle kInvalidHandle{};
+
+// Error codes for StartTimer / StopTimer. Exception-free error handling per the
+// Google/Fuchsia style the library follows.
+enum class TimerError : std::uint8_t {
+  kOk = 0,
+  // The requested interval exceeds the range of the scheme (Scheme 4 rejects
+  // intervals >= MaxInterval unless configured otherwise).
+  kIntervalOutOfRange,
+  // Interval of zero requested but the scheme's policy forbids immediate expiry.
+  kZeroInterval,
+  // The timer arena is exhausted (fixed-capacity configurations).
+  kNoCapacity,
+  // StopTimer: the handle does not name a live timer (already expired, already
+  // stopped, or never valid).
+  kNoSuchTimer,
+};
+
+// Human-readable name for a TimerError, for logs and test failure messages.
+constexpr const char* TimerErrorName(TimerError e) {
+  switch (e) {
+    case TimerError::kOk:
+      return "kOk";
+    case TimerError::kIntervalOutOfRange:
+      return "kIntervalOutOfRange";
+    case TimerError::kZeroInterval:
+      return "kZeroInterval";
+    case TimerError::kNoCapacity:
+      return "kNoCapacity";
+    case TimerError::kNoSuchTimer:
+      return "kNoSuchTimer";
+  }
+  return "unknown";
+}
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASE_TYPES_H_

@@ -1,0 +1,209 @@
+#include "src/baselines/avl_timers.h"
+
+#include <algorithm>
+
+namespace twheel {
+
+StartResult AvlTimers::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  Insert(rec);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError AvlTimers::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  Remove(rec);
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t AvlTimers::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  std::size_t expired = 0;
+  while (root_ != nullptr) {
+    TimerRecord* min = const_cast<TimerRecord*>(MinimumConst(root_));
+    ++counts_.comparisons;
+    if (min->expiry_tick > now_) {
+      break;
+    }
+    Remove(min);
+    Expire(min);
+    ++expired;
+  }
+  if (root_ == nullptr && expired == 0) {
+    ++counts_.empty_slot_checks;
+  }
+  return expired;
+}
+
+void AvlTimers::UpdateHeight(TimerRecord* node) {
+  node->rank = 1 + std::max(HeightOf(node->left), HeightOf(node->right));
+}
+
+void AvlTimers::Transplant(TimerRecord* u, TimerRecord* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) {
+    v->parent = u->parent;
+  }
+}
+
+TimerRecord* AvlTimers::RotateLeft(TimerRecord* x) {
+  ++rotations_;
+  TimerRecord* y = x->right;
+  x->right = y->left;
+  if (y->left != nullptr) {
+    y->left->parent = x;
+  }
+  Transplant(x, y);
+  y->left = x;
+  x->parent = y;
+  UpdateHeight(x);
+  UpdateHeight(y);
+  return y;
+}
+
+TimerRecord* AvlTimers::RotateRight(TimerRecord* x) {
+  ++rotations_;
+  TimerRecord* y = x->left;
+  x->left = y->right;
+  if (y->right != nullptr) {
+    y->right->parent = x;
+  }
+  Transplant(x, y);
+  y->right = x;
+  x->parent = y;
+  UpdateHeight(x);
+  UpdateHeight(y);
+  return y;
+}
+
+TimerRecord* AvlTimers::Rebalance(TimerRecord* node) {
+  UpdateHeight(node);
+  std::int32_t balance = BalanceOf(node);
+  if (balance > 1) {
+    if (BalanceOf(node->left) < 0) {
+      RotateLeft(node->left);  // left-right case
+    }
+    return RotateRight(node);
+  }
+  if (balance < -1) {
+    if (BalanceOf(node->right) > 0) {
+      RotateRight(node->right);  // right-left case
+    }
+    return RotateLeft(node);
+  }
+  return node;
+}
+
+void AvlTimers::RetraceFrom(TimerRecord* node) {
+  while (node != nullptr) {
+    node = Rebalance(node);
+    node = node->parent;
+  }
+}
+
+void AvlTimers::Insert(TimerRecord* rec) {
+  rec->left = rec->right = rec->parent = nullptr;
+  rec->rank = 1;
+
+  TimerRecord* parent = nullptr;
+  TimerRecord* cur = root_;
+  bool went_left = false;
+  while (cur != nullptr) {
+    ++counts_.comparisons;
+    parent = cur;
+    went_left = Less(rec, cur);
+    cur = went_left ? cur->left : cur->right;
+  }
+  rec->parent = parent;
+  if (parent == nullptr) {
+    root_ = rec;
+    return;
+  }
+  if (went_left) {
+    parent->left = rec;
+  } else {
+    parent->right = rec;
+  }
+  RetraceFrom(parent);
+}
+
+void AvlTimers::Remove(TimerRecord* z) {
+  // The lowest node whose subtree height may have changed; retrace from there.
+  TimerRecord* retrace_start;
+  if (z->left == nullptr) {
+    retrace_start = z->parent;
+    Transplant(z, z->right);
+  } else if (z->right == nullptr) {
+    retrace_start = z->parent;
+    Transplant(z, z->left);
+  } else {
+    TimerRecord* y = const_cast<TimerRecord*>(MinimumConst(z->right));  // successor
+    if (y->parent != z) {
+      retrace_start = y->parent;
+      Transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    } else {
+      retrace_start = y;
+    }
+    Transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+    y->rank = z->rank;
+  }
+  if (retrace_start != nullptr) {
+    RetraceFrom(retrace_start);
+  }
+  z->left = z->right = z->parent = nullptr;
+  z->rank = 0;
+}
+
+AvlTimers::CheckResult AvlTimers::CheckSubtree(const TimerRecord* node) {
+  if (node == nullptr) {
+    return {true, 0};
+  }
+  CheckResult left = CheckSubtree(node->left);
+  CheckResult right = CheckSubtree(node->right);
+  if (!left.valid || !right.valid) {
+    return {false, 0};
+  }
+  if (node->left != nullptr &&
+      (node->left->parent != node || !Less(node->left, node))) {
+    return {false, 0};
+  }
+  if (node->right != nullptr &&
+      (node->right->parent != node || !Less(node, node->right))) {
+    return {false, 0};
+  }
+  std::int32_t height = 1 + std::max(left.height, right.height);
+  if (node->rank != height) {
+    return {false, 0};
+  }
+  if (left.height - right.height > 1 || right.height - left.height > 1) {
+    return {false, 0};
+  }
+  return {true, height};
+}
+
+}  // namespace twheel

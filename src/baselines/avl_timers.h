@@ -1,0 +1,111 @@
+// Scheme 3 (d) — balanced (AVL) binary search tree.
+//
+// Figure 6's footnote is specifically about this structure: "STOP_TIMER is O(1) for
+// unbalanced trees and O(log(n)) — because of the need to rebalance the tree after
+// a deletion — for balanced trees." And Section 4.1.1 reports (from Myhrhaug [7])
+// that "unbalanced binary trees are less expensive than balanced binary trees" on
+// average. This AVL implementation exists so both halves of that comparison are
+// measurable: its START_TIMER and STOP_TIMER are O(log n) *worst case* — constant
+// intervals cannot degenerate it the way they collapse BstTimers — but every
+// operation pays rotation overhead the unbalanced tree skips.
+//
+// Keys are (expiry_tick, seq) like the other tree baselines; heights live in
+// TimerRecord::rank.
+
+#ifndef TWHEEL_SRC_BASELINES_AVL_TIMERS_H_
+#define TWHEEL_SRC_BASELINES_AVL_TIMERS_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "src/base/assert.h"
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class AvlTimers final : public TimerServiceBase {
+ public:
+  explicit AvlTimers(std::size_t max_timers = 0) : TimerServiceBase(max_timers) {}
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme3-avl"; }
+
+  // Per record: three tree pointers (24) + expiry (8) + cookie (8) + seq (8) +
+  // height (4, padded to 8) — the balance bookkeeping is the "extra space" of a
+  // balanced tree.
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.essential_record_bytes = 56;
+    return profile;
+  }
+
+  // Hardware-single-timer capability, like the other peekable schemes.
+  std::optional<Tick> NextExpiryHint() const override {
+    if (root_ == nullptr) {
+      return std::nullopt;
+    }
+    return MinimumConst(root_)->expiry_tick;
+  }
+  bool FastForward(Tick target) override {
+    TWHEEL_ASSERT(target >= now_);
+    TWHEEL_ASSERT_MSG(root_ == nullptr || target < MinimumConst(root_)->expiry_tick,
+                      "FastForward would skip an expiry");
+    now_ = target;
+    return true;
+  }
+
+  // Diagnostics: AVL invariant (BST order, parent links, height fields, balance
+  // factors in [-1, 1]) and tree height, for property tests and the fig6 bench.
+  bool CheckAvlInvariant() const { return CheckSubtree(root_).valid; }
+  std::size_t HeightSlow() const { return root_ == nullptr ? 0 : root_->rank; }
+  std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  static bool Less(const TimerRecord* a, const TimerRecord* b) {
+    if (a->expiry_tick != b->expiry_tick) {
+      return a->expiry_tick < b->expiry_tick;
+    }
+    return a->seq < b->seq;
+  }
+
+  static std::int32_t HeightOf(const TimerRecord* node) {
+    return node == nullptr ? 0 : node->rank;
+  }
+  static void UpdateHeight(TimerRecord* node);
+  static std::int32_t BalanceOf(const TimerRecord* node) {
+    return HeightOf(node->left) - HeightOf(node->right);
+  }
+  static const TimerRecord* MinimumConst(const TimerRecord* node) {
+    while (node->left != nullptr) {
+      node = node->left;
+    }
+    return node;
+  }
+
+  // Replace the subtree rooted at `u` with `v` (v may be null) in u's parent.
+  void Transplant(TimerRecord* u, TimerRecord* v);
+  TimerRecord* RotateLeft(TimerRecord* x);
+  TimerRecord* RotateRight(TimerRecord* x);
+  // Restore the AVL property at `node`; returns the subtree's (possibly new) root.
+  TimerRecord* Rebalance(TimerRecord* node);
+  // Walk from `node` to the root, updating heights and rebalancing.
+  void RetraceFrom(TimerRecord* node);
+
+  void Insert(TimerRecord* rec);
+  void Remove(TimerRecord* z);
+
+  struct CheckResult {
+    bool valid = false;
+    std::int32_t height = 0;
+  };
+  static CheckResult CheckSubtree(const TimerRecord* node);
+
+  TimerRecord* root_ = nullptr;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASELINES_AVL_TIMERS_H_

@@ -1,0 +1,137 @@
+#include "src/baselines/bst_timers.h"
+
+#include <algorithm>
+
+namespace twheel {
+
+StartResult BstTimers::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  rec->left = rec->right = rec->parent = nullptr;
+
+  TimerRecord* parent = nullptr;
+  TimerRecord* cur = root_;
+  bool went_left = false;
+  while (cur != nullptr) {
+    ++counts_.comparisons;
+    parent = cur;
+    went_left = Less(rec, cur);
+    cur = went_left ? cur->left : cur->right;
+  }
+  rec->parent = parent;
+  if (parent == nullptr) {
+    root_ = rec;
+  } else if (went_left) {
+    parent->left = rec;
+  } else {
+    parent->right = rec;
+  }
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError BstTimers::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  Remove(rec);
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t BstTimers::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  std::size_t expired = 0;
+  while (root_ != nullptr) {
+    TimerRecord* min = Minimum(root_);
+    ++counts_.comparisons;
+    if (min->expiry_tick > now_) {
+      break;
+    }
+    Remove(min);
+    Expire(min);
+    ++expired;
+  }
+  if (root_ == nullptr && expired == 0) {
+    ++counts_.empty_slot_checks;
+  }
+  return expired;
+}
+
+TimerRecord* BstTimers::Minimum(TimerRecord* node) const {
+  while (node->left != nullptr) {
+    node = node->left;
+  }
+  return node;
+}
+
+void BstTimers::Transplant(TimerRecord* u, TimerRecord* v) {
+  if (u->parent == nullptr) {
+    root_ = v;
+  } else if (u == u->parent->left) {
+    u->parent->left = v;
+  } else {
+    u->parent->right = v;
+  }
+  if (v != nullptr) {
+    v->parent = u->parent;
+  }
+}
+
+void BstTimers::Remove(TimerRecord* z) {
+  if (z->left == nullptr) {
+    Transplant(z, z->right);
+  } else if (z->right == nullptr) {
+    Transplant(z, z->left);
+  } else {
+    TimerRecord* y = Minimum(z->right);  // successor; has no left child
+    if (y->parent != z) {
+      Transplant(y, y->right);
+      y->right = z->right;
+      y->right->parent = y;
+    }
+    Transplant(z, y);
+    y->left = z->left;
+    y->left->parent = y;
+  }
+  z->left = z->right = z->parent = nullptr;
+}
+
+std::size_t BstTimers::Height(const TimerRecord* node) {
+  if (node == nullptr) {
+    return 0;
+  }
+  return 1 + std::max(Height(node->left), Height(node->right));
+}
+
+bool BstTimers::CheckSubtree(const TimerRecord* node, const TimerRecord* lo,
+                             const TimerRecord* hi) {
+  if (node == nullptr) {
+    return true;
+  }
+  if (lo != nullptr && !Less(lo, node)) {
+    return false;
+  }
+  if (hi != nullptr && !Less(node, hi)) {
+    return false;
+  }
+  if (node->left != nullptr && node->left->parent != node) {
+    return false;
+  }
+  if (node->right != nullptr && node->right->parent != node) {
+    return false;
+  }
+  return CheckSubtree(node->left, lo, node) && CheckSubtree(node->right, node, hi);
+}
+
+}  // namespace twheel

@@ -1,0 +1,91 @@
+// Scheme 3 (b) — unbalanced binary search tree (Section 4.1.1).
+//
+// The paper reports (citing Myhrhaug [7]) that "unbalanced binary trees are less
+// expensive than balanced binary trees" on average, but warns: "Unfortunately,
+// unbalanced binary trees easily degenerate into a linear list; this can happen, for
+// instance, if a set of equal timer intervals are inserted." This implementation
+// exists to demonstrate both halves of that sentence: the fig6-trees bench shows
+// O(log n) starts for random intervals and the linear-list collapse for constant
+// intervals (keys are (expiry, seq), so a constant interval stream is strictly
+// increasing and every insert walks the right spine).
+//
+// STOP_TIMER deletes the record's node directly (parent pointers, standard BST
+// deletion) — the structural work is O(1) amortized plus an O(height) successor walk
+// when the node has two children; Figure 6 lists tree stops as O(1)/O(log n).
+
+#ifndef TWHEEL_SRC_BASELINES_BST_TIMERS_H_
+#define TWHEEL_SRC_BASELINES_BST_TIMERS_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "src/base/assert.h"
+
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class BstTimers final : public TimerServiceBase {
+ public:
+  explicit BstTimers(std::size_t max_timers = 0) : TimerServiceBase(max_timers) {}
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme3-bst"; }
+
+  // Per record: three tree pointers (24) + expiry (8) + cookie (8) + seq (8).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.essential_record_bytes = 48;
+    return profile;
+  }
+
+  // Hardware-single-timer capability: O(height) min peek, O(1) clock jump.
+  std::optional<Tick> NextExpiryHint() const override {
+    if (root_ == nullptr) {
+      return std::nullopt;
+    }
+    return MinimumConst(root_)->expiry_tick;
+  }
+  bool FastForward(Tick target) override {
+    TWHEEL_ASSERT(target >= now_);
+    TWHEEL_ASSERT_MSG(root_ == nullptr || target < MinimumConst(root_)->expiry_tick,
+                      "FastForward would skip an expiry");
+    now_ = target;
+    return true;
+  }
+
+  // Diagnostics for tests / the degeneration bench.
+  std::size_t HeightSlow() const { return Height(root_); }
+  bool CheckBstInvariant() const { return CheckSubtree(root_, nullptr, nullptr); }
+
+ private:
+  static bool Less(const TimerRecord* a, const TimerRecord* b) {
+    if (a->expiry_tick != b->expiry_tick) {
+      return a->expiry_tick < b->expiry_tick;
+    }
+    return a->seq < b->seq;
+  }
+
+  TimerRecord* Minimum(TimerRecord* node) const;
+  static const TimerRecord* MinimumConst(const TimerRecord* node) {
+    while (node->left != nullptr) {
+      node = node->left;
+    }
+    return node;
+  }
+  // Replace the subtree rooted at `u` with the one rooted at `v` (v may be null).
+  void Transplant(TimerRecord* u, TimerRecord* v);
+  void Remove(TimerRecord* z);
+
+  static std::size_t Height(const TimerRecord* node);
+  static bool CheckSubtree(const TimerRecord* node, const TimerRecord* lo,
+                           const TimerRecord* hi);
+
+  TimerRecord* root_ = nullptr;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASELINES_BST_TIMERS_H_

@@ -1,0 +1,123 @@
+#include "src/baselines/heap_timers.h"
+
+namespace twheel {
+
+StartResult HeapTimers::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  heap_.push_back(nullptr);
+  Place(heap_.size() - 1, rec);
+  SiftUp(heap_.size() - 1);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError HeapTimers::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  RemoveAt(rec->heap_index);
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t HeapTimers::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  std::size_t expired = 0;
+  while (!heap_.empty()) {
+    TimerRecord* root = heap_[0];
+    ++counts_.comparisons;
+    if (root->expiry_tick > now_) {
+      break;
+    }
+    RemoveAt(0);
+    Expire(root);
+    ++expired;
+  }
+  if (heap_.empty() && expired == 0) {
+    ++counts_.empty_slot_checks;
+  }
+  return expired;
+}
+
+void HeapTimers::SiftUp(std::size_t i) {
+  while (i > 0) {
+    std::size_t parent = (i - 1) / 2;
+    ++counts_.comparisons;
+    if (!Less(heap_[i], heap_[parent])) {
+      break;
+    }
+    TimerRecord* child = heap_[i];
+    Place(i, heap_[parent]);
+    Place(parent, child);
+    i = parent;
+  }
+}
+
+void HeapTimers::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t smallest = i;
+    std::size_t l = 2 * i + 1;
+    std::size_t r = 2 * i + 2;
+    if (l < n) {
+      ++counts_.comparisons;
+      if (Less(heap_[l], heap_[smallest])) {
+        smallest = l;
+      }
+    }
+    if (r < n) {
+      ++counts_.comparisons;
+      if (Less(heap_[r], heap_[smallest])) {
+        smallest = r;
+      }
+    }
+    if (smallest == i) {
+      break;
+    }
+    TimerRecord* tmp = heap_[i];
+    Place(i, heap_[smallest]);
+    Place(smallest, tmp);
+    i = smallest;
+  }
+}
+
+void HeapTimers::RemoveAt(std::size_t i) {
+  TimerRecord* removed = heap_[i];
+  std::size_t last = heap_.size() - 1;
+  if (i != last) {
+    Place(i, heap_[last]);
+    heap_.pop_back();
+    // The moved element may violate order in either direction.
+    SiftDown(i);
+    SiftUp(i);
+  } else {
+    heap_.pop_back();
+  }
+  removed->heap_index = TimerRecord::kNoIndex;
+}
+
+bool HeapTimers::CheckHeapInvariant() const {
+  for (std::size_t i = 1; i < heap_.size(); ++i) {
+    std::size_t parent = (i - 1) / 2;
+    if (Less(heap_[i], heap_[parent])) {
+      return false;
+    }
+    if (heap_[i]->heap_index != i) {
+      return false;
+    }
+  }
+  return heap_.empty() || heap_[0]->heap_index == 0;
+}
+
+}  // namespace twheel

@@ -1,0 +1,83 @@
+// Scheme 3 (a) — binary min-heap priority queue (Section 4.1.1).
+//
+// "For large n, tree-based data structures are better... They attempt to reduce the
+// latency in Scheme 2 for START_TIMER from O(n) to O(log(n))." A binary heap is the
+// classic array-backed priority queue: START_TIMER is O(log n) (sift-up),
+// PER_TICK_BOOKKEEPING compares the root's expiry with the clock (O(1) when nothing
+// expires). STOP_TIMER is O(log n): each record stores its heap index
+// (TimerRecord::heap_index), so cancellation removes the record directly — no lazy
+// "mark cancelled" growth (Section 4.2 explains why a timer module can't afford
+// that; the leftist-heap baseline demonstrates the lazy alternative).
+//
+// Keys are (expiry_tick, seq): the start-order tiebreak makes equal expiries pop in
+// FIFO order, matching the canonical order used by the differential tests.
+
+#ifndef TWHEEL_SRC_BASELINES_HEAP_TIMERS_H_
+#define TWHEEL_SRC_BASELINES_HEAP_TIMERS_H_
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/base/assert.h"
+
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class HeapTimers final : public TimerServiceBase {
+ public:
+  explicit HeapTimers(std::size_t max_timers = 0) : TimerServiceBase(max_timers) {}
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme3-heap"; }
+
+  // Per record: expiry (8) + cookie (8) + seq tiebreak (8) + heap index (4, padded);
+  // plus the pointer array itself as population-dependent auxiliary storage.
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.essential_record_bytes = 32;
+    profile.auxiliary_bytes = heap_.capacity() * sizeof(TimerRecord*);
+    return profile;
+  }
+
+  // Heap-order invariant check for property tests. O(n).
+  bool CheckHeapInvariant() const;
+
+  // Hardware-single-timer capability: O(1) root peek, O(1) clock jump.
+  std::optional<Tick> NextExpiryHint() const override {
+    return heap_.empty() ? std::nullopt : std::optional<Tick>(heap_[0]->expiry_tick);
+  }
+  bool FastForward(Tick target) override {
+    TWHEEL_ASSERT(target >= now_);
+    TWHEEL_ASSERT_MSG(heap_.empty() || target < heap_[0]->expiry_tick,
+                      "FastForward would skip an expiry");
+    now_ = target;
+    return true;
+  }
+
+ private:
+  static bool Less(const TimerRecord* a, const TimerRecord* b) {
+    if (a->expiry_tick != b->expiry_tick) {
+      return a->expiry_tick < b->expiry_tick;
+    }
+    return a->seq < b->seq;
+  }
+
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+  void Place(std::size_t i, TimerRecord* rec) {
+    heap_[i] = rec;
+    rec->heap_index = static_cast<std::uint32_t>(i);
+  }
+  // Remove the record at heap position i (any position), preserving heap order.
+  void RemoveAt(std::size_t i);
+
+  std::vector<TimerRecord*> heap_;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASELINES_HEAP_TIMERS_H_

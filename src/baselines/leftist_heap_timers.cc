@@ -1,0 +1,124 @@
+#include "src/baselines/leftist_heap_timers.h"
+
+namespace twheel {
+
+LeftistHeapTimers::~LeftistHeapTimers() {
+  // Cancelled records are still owned by the arena; nothing to do here. The arena
+  // destructor reclaims all storage.
+}
+
+StartResult LeftistHeapTimers::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  rec->left = rec->right = nullptr;
+  rec->rank = 0;
+  rec->cancelled = false;
+  root_ = Merge(root_, rec);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError LeftistHeapTimers::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr || rec->cancelled) {
+    return TimerError::kNoSuchTimer;
+  }
+  // Lazy: O(1) flag set; storage reclaimed when the record surfaces at the root.
+  rec->cancelled = true;
+  ++cancelled_retained_;
+  ++counts_.delete_unlink_ops;
+  return TimerError::kOk;
+}
+
+std::size_t LeftistHeapTimers::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  std::size_t expired = 0;
+  while (root_ != nullptr) {
+    if (root_->cancelled) {
+      // Discard the cancelled notice, as a simulation scheduler would.
+      TimerRecord* dead = root_;
+      PopRoot();
+      --cancelled_retained_;
+      ReleaseRecord(dead);
+      continue;
+    }
+    ++counts_.comparisons;
+    if (root_->expiry_tick > now_) {
+      break;
+    }
+    TimerRecord* due = root_;
+    PopRoot();
+    Expire(due);
+    ++expired;
+  }
+  if (root_ == nullptr && expired == 0) {
+    ++counts_.empty_slot_checks;
+  }
+  return expired;
+}
+
+TimerRecord* LeftistHeapTimers::Merge(TimerRecord* a, TimerRecord* b) {
+  if (a == nullptr) {
+    return b;
+  }
+  if (b == nullptr) {
+    return a;
+  }
+  ++counts_.comparisons;
+  if (Less(b, a)) {
+    TimerRecord* tmp = a;
+    a = b;
+    b = tmp;
+  }
+  a->right = Merge(a->right, b);
+  std::int32_t left_rank = a->left ? a->left->rank : -1;
+  std::int32_t right_rank = a->right ? a->right->rank : -1;
+  if (left_rank < right_rank) {
+    TimerRecord* tmp = a->left;
+    a->left = a->right;
+    a->right = tmp;
+    std::int32_t t = left_rank;
+    left_rank = right_rank;
+    right_rank = t;
+  }
+  a->rank = right_rank + 1;
+  return a;
+}
+
+void LeftistHeapTimers::PopRoot() {
+  TimerRecord* old = root_;
+  root_ = Merge(old->left, old->right);
+  old->left = old->right = nullptr;
+  old->rank = 0;
+}
+
+std::int64_t LeftistHeapTimers::CheckSubtree(const TimerRecord* node) {
+  if (node == nullptr) {
+    return -1;
+  }
+  std::int64_t l = CheckSubtree(node->left);
+  std::int64_t r = CheckSubtree(node->right);
+  if (l == -2 || r == -2 || l < r) {
+    return -2;  // leftist rule: npl(left) >= npl(right)
+  }
+  if (node->left != nullptr && Less(node->left, node)) {
+    return -2;  // heap order
+  }
+  if (node->right != nullptr && Less(node->right, node)) {
+    return -2;
+  }
+  if (node->rank != r + 1) {
+    return -2;
+  }
+  return r + 1;
+}
+
+}  // namespace twheel

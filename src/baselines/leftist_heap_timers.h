@@ -1,0 +1,76 @@
+// Scheme 3 (c) — leftist tree (mergeable heap) with lazy cancellation.
+//
+// Leftist trees are on the paper's list of tree-based priority queues ("these
+// include unbalanced binary trees, heaps, post-order and end-order trees, and
+// leftist-trees [4,6]"). This implementation deliberately pairs the structure with
+// the *simulation-style* cancellation policy the paper criticizes in Section 4.2:
+// "it is sufficient to mark the notice as 'Canceled' and wait until the event is
+// scheduled... In a timer module, STOP_TIMER may be called frequently; such an
+// approach can cause the memory needs to grow unboundedly beyond the number of
+// timers outstanding at any time."
+//
+// STOP_TIMER is therefore O(1) (set a flag) but the record's storage is reclaimed
+// only when it reaches the root. RetainedRecords() exposes the gap between allocated
+// and live timers so tests and the fig6-trees bench can measure exactly the growth
+// the paper warns about.
+
+#ifndef TWHEEL_SRC_BASELINES_LEFTIST_HEAP_TIMERS_H_
+#define TWHEEL_SRC_BASELINES_LEFTIST_HEAP_TIMERS_H_
+
+#include <cstddef>
+
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class LeftistHeapTimers final : public TimerServiceBase {
+ public:
+  explicit LeftistHeapTimers(std::size_t max_timers = 0) : TimerServiceBase(max_timers) {}
+
+  ~LeftistHeapTimers() override;
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme3-leftist"; }
+
+  // Per record: two child pointers (16) + expiry (8) + cookie (8) + seq (8) +
+  // null-path length and cancel flag (8). Lazy cancellation means the *count* of
+  // resident records can exceed outstanding() (see RetainedRecords).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.essential_record_bytes = 48;
+    return profile;
+  }
+
+  // Outstanding excludes records cancelled but not yet physically removed.
+  std::size_t outstanding() const override {
+    return TimerServiceBase::outstanding() - cancelled_retained_;
+  }
+
+  // Cancelled records still occupying memory — the Section 4.2 growth.
+  std::size_t RetainedRecords() const { return cancelled_retained_; }
+
+  // Leftist invariant (heap order + null-path-length rule), for property tests.
+  bool CheckLeftistInvariant() const { return CheckSubtree(root_) >= 0; }
+
+ private:
+  static bool Less(const TimerRecord* a, const TimerRecord* b) {
+    if (a->expiry_tick != b->expiry_tick) {
+      return a->expiry_tick < b->expiry_tick;
+    }
+    return a->seq < b->seq;
+  }
+
+  TimerRecord* Merge(TimerRecord* a, TimerRecord* b);
+  void PopRoot();
+  // Returns the subtree's null-path length, or -2 on invariant violation.
+  static std::int64_t CheckSubtree(const TimerRecord* node);
+
+  TimerRecord* root_ = nullptr;
+  std::size_t cancelled_retained_ = 0;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASELINES_LEFTIST_HEAP_TIMERS_H_

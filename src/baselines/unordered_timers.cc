@@ -1,0 +1,61 @@
+#include "src/baselines/unordered_timers.h"
+
+namespace twheel {
+
+StartResult UnorderedTimers::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  rec->remaining = interval;
+  records_.PushFront(rec);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError UnorderedTimers::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  rec->Unlink();
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t UnorderedTimers::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  if (records_.empty()) {
+    ++counts_.empty_slot_checks;
+    return 0;
+  }
+  // DECREMENT every outstanding timer (Section 3.1). The population is spliced out
+  // and walked via its head: expiry handlers may re-arm (new records go to the live
+  // list and are not decremented until the next tick) and may stop any unvisited
+  // sibling (unlinking it from the pending list without invalidating the walk).
+  std::size_t expired = 0;
+  IntrusiveList<TimerRecord> pending;
+  pending.SpliceBack(records_);
+  while (TimerRecord* rec = pending.front()) {
+    rec->Unlink();
+    ++counts_.decrement_visits;
+    const bool due = mode_ == Scheme1Mode::kDecrement ? (--rec->remaining == 0)
+                                                      : rec->expiry_tick <= now_;
+    if (due) {
+      Expire(rec);
+      ++expired;
+    } else {
+      records_.PushBack(rec);
+    }
+  }
+  return expired;
+}
+
+}  // namespace twheel

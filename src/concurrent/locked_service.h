@@ -1,0 +1,84 @@
+// Global-lock thread-safety wrapper (Appendix A.2's baseline).
+//
+// "Steve Glaser has pointed out that algorithms that tie up a common data structure
+// for a large period of time will reduce efficiency. For instance in Scheme 2, when
+// Processor A inserts a timer into the ordered list other processors cannot process
+// timer module routines until Processor A finishes and releases its semaphore."
+//
+// LockedService is that single semaphore: one mutex around any TimerService. Wrapped
+// around Scheme 2 it reproduces the serialization the appendix criticizes — the
+// lock is held for the full O(n) insertion scan; wrapped around Scheme 6 the
+// critical sections are O(1) but still globally serialized. ShardedWheel (sharded
+// locks) is the contrast the appendix says Schemes 5-7 are suited for.
+//
+// Expiry handlers run with the lock held; handlers must not call back into the
+// service from another thread's perspective (same-thread reentrancy would deadlock a
+// std::mutex, so handlers must not start/stop timers on *this* wrapper — use the
+// collect-then-dispatch pattern of ShardedWheel when that is needed).
+
+#ifndef TWHEEL_SRC_CONCURRENT_LOCKED_SERVICE_H_
+#define TWHEEL_SRC_CONCURRENT_LOCKED_SERVICE_H_
+
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "src/core/timer_service.h"
+
+namespace twheel::concurrent {
+
+class LockedService final : public TimerService {
+ public:
+  explicit LockedService(std::unique_ptr<TimerService> inner)
+      : inner_(std::move(inner)) {}
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->StartTimer(interval, request_id);
+  }
+
+  TimerError StopTimer(TimerHandle handle) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->StopTimer(handle);
+  }
+
+  std::size_t PerTickBookkeeping() override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->PerTickBookkeeping();
+  }
+
+  Tick now() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->now();
+  }
+
+  std::size_t outstanding() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->outstanding();
+  }
+
+  const metrics::OpCounts& counts() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->counts();
+  }
+
+  std::string_view name() const override { return "locked-wrapper"; }
+
+  SpaceProfile Space() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->Space();
+  }
+
+  void set_expiry_handler(ExpiryHandler handler) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    inner_->set_expiry_handler(std::move(handler));
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::unique_ptr<TimerService> inner_;
+};
+
+}  // namespace twheel::concurrent
+
+#endif  // TWHEEL_SRC_CONCURRENT_LOCKED_SERVICE_H_

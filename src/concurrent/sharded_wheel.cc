@@ -1,0 +1,110 @@
+#include "src/concurrent/sharded_wheel.h"
+
+#include <utility>
+
+#include "src/base/assert.h"
+
+namespace twheel::concurrent {
+
+ShardedWheel::ShardedWheel(std::size_t shards, std::size_t table_size) {
+  TWHEEL_ASSERT_MSG(IsPowerOfTwo(shards) && shards >= 1 && shards <= 256,
+                    "shard count must be a power of two in [1, 256]");
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->wheel = std::make_unique<HashedWheelUnsorted>(table_size);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+StartResult ShardedWheel::StartTimer(Duration interval, RequestId request_id) {
+  const std::uint32_t index = static_cast<std::uint32_t>(
+      next_shard_.fetch_add(1, std::memory_order_relaxed) & (shards_.size() - 1));
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  StartResult result = shard.wheel->StartTimer(interval, request_id);
+  if (!result.has_value()) {
+    return result;
+  }
+  TimerHandle inner = result.value();
+  TWHEEL_ASSERT_MSG(inner.slot <= kSlotMask, "shard exceeded 2^24 concurrent timers");
+  return TimerHandle{(index << kShardShift) | inner.slot, inner.generation};
+}
+
+TimerError ShardedWheel::StopTimer(TimerHandle handle) {
+  if (!handle.valid()) {
+    return TimerError::kNoSuchTimer;
+  }
+  const std::uint32_t index = handle.slot >> kShardShift;
+  if (index >= shards_.size()) {
+    return TimerError::kNoSuchTimer;
+  }
+  Shard& shard = *shards_[index];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.wheel->StopTimer(TimerHandle{handle.slot & kSlotMask, handle.generation});
+}
+
+std::size_t ShardedWheel::PerTickBookkeeping() {
+  // Collect under each shard's lock, dispatch outside all locks.
+  std::vector<std::pair<RequestId, Tick>> expired;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.wheel->set_expiry_handler([&expired](RequestId id, Tick when) {
+      expired.emplace_back(id, when);
+    });
+    shard.wheel->PerTickBookkeeping();
+  }
+  now_.fetch_add(1, std::memory_order_relaxed);
+
+  ExpiryHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(handler_mutex_);
+    handler = handler_;
+  }
+  if (handler) {
+    for (const auto& [id, when] : expired) {
+      handler(id, when);
+    }
+  }
+  return expired.size();
+}
+
+std::size_t ShardedWheel::outstanding() const {
+  std::size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    total += shard_ptr->wheel->outstanding();
+  }
+  return total;
+}
+
+const metrics::OpCounts& ShardedWheel::counts() const {
+  std::lock_guard<std::mutex> merged_lock(counts_mutex_);
+  merged_counts_ = metrics::OpCounts{};
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    merged_counts_ += shard_ptr->wheel->counts();
+  }
+  // Ticks are per-shard internally; report wall ticks.
+  merged_counts_.ticks = now_.load(std::memory_order_relaxed);
+  return merged_counts_;
+}
+
+TimerService::SpaceProfile ShardedWheel::Space() const {
+  SpaceProfile profile;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    SpaceProfile shard_profile = shard_ptr->wheel->Space();
+    profile.fixed_bytes += shard_profile.fixed_bytes;
+    profile.essential_record_bytes = shard_profile.essential_record_bytes;
+  }
+  return profile;
+}
+
+void ShardedWheel::set_expiry_handler(ExpiryHandler handler) {
+  std::lock_guard<std::mutex> lock(handler_mutex_);
+  handler_ = std::move(handler);
+}
+
+}  // namespace twheel::concurrent

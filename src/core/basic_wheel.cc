@@ -1,0 +1,78 @@
+#include "src/core/basic_wheel.h"
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+BasicWheel::BasicWheel(std::size_t max_interval, OverflowPolicy policy,
+                       std::size_t max_timers)
+    : TimerServiceBase(max_timers), policy_(policy), slots_(max_interval) {
+  TWHEEL_ASSERT_MSG(max_interval >= 2, "wheel needs at least two slots");
+}
+
+BasicWheel::~BasicWheel() {
+  for (auto& slot : slots_) {
+    while (TimerRecord* rec = slot.front()) {
+      rec->Unlink();
+      ReleaseRecord(rec);
+    }
+  }
+}
+
+StartResult BasicWheel::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  if (interval >= slots_.size()) {
+    if (policy_ == OverflowPolicy::kReject) {
+      return TimerError::kIntervalOutOfRange;
+    }
+    interval = slots_.size() - 1;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  std::size_t index = (cursor_ + interval) % slots_.size();
+  slots_[index].PushBack(rec);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError BasicWheel::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  rec->Unlink();
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t BasicWheel::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  cursor_ = (cursor_ + 1) % slots_.size();
+  IntrusiveList<TimerRecord>& slot = slots_[cursor_];
+  if (slot.empty()) {
+    // "If the element is 0 (no list of timers waiting to expire), no more work is
+    // done on that timer tick."
+    ++counts_.empty_slot_checks;
+    return 0;
+  }
+  // Every record in this slot is due exactly now: intervals are < MaxInterval, so a
+  // slot can never hold timers for a future revolution.
+  std::size_t expired = 0;
+  while (TimerRecord* rec = slot.front()) {
+    TWHEEL_ASSERT(rec->expiry_tick == now_);
+    rec->Unlink();
+    Expire(rec);
+    ++expired;
+  }
+  return expired;
+}
+
+}  // namespace twheel

@@ -1,0 +1,72 @@
+// Scheme 4 — the basic timing wheel for bounded intervals (Section 5, Figure 8).
+//
+// "The current time is represented by a pointer to an element in a circular buffer
+// with dimensions [0, MaxInterval - 1]. To set a timer at j units past current time,
+// we index into Element (i + j mod MaxInterval), and put the timer at the head of a
+// list of timers that will expire at a time = CurrentTime + j units."
+//
+// Because the wheel turns one slot per tick (unlike the logic-simulation wheels of
+// Section 4.2, which rotate only once per MaxInterval or MaxInterval/2 units), every
+// timer with interval < MaxInterval lands in the array — there is no overflow list.
+// START_TIMER, STOP_TIMER and PER_TICK_BOOKKEEPING are all O(1); the per-tick cost
+// of stepping through an empty slot is absorbed by the entity that must increment
+// the clock anyway (the paper's key observation about bucket sorts vs timers).
+//
+// Intervals >= MaxInterval are outside the scheme's contract; OverflowPolicy selects
+// between rejecting them (the paper's "guarantee that all timers are set for periods
+// less than MaxInterval") and clamping to MaxInterval - 1 (useful when the caller
+// tolerates early expiry, e.g. coarse failure detectors).
+//
+// One deliberate deviation: timers are appended to the *tail* of a slot's list, not
+// its head. Both are O(1); FIFO order among timers due at the same tick gives every
+// scheme in the library the same canonical expiry order, which the differential
+// tests rely on.
+
+#ifndef TWHEEL_SRC_CORE_BASIC_WHEEL_H_
+#define TWHEEL_SRC_CORE_BASIC_WHEEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class BasicWheel final : public TimerServiceBase {
+ public:
+  // `max_interval` is the wheel size: the longest startable timer is
+  // max_interval - 1 ticks.
+  explicit BasicWheel(std::size_t max_interval,
+                      OverflowPolicy policy = OverflowPolicy::kReject,
+                      std::size_t max_timers = 0);
+
+  ~BasicWheel() override;
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme4-basic-wheel"; }
+
+  std::size_t max_interval() const { return slots_.size(); }
+  std::size_t cursor() const { return cursor_; }
+
+  // Fixed: one list head per slot — the memory-for-speed trade of a bucket sort
+  // ("it is difficult to justify 2^32 words of memory to implement 32 bit
+  // timers"). Per record: links (16) + expiry (8) + cookie (8).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>);
+    profile.essential_record_bytes = 32;
+    return profile;
+  }
+
+ private:
+  OverflowPolicy policy_;
+  std::vector<IntrusiveList<TimerRecord>> slots_;
+  std::size_t cursor_ = 0;  // the paper's "current time pointer"
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_BASIC_WHEEL_H_

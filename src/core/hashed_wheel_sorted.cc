@@ -1,0 +1,91 @@
+#include "src/core/hashed_wheel_sorted.h"
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+HashedWheelSorted::HashedWheelSorted(std::size_t table_size, std::size_t max_timers)
+    : TimerServiceBase(max_timers), shift_(Log2Floor(table_size)), slots_(table_size) {
+  TWHEEL_ASSERT_MSG(IsPowerOfTwo(table_size) && table_size >= 2,
+                    "table size must be a power of two >= 2");
+}
+
+HashedWheelSorted::~HashedWheelSorted() {
+  for (auto& slot : slots_) {
+    while (TimerRecord* rec = slot.front()) {
+      rec->Unlink();
+      ReleaseRecord(rec);
+    }
+  }
+}
+
+StartResult HashedWheelSorted::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  // Low-order bits pick the slot; high-order bits (the revolution on which the
+  // timer is due) go into the bucket, kept sorted as in Scheme 2.
+  std::uint64_t slot_index = rec->expiry_tick & mask();
+  rec->rounds = rec->expiry_tick >> shift_;
+
+  IntrusiveList<TimerRecord>& bucket = slots_[slot_index];
+  TimerRecord* cur = bucket.front();
+  while (cur != nullptr) {
+    ++counts_.comparisons;
+    if (cur->rounds > rec->rounds || (cur->rounds == rec->rounds && cur->seq > rec->seq)) {
+      break;
+    }
+    cur = bucket.Next(cur);
+  }
+  if (cur == nullptr) {
+    bucket.PushBack(rec);
+  } else {
+    bucket.InsertBefore(rec, cur);
+  }
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError HashedWheelSorted::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  rec->Unlink();
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t HashedWheelSorted::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  IntrusiveList<TimerRecord>& bucket = slots_[now_ & mask()];
+  if (bucket.empty()) {
+    ++counts_.empty_slot_checks;
+    return 0;
+  }
+  const std::uint64_t revolution = now_ >> shift_;
+  std::size_t expired = 0;
+  // Sorted bucket: only the head needs examining; expire while it is due on this
+  // revolution (its expiry tick is then exactly now).
+  while (TimerRecord* head = bucket.front()) {
+    ++counts_.comparisons;
+    if (head->rounds != revolution) {
+      break;
+    }
+    TWHEEL_ASSERT(head->expiry_tick == now_);
+    head->Unlink();
+    Expire(head);
+    ++expired;
+  }
+  return expired;
+}
+
+}  // namespace twheel

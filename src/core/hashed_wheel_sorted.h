@@ -1,0 +1,72 @@
+// Scheme 5 — hashed timing wheel with sorted per-bucket lists (Section 6.1.1).
+//
+// For arbitrary 2^B-bit intervals with a table of 2^k slots: the low-order k bits of
+// the interval select a slot relative to the current-time pointer (a single AND when
+// the table is a power of two, which this implementation requires), and the
+// high-order bits — the number of remaining wheel revolutions — are "stored in a
+// list pointed to by the index" (Figure 9). Each bucket is maintained exactly like a
+// Scheme 2 ordered list, so PER_TICK_BOOKKEEPING only examines the bucket head:
+// O(1) unless timers actually expire.
+//
+// Latencies: START_TIMER averages O(1) when n < TableSize and the hash spreads
+// timers evenly, but its worst case is O(n) — the paper's reason for concluding that
+// "Scheme 5 depends too much on the hash distribution to be generally useful."
+// STOP_TIMER is O(1); "a pleasing observation is that the scheme reduces to Scheme 2
+// if the array size is 1" (verified by a differential test with table_size == 1...
+// we require >= 2 slots for the wheel to be a wheel, and test the reduction against
+// table_size == 2 plus an explicit Scheme 2 run).
+//
+// Representation note: the paper says the per-tick scan "decrements" the high-order
+// bits of the bucket head. Decrementing only the observable head of a sorted bucket
+// once per revolution is equivalent to tracking the *absolute* revolution number
+// (expiry_tick >> k) and comparing it with the current revolution (now >> k): both
+// expire a record on exactly the revolution where its residue reaches zero, and the
+// absolute form keeps bucket order immutable after insertion. We store the absolute
+// revolution in TimerRecord::rounds; the sort key (rounds, seq) equals sorting by
+// (expiry_tick, seq) because all records in a bucket share their low k bits.
+
+#ifndef TWHEEL_SRC_CORE_HASHED_WHEEL_SORTED_H_
+#define TWHEEL_SRC_CORE_HASHED_WHEEL_SORTED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/bits.h"
+#include "src/base/intrusive_list.h"
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class HashedWheelSorted final : public TimerServiceBase {
+ public:
+  // `table_size` must be a power of two >= 2 (the paper's AND-instruction hash).
+  explicit HashedWheelSorted(std::size_t table_size, std::size_t max_timers = 0);
+
+  ~HashedWheelSorted() override;
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme5-hashed-sorted"; }
+
+  std::size_t table_size() const { return slots_.size(); }
+
+  // Fixed: the hash table's list heads. Per record: links (16) + revolution /
+  // high-order bits (8) + cookie (8) + expiry (8) + seq for stable order (8).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>);
+    profile.essential_record_bytes = 48;
+    return profile;
+  }
+
+ private:
+  std::uint64_t mask() const { return slots_.size() - 1; }
+
+  std::uint32_t shift_;  // log2(table_size)
+  std::vector<IntrusiveList<TimerRecord>> slots_;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_HASHED_WHEEL_SORTED_H_

@@ -1,0 +1,87 @@
+#include "src/core/hashed_wheel_unsorted.h"
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+HashedWheelUnsorted::HashedWheelUnsorted(std::size_t table_size, std::size_t max_timers)
+    : TimerServiceBase(max_timers), shift_(Log2Floor(table_size)), slots_(table_size) {
+  TWHEEL_ASSERT_MSG(IsPowerOfTwo(table_size) && table_size >= 2,
+                    "table size must be a power of two >= 2");
+}
+
+HashedWheelUnsorted::~HashedWheelUnsorted() {
+  for (auto& slot : slots_) {
+    while (TimerRecord* rec = slot.front()) {
+      rec->Unlink();
+      ReleaseRecord(rec);
+    }
+  }
+}
+
+StartResult HashedWheelUnsorted::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  // Slot = low-order bits of the absolute expiry (equivalently, current time pointer
+  // plus the interval's remainder mod TableSize). Rounds = full revolutions the
+  // cursor must still make before the expiry visit: the cursor reaches this slot for
+  // the first time within the next TableSize ticks, then once per revolution, so a
+  // timer of interval I waits (I - 1) / TableSize *additional* visits.
+  std::uint64_t slot_index = rec->expiry_tick & mask();
+  rec->rounds = (interval - 1) >> shift_;
+  slots_[slot_index].PushBack(rec);  // unsorted: O(1) worst-case START_TIMER
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError HashedWheelUnsorted::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  rec->Unlink();
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t HashedWheelUnsorted::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  IntrusiveList<TimerRecord>& bucket = slots_[now_ & mask()];
+  if (bucket.empty()) {
+    ++counts_.empty_slot_checks;
+    return 0;
+  }
+  // "We must decrement the high order bits for every element in the [bucket],
+  // exactly as in Scheme 1." The bucket is spliced out and walked via its head so
+  // that expiry handlers may freely re-arm timers (a re-arm whose interval is a
+  // multiple of TableSize lands back in *this* bucket and must wait a revolution,
+  // not be visited now) and may stop any not-yet-visited sibling (which unlinks it
+  // from the pending list without invalidating the walk).
+  std::size_t expired = 0;
+  IntrusiveList<TimerRecord> pending;
+  pending.SpliceBack(bucket);
+  while (TimerRecord* rec = pending.front()) {
+    rec->Unlink();
+    ++counts_.decrement_visits;
+    if (rec->rounds == 0) {
+      TWHEEL_ASSERT(rec->expiry_tick == now_);
+      Expire(rec);
+      ++expired;
+    } else {
+      --rec->rounds;
+      bucket.PushBack(rec);
+    }
+  }
+  return expired;
+}
+
+}  // namespace twheel

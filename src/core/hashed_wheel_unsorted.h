@@ -1,0 +1,68 @@
+// Scheme 6 — hashed timing wheel with unsorted per-bucket lists (Section 6.1.2).
+//
+// The paper's recommendation for a general-purpose OS timer facility (together with
+// Scheme 7), and the scheme the authors implemented on a VAX for Section 7.
+//
+// START_TIMER is O(1) worst case: hash the expiry's low-order bits to a slot (an AND
+// — table sizes must be powers of two) and append; the high-order bits are kept as a
+// count of remaining wheel revolutions in TimerRecord::rounds. PER_TICK_BOOKKEEPING
+// walks the *entire* bucket under the cursor, decrementing each record's revolution
+// count and expiring those that reach zero — exactly Scheme 1 confined to one
+// bucket.
+//
+// The paper's sharpest observation (reproduced by bench_sec6_burstiness): "every
+// TableSize ticks we decrement once all timers that are still living. Thus for n
+// timers we do n/TableSize work on average per tick" — *regardless of the hash
+// distribution*. The hash only controls the variance ("burstiness"): if all n timers
+// hash to one bucket we do O(n) work every TableSize-th tick and O(1) otherwise,
+// with the same mean. Hence the cheap AND hash is not just adequate but preferable —
+// an "arbitrary hash function... would require PER_TICK_BOOKKEEPING to compute the
+// hash on each timer tick."
+
+#ifndef TWHEEL_SRC_CORE_HASHED_WHEEL_UNSORTED_H_
+#define TWHEEL_SRC_CORE_HASHED_WHEEL_UNSORTED_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/bits.h"
+#include "src/base/intrusive_list.h"
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class HashedWheelUnsorted final : public TimerServiceBase {
+ public:
+  // `table_size` must be a power of two >= 2.
+  explicit HashedWheelUnsorted(std::size_t table_size, std::size_t max_timers = 0);
+
+  ~HashedWheelUnsorted() override;
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme6-hashed-unsorted"; }
+
+  std::size_t table_size() const { return slots_.size(); }
+  // Occupancy of the bucket the cursor will visit next, for burstiness studies.
+  std::size_t BucketSizeSlow(std::size_t index) const { return slots_[index].CountSlow(); }
+
+  // Fixed: the hash table's list heads. Per record: links (16) + remaining rounds
+  // (8) + cookie (8) + expiry (8).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>);
+    profile.essential_record_bytes = 40;
+    return profile;
+  }
+
+ private:
+  std::uint64_t mask() const { return slots_.size() - 1; }
+
+  std::uint32_t shift_;  // log2(table_size)
+  std::vector<IntrusiveList<TimerRecord>> slots_;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_HASHED_WHEEL_UNSORTED_H_

@@ -1,0 +1,214 @@
+#include "src/core/hierarchical_wheel.h"
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+HierarchicalWheel::HierarchicalWheel(std::span<const std::size_t> level_sizes,
+                                     HierarchicalWheelOptions options)
+    : TimerServiceBase(options.max_timers),
+      overflow_(options.overflow),
+      migration_(options.migration) {
+  TWHEEL_ASSERT_MSG(level_sizes.size() >= 2 && level_sizes.size() <= 8,
+                    "hierarchy needs 2..8 levels");
+  levels_.reserve(level_sizes.size());
+  for (std::size_t size : level_sizes) {
+    TWHEEL_ASSERT_MSG(size >= 2, "each level needs at least two slots");
+    Level level;
+    level.size = size;
+    level.granularity = span_;
+    level.slots = std::vector<IntrusiveList<TimerRecord>>(size);
+    TWHEEL_ASSERT_MSG(span_ <= ~Duration{0} / size, "hierarchy span overflows 64 bits");
+    span_ *= size;
+    levels_.push_back(std::move(level));
+  }
+}
+
+HierarchicalWheel::~HierarchicalWheel() {
+  for (Level& level : levels_) {
+    for (auto& slot : level.slots) {
+      while (TimerRecord* rec = slot.front()) {
+        rec->Unlink();
+        ReleaseRecord(rec);
+      }
+    }
+  }
+}
+
+StartResult HierarchicalWheel::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  if (interval > max_interval()) {
+    if (overflow_ == OverflowPolicy::kReject) {
+      return TimerError::kIntervalOutOfRange;
+    }
+    interval = max_interval();
+  }
+
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  rec->migrations_done = 0;
+  if (migration_ == MigrationPolicy::kNone) {
+    InsertNoMigration(rec);
+  } else {
+    Insert(rec);
+  }
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError HierarchicalWheel::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  rec->Unlink();
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t HierarchicalWheel::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  std::size_t expired = VisitSlot(0, now_ % levels_[0].size);
+  // Advance the coarser arrays whenever a full revolution of the next-finer one
+  // completes — the work the paper's built-in "60 second timer" does. Granularities
+  // divide each other, so the first misaligned level ends the cascade.
+  for (std::size_t level = 1; level < levels_.size(); ++level) {
+    const Level& lv = levels_[level];
+    if (now_ % lv.granularity != 0) {
+      break;
+    }
+    expired += VisitSlot(level, (now_ / lv.granularity) % lv.size);
+  }
+  return expired;
+}
+
+std::size_t HierarchicalWheel::FindLevel(Tick expiry) {
+  // "Depending on the algorithm, we may need O(m) time ... to find the right table
+  // to insert the timer": the paper's digit rule — the highest level whose unit
+  // number for the expiry differs from the current time's. Expiry > now guarantees
+  // at least the level-0 digit differs. The range check in StartTimer guarantees the
+  // chosen slot is less than one revolution away: at the highest differing level all
+  // coarser digits agree, confining expiry and now to one unit of the level above.
+  for (std::size_t level = levels_.size(); level-- > 1;) {
+    ++counts_.comparisons;
+    if (expiry / levels_[level].granularity != now_ / levels_[level].granularity) {
+      return level;
+    }
+  }
+  ++counts_.comparisons;
+  return 0;
+}
+
+void HierarchicalWheel::Insert(TimerRecord* rec) {
+  const std::size_t level = FindLevel(rec->expiry_tick);
+  Level& lv = levels_[level];
+  rec->level = static_cast<std::uint8_t>(level);
+  lv.slots[(rec->expiry_tick / lv.granularity) % lv.size].PushBack(rec);
+}
+
+void HierarchicalWheel::InsertNoMigration(TimerRecord* rec) {
+  // Wick Nichols' no-migration mode gives each timer a *mode* by magnitude
+  // ("different timer modes, one for hour timers, one for minute timers"): the
+  // coarsest level whose unit fits inside the interval. The timer fires at the slot
+  // visit nearest its exact expiry — "round off to the nearest hour and only set the
+  // timer in hours" — so the error is at most half that level's granularity, the
+  // paper's "loss in precision of up to 50%". If rounding would land beyond one
+  // revolution (interval within half a unit of the level's full span, from an
+  // unaligned now), the timer escalates one level, where the same rounding argument
+  // applies with granularity still close to the interval.
+  std::size_t level = 0;
+  while (level + 1 < levels_.size() &&
+         levels_[level + 1].granularity <= rec->interval) {
+    ++counts_.comparisons;
+    ++level;
+  }
+  for (; level < levels_.size(); ++level) {
+    Level& lv = levels_[level];
+    ++counts_.comparisons;
+    const std::uint64_t target_unit =
+        (rec->expiry_tick + lv.granularity / 2) / lv.granularity;
+    const std::uint64_t distance = target_unit - now_ / lv.granularity;
+    if (distance >= 1 && distance <= lv.size) {
+      rec->level = static_cast<std::uint8_t>(level);
+      lv.slots[target_unit % lv.size].PushBack(rec);
+      return;
+    }
+  }
+  TWHEEL_ASSERT_MSG(false, "no-migration insert failed despite range check");
+}
+
+std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_index) {
+  IntrusiveList<TimerRecord>& slot = levels_[level].slots[slot_index];
+  if (slot.empty()) {
+    ++counts_.empty_slot_checks;
+    return 0;
+  }
+  // Splice the slot out and drain via its head: every resident leaves (expires or
+  // migrates), and expiry handlers may stop not-yet-visited siblings (unlinking
+  // them from the pending list) or start new timers (which can never target the
+  // slot being visited — the digit rule files a same-residue expiry at a coarser
+  // level) without invalidating the walk.
+  std::size_t expired = 0;
+  IntrusiveList<TimerRecord> pending;
+  pending.SpliceBack(slot);
+  while (TimerRecord* rec = pending.front()) {
+    ++counts_.decrement_visits;
+    rec->Unlink();
+
+    const Duration remaining = rec->expiry_tick - now_;  // 0 when due exactly now
+    bool expire_now = false;
+    switch (migration_) {
+      case MigrationPolicy::kFull:
+        expire_now = (remaining == 0);
+        break;
+      case MigrationPolicy::kNone:
+        // Fire at the slot visit; the interval was rounded at start time.
+        expire_now = true;
+        break;
+      case MigrationPolicy::kSingleStep:
+        // One hop to the adjacent finer level, then fire at that level's visit.
+        expire_now = (remaining == 0) || level == 0 || rec->migrations_done >= 1 ||
+                     remaining < levels_[level - 1].granularity;
+        break;
+    }
+
+    if (expire_now) {
+      if (migration_ == MigrationPolicy::kFull) {
+        TWHEEL_ASSERT(rec->expiry_tick == now_);
+      }
+      Expire(rec);
+      ++expired;
+    } else if (migration_ == MigrationPolicy::kSingleStep) {
+      ++counts_.migrations;
+      ++rec->migrations_done;
+      Level& below = levels_[level - 1];
+      rec->level = static_cast<std::uint8_t>(level - 1);
+      below.slots[(rec->expiry_tick / below.granularity) % below.size].PushBack(rec);
+    } else {
+      // Full migration: re-file by expiry; lands at a strictly finer level because
+      // this level's unit boundary has been reached.
+      ++counts_.migrations;
+      ++rec->migrations_done;
+      Insert(rec);
+    }
+  }
+  return expired;
+}
+
+std::size_t HierarchicalWheel::LevelPopulationSlow(std::size_t level) const {
+  std::size_t total = 0;
+  for (const auto& slot : levels_[level].slots) {
+    total += slot.CountSlow();
+  }
+  return total;
+}
+
+}  // namespace twheel

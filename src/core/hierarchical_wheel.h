@@ -1,0 +1,126 @@
+// Scheme 7 — hierarchical timing wheels (Section 6.2, Figures 10 and 11).
+//
+// "To represent all possible timer values within a 32 bit range, we do not need a
+// 2^32 element array. Instead we can use a number of arrays, each of different
+// granularity" — the paper's example being 100-day / 24-hour / 60-minute / 60-second
+// arrays: 244 slots instead of 8.64 million.
+//
+// Level L has size_L slots of granularity g_L = size_0 * ... * size_{L-1} ticks
+// (g_0 = 1); the hierarchy spans prod(size_i) ticks. START_TIMER selects the level
+// the way the paper's worked example does — "we insert the timer into a list
+// beginning 1 (11 - 10 hours) element ahead of the current hour pointer in the hour
+// array": the *highest* level whose unit digit of the absolute expiry differs from
+// the current time's (O(m) to find, m = number of levels), filing the record in slot
+// (E/g_L) mod size_L. The sub-g_L remainder of the expiry stays implicit in the
+// record's absolute expiry_tick (the paper "store[s] the remainder in this
+// location"). When a level-L slot is visited, each record either expires (no
+// remainder) or *migrates* to the next level whose digit still differs, exactly like
+// the 15-minute-15-second remainder moving from the hour array to the minute array
+// between Figures 10 and 11. A timer migrates at most m-1 times, which is the
+// c(7)*m bound of the paper's Scheme 6 vs Scheme 7 cost comparison. (Selecting the
+// lowest *sufficient* level instead would halve migrations for boundary-crossing
+// short timers, but it is not what the paper describes; see DESIGN.md.)
+//
+// Where the paper keeps "a 60 second timer ... used to update the minute array",
+// this implementation advances the minute/hour/day cursors directly whenever
+// now mod g_L == 0. The two formulations do identical work at identical ticks; ours
+// just does not thread the maintenance timers through the client-visible arrays.
+//
+// MigrationPolicy implements the precision trade-offs of Section 6.2:
+//  * kFull        — migrate level by level; expiry is exact (default).
+//  * kNone        — Wick Nichols' suggestion: each timer gets a mode by magnitude
+//                   (the coarsest level whose unit fits in the interval) and fires
+//                   at the slot visit nearest its exact expiry, with no migration;
+//                   the error is at most half that granularity — the paper's "loss
+//                   in precision of up to 50%".
+//  * kSingleStep  — "improve the precision by allowing just one migration between
+//                   adjacent lists": one hop to level L-1, then expire at that
+//                   level's visit; error bounded by g_{L-1}.
+
+#ifndef TWHEEL_SRC_CORE_HIERARCHICAL_WHEEL_H_
+#define TWHEEL_SRC_CORE_HIERARCHICAL_WHEEL_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+enum class MigrationPolicy : std::uint8_t {
+  kFull,
+  kNone,
+  kSingleStep,
+};
+
+struct HierarchicalWheelOptions {
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  MigrationPolicy migration = MigrationPolicy::kFull;
+  std::size_t max_timers = 0;
+};
+
+class HierarchicalWheel final : public TimerServiceBase {
+ public:
+  // `level_sizes` lists slot counts from finest (granularity 1 tick) to coarsest,
+  // e.g. {60, 60, 24, 100} for the paper's second/minute/hour/day example. Between
+  // 2 and 8 levels, each of size >= 2.
+  HierarchicalWheel(std::span<const std::size_t> level_sizes,
+                    HierarchicalWheelOptions options = {});
+
+  ~HierarchicalWheel() override;
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme7-hierarchical"; }
+
+  std::size_t num_levels() const { return levels_.size(); }
+  Duration granularity(std::size_t level) const { return levels_[level].granularity; }
+  // Longest startable interval. One coarsest-granularity unit is reserved: when the
+  // current time sits just before a top-level unit boundary, an interval above
+  // span - g_top could need a slot a full top-level revolution away.
+  Duration max_interval() const { return span_ - levels_.back().granularity; }
+
+  // Diagnostics: total records currently filed at `level` (O(slots + records)).
+  std::size_t LevelPopulationSlow(std::size_t level) const;
+
+  // Fixed: the sum of the level arrays — "instead of 100 * 24 * 60 * 60 = 8.64
+  // million locations ... we need only 100 + 24 + 60 + 60 = 244 locations". Per
+  // record: links (16) + expiry (8) + cookie (8) + level byte (padded to 8).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    for (const Level& level : levels_) {
+      profile.fixed_bytes += level.size * sizeof(IntrusiveList<TimerRecord>);
+    }
+    profile.essential_record_bytes = 40;
+    return profile;
+  }
+
+ private:
+  struct Level {
+    std::size_t size = 0;
+    Duration granularity = 0;
+    std::vector<IntrusiveList<TimerRecord>> slots;
+  };
+
+  // Highest level whose unit digit of `expiry` differs from the current time's
+  // (the paper's insertion rule). Counts one comparison per level examined.
+  std::size_t FindLevel(Tick expiry);
+  // File `rec` (expiry already fixed) at FindLevel(expiry).
+  void Insert(TimerRecord* rec);
+  // MigrationPolicy::kNone placement: magnitude-selected level, nearest slot visit.
+  void InsertNoMigration(TimerRecord* rec);
+  // Process one visited slot at `level`; returns expiries dispatched.
+  std::size_t VisitSlot(std::size_t level, std::size_t slot_index);
+
+  std::vector<Level> levels_;
+  Duration span_ = 1;  // product of level sizes
+  OverflowPolicy overflow_;
+  MigrationPolicy migration_;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_HIERARCHICAL_WHEEL_H_

@@ -1,0 +1,103 @@
+#include "src/core/hybrid_wheel.h"
+
+#include "src/base/assert.h"
+
+namespace twheel {
+
+HybridWheel::HybridWheel(std::size_t wheel_size, std::size_t max_timers)
+    : TimerServiceBase(max_timers), slots_(wheel_size) {
+  TWHEEL_ASSERT_MSG(wheel_size >= 2, "wheel needs at least two slots");
+}
+
+HybridWheel::~HybridWheel() {
+  for (auto& slot : slots_) {
+    while (TimerRecord* rec = slot.front()) {
+      rec->Unlink();
+      ReleaseRecord(rec);
+    }
+  }
+  while (TimerRecord* rec = overflow_.front()) {
+    rec->Unlink();
+    ReleaseRecord(rec);
+  }
+}
+
+StartResult HybridWheel::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  if (interval < slots_.size()) {
+    slots_[(cursor_ + interval) % slots_.size()].PushBack(rec);
+  } else {
+    // Scheme 2 annex: sorted insert from the front by (expiry, FIFO among equals).
+    TimerRecord* cur = overflow_.front();
+    while (cur != nullptr) {
+      ++counts_.comparisons;
+      if (cur->expiry_tick > rec->expiry_tick) {
+        break;
+      }
+      cur = overflow_.Next(cur);
+    }
+    if (cur == nullptr) {
+      overflow_.PushBack(rec);
+    } else {
+      overflow_.InsertBefore(rec, cur);
+    }
+  }
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError HybridWheel::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  rec->Unlink();  // O(1) regardless of residence
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  return TimerError::kOk;
+}
+
+std::size_t HybridWheel::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  cursor_ = (cursor_ + 1) % slots_.size();
+  std::size_t expired = 0;
+
+  IntrusiveList<TimerRecord>& slot = slots_[cursor_];
+  if (slot.empty()) {
+    ++counts_.empty_slot_checks;
+  } else {
+    while (TimerRecord* rec = slot.front()) {
+      TWHEEL_ASSERT(rec->expiry_tick == now_);
+      rec->Unlink();
+      Expire(rec);
+      ++expired;
+    }
+  }
+
+  // Scheme 2 head check for the long timers.
+  while (true) {
+    TimerRecord* head = overflow_.front();
+    if (head == nullptr) {
+      break;
+    }
+    ++counts_.comparisons;
+    if (head->expiry_tick > now_) {
+      break;
+    }
+    head->Unlink();
+    Expire(head);
+    ++expired;
+  }
+  return expired;
+}
+
+}  // namespace twheel

@@ -1,0 +1,63 @@
+// The Section 5 hybrid: a bounded timing wheel with an ordered-list annex.
+//
+// "Still memory is finite: it is difficult to justify 2^32 words of memory to
+// implement 32 bit timers. One solution is to implement timers within some range
+// using this scheme and the allowed memory. Timers greater than this value are
+// implemented using, say, Scheme 2."
+//
+// Intervals below the wheel size get Scheme 4's O(1) everything; longer intervals
+// go to a Scheme 2 ordered list keyed by absolute expiry. PER_TICK_BOOKKEEPING is
+// one slot visit plus one head comparison — still O(1) outside expiries. The trade
+// is START_TIMER for long timers: O(n_long), acceptable exactly when long timers
+// are rare (the common OS profile the paper assumes for this remedy). Long timers
+// expire from the list directly; they never migrate into the wheel, so there is no
+// periodic drain cost (contrast the TEGAS overflow rescan of Section 4.2).
+//
+// STOP_TIMER is O(1) for both residences: records unlink intrusively wherever they
+// live.
+
+#ifndef TWHEEL_SRC_CORE_HYBRID_WHEEL_H_
+#define TWHEEL_SRC_CORE_HYBRID_WHEEL_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/core/timer_service.h"
+
+namespace twheel {
+
+class HybridWheel final : public TimerServiceBase {
+ public:
+  // Intervals in [1, wheel_size) take the wheel; longer ones take the list.
+  explicit HybridWheel(std::size_t wheel_size, std::size_t max_timers = 0);
+
+  ~HybridWheel() override;
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  std::size_t PerTickBookkeeping() override;
+  std::string_view name() const override { return "scheme4-2-hybrid"; }
+
+  std::size_t wheel_size() const { return slots_.size(); }
+  std::size_t OverflowCountSlow() const { return overflow_.CountSlow(); }
+
+  // Fixed: the wheel's list heads plus the annex list's head. Per record: links
+  // (16) + expiry (8) + cookie (8).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.fixed_bytes =
+        (slots_.size() + 1) * sizeof(IntrusiveList<TimerRecord>);
+    profile.essential_record_bytes = 32;
+    return profile;
+  }
+
+ private:
+  std::vector<IntrusiveList<TimerRecord>> slots_;
+  IntrusiveList<TimerRecord> overflow_;  // Scheme 2 list, ascending absolute expiry
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_HYBRID_WHEEL_H_

@@ -1,0 +1,84 @@
+#include "src/core/timer_facility.h"
+
+#include "src/baselines/avl_timers.h"
+#include "src/baselines/bst_timers.h"
+#include "src/baselines/heap_timers.h"
+#include "src/baselines/leftist_heap_timers.h"
+#include "src/baselines/unordered_timers.h"
+#include "src/core/basic_wheel.h"
+#include "src/core/hashed_wheel_sorted.h"
+#include "src/core/hybrid_wheel.h"
+#include "src/core/hashed_wheel_unsorted.h"
+
+namespace twheel {
+
+std::unique_ptr<TimerService> MakeTimerService(const FacilityConfig& config) {
+  switch (config.scheme) {
+    case SchemeId::kScheme1Unordered:
+      return std::make_unique<UnorderedTimers>(config.max_timers);
+    case SchemeId::kScheme2SortedFront:
+      return std::make_unique<SortedListTimers>(SearchDirection::kFromFront,
+                                                config.max_timers);
+    case SchemeId::kScheme2SortedRear:
+      return std::make_unique<SortedListTimers>(SearchDirection::kFromRear,
+                                                config.max_timers);
+    case SchemeId::kScheme3Heap:
+      return std::make_unique<HeapTimers>(config.max_timers);
+    case SchemeId::kScheme3Bst:
+      return std::make_unique<BstTimers>(config.max_timers);
+    case SchemeId::kScheme3Avl:
+      return std::make_unique<AvlTimers>(config.max_timers);
+    case SchemeId::kScheme3Leftist:
+      return std::make_unique<LeftistHeapTimers>(config.max_timers);
+    case SchemeId::kScheme4BasicWheel:
+      return std::make_unique<BasicWheel>(config.wheel_size, config.overflow,
+                                          config.max_timers);
+    case SchemeId::kScheme4HybridList:
+      return std::make_unique<HybridWheel>(config.wheel_size, config.max_timers);
+    case SchemeId::kScheme5HashedSorted:
+      return std::make_unique<HashedWheelSorted>(config.wheel_size, config.max_timers);
+    case SchemeId::kScheme6HashedUnsorted:
+      return std::make_unique<HashedWheelUnsorted>(config.wheel_size, config.max_timers);
+    case SchemeId::kScheme7Hierarchical: {
+      HierarchicalWheelOptions options;
+      options.overflow = config.overflow;
+      options.migration = config.migration;
+      options.max_timers = config.max_timers;
+      return std::make_unique<HierarchicalWheel>(config.level_sizes, options);
+    }
+  }
+  TWHEEL_ASSERT_MSG(false, "unknown SchemeId");
+  return nullptr;
+}
+
+const char* SchemeName(SchemeId id) {
+  switch (id) {
+    case SchemeId::kScheme1Unordered:
+      return "scheme1-unordered";
+    case SchemeId::kScheme2SortedFront:
+      return "scheme2-sorted-front";
+    case SchemeId::kScheme2SortedRear:
+      return "scheme2-sorted-rear";
+    case SchemeId::kScheme3Heap:
+      return "scheme3-heap";
+    case SchemeId::kScheme3Bst:
+      return "scheme3-bst";
+    case SchemeId::kScheme3Avl:
+      return "scheme3-avl";
+    case SchemeId::kScheme3Leftist:
+      return "scheme3-leftist";
+    case SchemeId::kScheme4BasicWheel:
+      return "scheme4-basic-wheel";
+    case SchemeId::kScheme4HybridList:
+      return "scheme4-2-hybrid";
+    case SchemeId::kScheme5HashedSorted:
+      return "scheme5-hashed-sorted";
+    case SchemeId::kScheme6HashedUnsorted:
+      return "scheme6-hashed-unsorted";
+    case SchemeId::kScheme7Hierarchical:
+      return "scheme7-hierarchical";
+  }
+  return "unknown";
+}
+
+}  // namespace twheel

@@ -1,0 +1,72 @@
+// Factory facade over all seven schemes.
+//
+// Examples, benches, and differential tests construct schemes uniformly from a
+// FacilityConfig; this is also the recommended entry point for library users who
+// want to switch schemes by configuration rather than by type (the paper's
+// conclusion is itself a decision table: Scheme 1 for a handful of timers, Scheme 2
+// with hardware single-timer support, Schemes 6/7 for a general facility).
+
+#ifndef TWHEEL_SRC_CORE_TIMER_FACILITY_H_
+#define TWHEEL_SRC_CORE_TIMER_FACILITY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/timer_service.h"
+#include "src/core/hierarchical_wheel.h"
+#include "src/baselines/sorted_list_timers.h"
+
+namespace twheel {
+
+enum class SchemeId : std::uint8_t {
+  kScheme1Unordered,
+  kScheme2SortedFront,
+  kScheme2SortedRear,
+  kScheme3Heap,
+  kScheme3Bst,
+  kScheme3Avl,
+  kScheme3Leftist,
+  kScheme4BasicWheel,
+  kScheme4HybridList,
+  kScheme5HashedSorted,
+  kScheme6HashedUnsorted,
+  kScheme7Hierarchical,
+};
+
+// All SchemeIds, in paper order — handy for "run everything" loops.
+inline constexpr SchemeId kAllSchemes[] = {
+    SchemeId::kScheme1Unordered,    SchemeId::kScheme2SortedFront,
+    SchemeId::kScheme2SortedRear,   SchemeId::kScheme3Heap,
+    SchemeId::kScheme3Bst,          SchemeId::kScheme3Avl,
+    SchemeId::kScheme3Leftist,
+    SchemeId::kScheme4BasicWheel,   SchemeId::kScheme4HybridList,
+    SchemeId::kScheme5HashedSorted,
+    SchemeId::kScheme6HashedUnsorted, SchemeId::kScheme7Hierarchical,
+};
+
+struct FacilityConfig {
+  SchemeId scheme = SchemeId::kScheme6HashedUnsorted;
+
+  // Scheme 4: wheel size (maximum interval + 1). Schemes 5/6: table size (power of
+  // two). Ignored by list/tree schemes.
+  std::size_t wheel_size = 256;
+
+  // Scheme 7: slot counts, finest level first.
+  std::vector<std::size_t> level_sizes = {256, 64, 64, 64};
+
+  OverflowPolicy overflow = OverflowPolicy::kReject;
+  MigrationPolicy migration = MigrationPolicy::kFull;
+  std::size_t max_timers = 0;
+};
+
+// Construct the configured scheme. Never returns null.
+std::unique_ptr<TimerService> MakeTimerService(const FacilityConfig& config);
+
+// Short stable identifier ("scheme6-hashed-unsorted") for a SchemeId, without
+// constructing a service.
+const char* SchemeName(SchemeId id);
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_TIMER_FACILITY_H_

@@ -1,0 +1,61 @@
+// The timer record shared by every scheme.
+//
+// One record per outstanding timer, slab-allocated (src/base/slab_arena.h) so its
+// address is stable while linked into wheel slots, sorted lists, heaps, or trees.
+// Rather than a per-scheme record type, a single fat record carries the union of the
+// fields the seven schemes need; the few dozen extra bytes per timer buy a uniform
+// arena, a uniform handle type, and the ability to run differential tests that drive
+// every scheme with identical workloads. A production deployment would keep only the
+// fields of its chosen scheme; the layout cost is documented here deliberately.
+
+#ifndef TWHEEL_SRC_CORE_TIMER_RECORD_H_
+#define TWHEEL_SRC_CORE_TIMER_RECORD_H_
+
+#include <cstdint>
+#include <limits>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/types.h"
+
+namespace twheel {
+
+struct TimerRecord : ListNode {
+  static constexpr std::uint32_t kNoIndex = std::numeric_limits<std::uint32_t>::max();
+
+  // -- Common to all schemes -------------------------------------------------------
+  RequestId request_id = 0;  // client cookie, delivered to the ExpiryHandler
+  TimerHandle self;          // this record's own handle (arena slot + generation)
+  Tick start_tick = 0;       // absolute tick at which START_TIMER ran
+  Duration interval = 0;     // requested interval
+  Tick expiry_tick = 0;      // absolute tick at which the timer is due
+  std::uint64_t seq = 0;     // start order; tiebreak so equal expiries stay FIFO
+
+  // -- Scheme 1 (straightforward): per-tick DECREMENT target -----------------------
+  Duration remaining = 0;
+
+  // -- Schemes 5/6 (hashed wheels): the quotient ("high order bits") --------------
+  // Scheme 6 stores the number of remaining full wheel revolutions and decrements it
+  // each time the cursor passes; Scheme 5 stores the absolute revolution number so
+  // bucket order is stable (see hashed_wheel_sorted.h for the equivalence argument).
+  std::uint64_t rounds = 0;
+
+  // -- Scheme 3 (binary heap): position for O(log n) arbitrary deletion ------------
+  std::uint32_t heap_index = kNoIndex;
+
+  // -- Scheme 3 (BST / leftist tree) ------------------------------------------------
+  TimerRecord* left = nullptr;
+  TimerRecord* right = nullptr;
+  TimerRecord* parent = nullptr;
+  std::int32_t rank = 0;  // leftist tree null-path length
+
+  // -- Scheme 7 (hierarchy): which wheel currently holds the record ----------------
+  std::uint8_t level = 0;
+  std::uint8_t migrations_done = 0;  // for the single-migration precision variant
+
+  // -- Lazy cancellation (leftist-heap baseline, Section 4.2's simulation idiom) ---
+  bool cancelled = false;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_TIMER_RECORD_H_

@@ -1,0 +1,188 @@
+// The paper's four-routine timer-module model (Section 2), as an abstract interface.
+//
+//   START_TIMER(Interval, Request_ID, Expiry_Action)  -> StartTimer()
+//   STOP_TIMER(Request_ID)                            -> StopTimer()
+//   PER_TICK_BOOKKEEPING                              -> PerTickBookkeeping()
+//   EXPIRY_PROCESSING                                 -> the installed ExpiryHandler
+//
+// Differences from the paper's sketch, and why:
+//  * StartTimer returns a TimerHandle instead of the client keying stops by
+//    Request_ID: the handle is the "pointer to the element" the paper says
+//    START_TIMER should store so STOP_TIMER is O(1) on doubly linked lists, made
+//    safe by a generation counter (stopping an already-expired timer returns
+//    kNoSuchTimer instead of corrupting a recycled record).
+//  * The Expiry_Action is one handler per service plus a 64-bit RequestId cookie per
+//    timer, matching kernel practice and avoiding per-timer std::function allocation.
+//  * Time never comes from a wall clock. The owner calls PerTickBookkeeping() once
+//    per simulated tick, which is exactly the paper's model of a hardware clock
+//    interrupting the host.
+//
+// Every implementation maintains metrics::OpCounts so benches can report costs in
+// the paper's currency (elementary operations / VAX instructions) as well as in
+// wall-clock time.
+
+#ifndef TWHEEL_SRC_CORE_TIMER_SERVICE_H_
+#define TWHEEL_SRC_CORE_TIMER_SERVICE_H_
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <string_view>
+#include <utility>
+
+#include "src/base/expected.h"
+#include "src/base/slab_arena.h"
+#include "src/base/types.h"
+#include "src/core/timer_record.h"
+#include "src/metrics/op_counts.h"
+
+namespace twheel {
+
+using StartResult = Expected<TimerHandle, TimerError>;
+
+// What a bounded-range scheme does with an interval beyond its span (Schemes 4, 7).
+enum class OverflowPolicy : std::uint8_t {
+  kReject,  // StartTimer returns kIntervalOutOfRange
+  kClamp,   // interval saturates to the scheme's maximum representable interval
+};
+
+// EXPIRY_PROCESSING: invoked synchronously from within PerTickBookkeeping for each
+// expired timer, with the client's cookie and the current tick.
+using ExpiryHandler = std::function<void(RequestId, Tick)>;
+
+class TimerService {
+ public:
+  virtual ~TimerService() = default;
+
+  // START_TIMER. `interval` is in ticks, measured from the current tick; an interval
+  // of k expires on the k-th subsequent PerTickBookkeeping call. Zero intervals are
+  // rejected with kZeroInterval (an "expire now" is not a timer).
+  virtual StartResult StartTimer(Duration interval, RequestId request_id) = 0;
+
+  // STOP_TIMER. Returns kOk if the timer was outstanding and is now cancelled;
+  // kNoSuchTimer if the handle is stale (already expired, already stopped, invalid).
+  virtual TimerError StopTimer(TimerHandle handle) = 0;
+
+  // PER_TICK_BOOKKEEPING. Advances the clock by one tick and dispatches
+  // EXPIRY_PROCESSING for every timer due at the new time. Returns the number of
+  // timers that expired on this tick.
+  virtual std::size_t PerTickBookkeeping() = 0;
+
+  virtual Tick now() const = 0;
+  virtual std::size_t outstanding() const = 0;
+  virtual const metrics::OpCounts& counts() const = 0;
+  virtual std::string_view name() const = 0;
+
+  virtual void set_expiry_handler(ExpiryHandler handler) = 0;
+
+  // SPACE — the paper's second performance measure ("the memory required for the
+  // data structures used by the timer module", Section 2). Reported in three parts
+  // so the paper's space commentary is checkable: Scheme 1 "uses one record per
+  // outstanding timer, the minimum space possible"; Scheme 2 "needs O(n) extra
+  // space for the forward and back pointers"; Scheme 7 needs 244 slots where a flat
+  // wheel needs 8.64 million.
+  struct SpaceProfile {
+    // Bytes of structure owned regardless of population: wheel slot arrays,
+    // hierarchy levels, chip busy bits. Zero for the list/tree schemes.
+    std::size_t fixed_bytes = 0;
+    // Bytes per outstanding timer that this scheme's algorithm inherently needs
+    // (key, cookie, links/indices) — the minimal record a scheme-specific
+    // deployment would allocate.
+    std::size_t essential_record_bytes = 0;
+    // Bytes per record actually allocated here: the shared fat TimerRecord that
+    // lets one arena serve every scheme (see timer_record.h for the rationale).
+    std::size_t actual_record_bytes = sizeof(TimerRecord);
+    // Population-dependent auxiliary storage beyond the records themselves, at its
+    // current size (e.g. the binary heap's pointer array capacity).
+    std::size_t auxiliary_bytes = 0;
+  };
+  virtual SpaceProfile Space() const = 0;
+
+  // Optional capability behind Section 3.2's hardware-single-timer variant: "the
+  // hardware timer is set to expire at the time at which the timer at the head of
+  // the list is due to expire. The hardware intercepts all clock ticks and
+  // interrupts the host only when a timer actually expires."
+  //
+  // NextExpiryHint returns the earliest outstanding expiry when the scheme can
+  // answer in O(log n) or better (ordered list: head; heap: root; BST: leftmost);
+  // nullopt when it cannot (the wheels would have to scan) or when no timer is
+  // outstanding. FastForward advances the clock to `target` without per-tick calls;
+  // it requires now() < target and target strictly before the next expiry, and
+  // returns false (doing nothing) on schemes without the capability. Together they
+  // let a driver sleep through dead time — see sim::Simulator::RunUntilIdleJumping.
+  virtual std::optional<Tick> NextExpiryHint() const { return std::nullopt; }
+  virtual bool FastForward(Tick /*target*/) { return false; }
+
+  // Convenience: run `n` ticks; returns total expiries.
+  std::size_t AdvanceBy(Duration n) {
+    std::size_t total = 0;
+    for (Duration i = 0; i < n; ++i) {
+      total += PerTickBookkeeping();
+    }
+    return total;
+  }
+};
+
+// Shared implementation plumbing: the record arena, clock, expiry dispatch, and op
+// counters. Schemes derive from this and implement the data-structure specifics.
+class TimerServiceBase : public TimerService {
+ public:
+  // `max_timers` bounds the arena; 0 = unbounded.
+  explicit TimerServiceBase(std::size_t max_timers = 0) : arena_(max_timers) {}
+
+  Tick now() const final { return now_; }
+  // Live records in the arena. Lazy-deletion schemes (leftist heap) override this to
+  // exclude cancelled-but-not-yet-reclaimed records.
+  std::size_t outstanding() const override { return arena_.live(); }
+  const metrics::OpCounts& counts() const final { return counts_; }
+  void set_expiry_handler(ExpiryHandler handler) final { handler_ = std::move(handler); }
+
+ protected:
+  // Allocate and pre-fill a record; nullptr when the arena is full.
+  TimerRecord* AllocateRecord(Duration interval, RequestId request_id) {
+    auto [rec, ref] = arena_.Allocate();
+    if (rec == nullptr) {
+      return nullptr;
+    }
+    rec->request_id = request_id;
+    rec->self = TimerHandle{ref.slot, ref.generation};
+    rec->seq = next_seq_++;
+    rec->start_tick = now_;
+    rec->interval = interval;
+    rec->expiry_tick = now_ + interval;
+    return rec;
+  }
+
+  TimerRecord* Resolve(TimerHandle handle) const {
+    return arena_.Get(SlabRef{handle.slot, handle.generation});
+  }
+
+  // Return a record's storage to the arena (after unlinking it from any structure).
+  void ReleaseRecord(TimerRecord* rec) {
+    arena_.Free(SlabRef{rec->self.slot, rec->self.generation});
+  }
+
+  // Dispatch EXPIRY_PROCESSING for `rec` and release it. The record must already be
+  // unlinked from the scheme's structures.
+  void Expire(TimerRecord* rec) {
+    RequestId id = rec->request_id;
+    ++counts_.expiries;
+    ++counts_.expiry_dispatches;
+    ReleaseRecord(rec);
+    if (handler_) {
+      handler_(id, now_);
+    }
+  }
+
+  Tick now_ = 0;
+  metrics::OpCounts counts_;
+
+ private:
+  SlabArena<TimerRecord> arena_;
+  ExpiryHandler handler_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_CORE_TIMER_SERVICE_H_

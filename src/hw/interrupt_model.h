@@ -1,0 +1,77 @@
+// Hardware-assist interrupt accounting (Appendix A.1).
+//
+// The appendix sketches "a chip (actually just a counter) that steps through the
+// timer arrays, and interrupts the host only if there is work to be done": the host
+// keeps the timer queues in its memory, the chip keeps the arrays of busy bits in
+// its own, and the only communication is an interrupt per busy slot encountered.
+// The analysis: "In Scheme 6, the host is interrupted an average of T/M times per
+// timer interval, where T is the average timer interval and M is the number of array
+// elements. In Scheme 7, the host is interrupted at most m times, where m is the
+// number of levels in the hierarchy."
+//
+// InterruptModel simulates that division of labour for any scheme: it drives the
+// wrapped service's PER_TICK_BOOKKEEPING (the chip's scan) and counts a host
+// interrupt for every tick on which the scan found timer records to touch — i.e. on
+// which the host would have been woken to walk a queue. Ticks that only step through
+// empty slots are absorbed by the chip for free. The bench_appA_hw_assist benchmark
+// reproduces the T/M-vs-m comparison with this model.
+
+#ifndef TWHEEL_SRC_HW_INTERRUPT_MODEL_H_
+#define TWHEEL_SRC_HW_INTERRUPT_MODEL_H_
+
+#include <memory>
+#include <utility>
+
+#include "src/core/timer_service.h"
+
+namespace twheel::hw {
+
+class InterruptModel {
+ public:
+  explicit InterruptModel(std::unique_ptr<TimerService> service)
+      : service_(std::move(service)) {}
+
+  TimerService& service() { return *service_; }
+  const TimerService& service() const { return *service_; }
+
+  // One chip scan step == one tick. Returns expiries dispatched.
+  std::size_t Tick() {
+    const metrics::OpCounts before = service_->counts();
+    std::size_t expired = service_->PerTickBookkeeping();
+    const metrics::OpCounts delta = service_->counts() - before;
+    ++chip_scans_;
+    // Work the host must be woken for: records visited (decremented, migrated, or
+    // expired). Empty-slot stepping stays on the chip.
+    if (delta.decrement_visits + delta.migrations + delta.expiry_dispatches > 0) {
+      ++host_interrupts_;
+    }
+    return expired;
+  }
+
+  void Run(Duration ticks) {
+    for (Duration i = 0; i < ticks; ++i) {
+      Tick();
+    }
+  }
+
+  std::uint64_t host_interrupts() const { return host_interrupts_; }
+  std::uint64_t chip_scans() const { return chip_scans_; }
+
+  // Interrupts the host absorbed per expired timer so far — the appendix's
+  // per-timer-interval interrupt overhead.
+  double InterruptsPerExpiry() const {
+    const std::uint64_t expiries = service_->counts().expiries;
+    return expiries == 0 ? 0.0
+                         : static_cast<double>(host_interrupts_) /
+                               static_cast<double>(expiries);
+  }
+
+ private:
+  std::unique_ptr<TimerService> service_;
+  std::uint64_t host_interrupts_ = 0;
+  std::uint64_t chip_scans_ = 0;
+};
+
+}  // namespace twheel::hw
+
+#endif  // TWHEEL_SRC_HW_INTERRUPT_MODEL_H_

@@ -1,0 +1,107 @@
+#include "src/hw/timer_chip.h"
+
+#include "src/base/assert.h"
+
+namespace twheel::hw {
+
+ChipAssistedWheel::ChipAssistedWheel(std::size_t table_size, std::size_t max_timers)
+    : TimerServiceBase(max_timers),
+      shift_(Log2Floor(table_size)),
+      slots_(table_size),
+      busy_(table_size, false) {
+  TWHEEL_ASSERT_MSG(IsPowerOfTwo(table_size) && table_size >= 2,
+                    "table size must be a power of two >= 2");
+}
+
+ChipAssistedWheel::~ChipAssistedWheel() {
+  for (auto& slot : slots_) {
+    while (TimerRecord* rec = slot.front()) {
+      rec->Unlink();
+      ReleaseRecord(rec);
+    }
+  }
+}
+
+StartResult ChipAssistedWheel::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  TimerRecord* rec = AllocateRecord(interval, request_id);
+  if (rec == nullptr) {
+    return TimerError::kNoCapacity;
+  }
+  const std::size_t slot_index = rec->expiry_tick & mask();
+  rec->rounds = (interval - 1) >> shift_;
+  IntrusiveList<TimerRecord>& queue = slots_[slot_index];
+  // "When the host inserts a timer into an empty queue pointed to by array element
+  // X it tells the chip about this new queue."
+  if (queue.empty()) {
+    NotifyBusy(slot_index);
+  }
+  queue.PushBack(rec);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+TimerError ChipAssistedWheel::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  TimerRecord* rec = Resolve(handle);
+  if (rec == nullptr) {
+    return TimerError::kNoSuchTimer;
+  }
+  const std::size_t slot_index = rec->expiry_tick & mask();
+  rec->Unlink();
+  ++counts_.delete_unlink_ops;
+  ReleaseRecord(rec);
+  // "When the host deletes a timer entry from some queue and leaves behind an empty
+  // queue it needs to inform the chip."
+  if (slots_[slot_index].empty()) {
+    NotifyFree(slot_index);
+  }
+  return TimerError::kOk;
+}
+
+std::size_t ChipAssistedWheel::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  // Chip side: the counter steps; a clear busy bit costs the host nothing — note
+  // that unlike the plain Scheme 6 wheel, no host-side empty_slot_check is charged.
+  ++chip_scans_;
+  const std::size_t slot_index = static_cast<std::size_t>(now_ & mask());
+  if (!busy_[slot_index]) {
+    return 0;
+  }
+
+  // "It interrupts the host and gives the host the address of the queue."
+  ++host_interrupts_;
+  IntrusiveList<TimerRecord>& queue = slots_[slot_index];
+  TWHEEL_ASSERT_MSG(!queue.empty(), "busy bit set on an empty queue");
+
+  std::size_t expired = 0;
+  IntrusiveList<TimerRecord> pending;
+  pending.SpliceBack(queue);
+  while (TimerRecord* rec = pending.front()) {
+    rec->Unlink();
+    ++counts_.decrement_visits;
+    if (rec->rounds == 0) {
+      TWHEEL_ASSERT(rec->expiry_tick == now_);
+      Expire(rec);
+      ++expired;
+    } else {
+      --rec->rounds;
+      queue.PushBack(rec);
+    }
+  }
+  // Reconcile the busy bit with the queue's final state. (Mid-drain, a reentrant
+  // StopTimer can observe the spliced-out queue as empty and send an early free
+  // notification, and a reentrant StartTimer a busy one; the final state wins.)
+  if (queue.empty() && busy_[slot_index]) {
+    NotifyFree(slot_index);
+  } else if (!queue.empty() && !busy_[slot_index]) {
+    NotifyBusy(slot_index);
+  }
+  return expired;
+}
+
+}  // namespace twheel::hw

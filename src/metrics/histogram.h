@@ -1,0 +1,101 @@
+// Log-linear histogram over non-negative integer values.
+//
+// HDR-style bucketing: values below 2^kLinearBits are recorded exactly; above that,
+// each power-of-two range is split into 2^kSubBuckets sub-buckets, giving a bounded
+// relative error (~1.5%) at any magnitude with a few KB of memory. Used to record
+// per-tick bookkeeping work (worst case and tail matter for the Section 6.1.2
+// burstiness claim) and start/stop latencies in op counts.
+
+#ifndef TWHEEL_SRC_METRICS_HISTOGRAM_H_
+#define TWHEEL_SRC_METRICS_HISTOGRAM_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/base/assert.h"
+#include "src/base/bits.h"
+
+namespace twheel::metrics {
+
+class Histogram {
+ public:
+  static constexpr std::uint32_t kSubBucketBits = 5;           // 32 sub-buckets per octave
+  static constexpr std::uint32_t kSubBuckets = 1u << kSubBucketBits;
+  static constexpr std::uint32_t kOctaves = 64 - kSubBucketBits;
+  static constexpr std::uint32_t kBucketCount = kSubBuckets * (kOctaves + 1);
+
+  void Add(std::uint64_t value) {
+    ++counts_[BucketIndex(value)];
+    ++total_;
+    if (value > max_) {
+      max_ = value;
+    }
+    sum_ += value;
+  }
+
+  std::uint64_t count() const { return total_; }
+  std::uint64_t max() const { return max_; }
+  double mean() const { return total_ ? static_cast<double>(sum_) / static_cast<double>(total_) : 0.0; }
+
+  // Value at quantile q in [0, 1]: the smallest bucket upper bound covering q of the
+  // recorded samples. Percentile error is bounded by the bucket width (~3%).
+  std::uint64_t Quantile(double q) const {
+    TWHEEL_ASSERT(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) {
+      return 0;
+    }
+    std::uint64_t target = static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    if (target >= total_) {
+      target = total_ - 1;
+    }
+    std::uint64_t seen = 0;
+    for (std::uint32_t i = 0; i < kBucketCount; ++i) {
+      seen += counts_[i];
+      if (seen > target) {
+        return BucketUpperBound(i);
+      }
+    }
+    return max_;
+  }
+
+  void Reset() {
+    counts_.fill(0);
+    total_ = 0;
+    sum_ = 0;
+    max_ = 0;
+  }
+
+ private:
+  // Values < kSubBuckets map to exact buckets [0, kSubBuckets). A value in octave
+  // o = floor(log2(v)) >= kSubBucketBits falls into one of kSubBuckets sub-buckets of
+  // width 2^(o - kSubBucketBits), at index kSubBuckets * (o - kSubBucketBits + 1) + sub.
+  static std::uint32_t BucketIndex(std::uint64_t v) {
+    if (v < kSubBuckets) {
+      return static_cast<std::uint32_t>(v);
+    }
+    std::uint32_t octave = Log2Floor(v);
+    std::uint32_t shift = octave - kSubBucketBits;
+    std::uint32_t sub = static_cast<std::uint32_t>((v >> shift) & (kSubBuckets - 1));
+    return kSubBuckets * (octave - kSubBucketBits + 1) + sub;
+  }
+
+  static std::uint64_t BucketUpperBound(std::uint32_t index) {
+    if (index < kSubBuckets) {
+      return index;
+    }
+    std::uint32_t shift = index / kSubBuckets - 1;
+    std::uint32_t sub = index % kSubBuckets;
+    std::uint64_t base = (static_cast<std::uint64_t>(kSubBuckets) + sub) << shift;
+    std::uint64_t width = 1ULL << shift;
+    return base + width - 1;
+  }
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t total_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace twheel::metrics
+
+#endif  // TWHEEL_SRC_METRICS_HISTOGRAM_H_

@@ -1,0 +1,85 @@
+// Elementary-operation accounting, the paper's currency of evaluation.
+//
+// The 1987 evaluation (Section 7) reports costs in "cheap VAX instructions": 13 to
+// insert a timer, 7 to delete, 4 to skip an empty array location per tick, 6 to
+// decrement a timer and move on, 9 to expire one. Wall-clock nanoseconds on a 2020s
+// machine cannot be compared with that, but operation counts can: every scheme in
+// this library bumps the same OpCounts fields at the same algorithmic events, and
+// metrics::VaxCostModel weights them with the paper's constants to regenerate its
+// numbers (e.g. "average cost per tick is 4 + 15 * n/TableSize").
+
+#ifndef TWHEEL_SRC_METRICS_OP_COUNTS_H_
+#define TWHEEL_SRC_METRICS_OP_COUNTS_H_
+
+#include <cstdint>
+
+namespace twheel::metrics {
+
+struct OpCounts {
+  // Routine invocations (the paper's four-routine model, Section 2).
+  std::uint64_t start_calls = 0;
+  std::uint64_t stop_calls = 0;
+  std::uint64_t ticks = 0;
+  std::uint64_t expiries = 0;
+
+  // Elementary operations.
+  // A per-tick inspection of a wheel slot / list head that found nothing to do
+  // ("4 instructions to skip an empty array location").
+  std::uint64_t empty_slot_checks = 0;
+  // One record visited and decremented (or its round count examined) during
+  // PER_TICK_BOOKKEEPING ("6 instructions to decrement a timer and move on").
+  std::uint64_t decrement_visits = 0;
+  // One record linked into a list / heap / tree ("13 cheap VAX instructions to
+  // insert a timer").
+  std::uint64_t insert_link_ops = 0;
+  // One record unlinked ("7 to delete a timer").
+  std::uint64_t delete_unlink_ops = 0;
+  // One expired record removed and its EXPIRY_PROCESSING dispatched ("a further 9
+  // instructions").
+  std::uint64_t expiry_dispatches = 0;
+  // Key comparisons made while searching for an insertion point (sorted lists,
+  // trees, heaps). This is the quantity Section 3.2's 2 + 2n/3 formulas predict.
+  std::uint64_t comparisons = 0;
+  // Scheme 7 only: one timer moved from a coarser wheel to a finer one.
+  std::uint64_t migrations = 0;
+
+  OpCounts& operator+=(const OpCounts& o) {
+    start_calls += o.start_calls;
+    stop_calls += o.stop_calls;
+    ticks += o.ticks;
+    expiries += o.expiries;
+    empty_slot_checks += o.empty_slot_checks;
+    decrement_visits += o.decrement_visits;
+    insert_link_ops += o.insert_link_ops;
+    delete_unlink_ops += o.delete_unlink_ops;
+    expiry_dispatches += o.expiry_dispatches;
+    comparisons += o.comparisons;
+    migrations += o.migrations;
+    return *this;
+  }
+
+  friend OpCounts operator-(OpCounts a, const OpCounts& b) {
+    a.start_calls -= b.start_calls;
+    a.stop_calls -= b.stop_calls;
+    a.ticks -= b.ticks;
+    a.expiries -= b.expiries;
+    a.empty_slot_checks -= b.empty_slot_checks;
+    a.decrement_visits -= b.decrement_visits;
+    a.insert_link_ops -= b.insert_link_ops;
+    a.delete_unlink_ops -= b.delete_unlink_ops;
+    a.expiry_dispatches -= b.expiry_dispatches;
+    a.comparisons -= b.comparisons;
+    a.migrations -= b.migrations;
+    return a;
+  }
+
+  // Total bookkeeping work done inside PER_TICK_BOOKKEEPING calls, in elementary ops
+  // (slot checks + record visits + expiry removals). Used for burstiness studies.
+  std::uint64_t TickWork() const {
+    return empty_slot_checks + decrement_visits + expiry_dispatches + migrations;
+  }
+};
+
+}  // namespace twheel::metrics
+
+#endif  // TWHEEL_SRC_METRICS_OP_COUNTS_H_

@@ -1,0 +1,49 @@
+// Streaming mean / variance / extrema (Welford's algorithm).
+//
+// Used wherever the reproduction compares a measured average against one of the
+// paper's closed forms (insertion comparisons vs 2 + 2n/3, per-tick work vs
+// n/TableSize, ...), and for the Section 6.1.2 burstiness claim, which is about the
+// *variance* of per-tick work under different hash distributions.
+
+#ifndef TWHEEL_SRC_METRICS_RUNNING_STATS_H_
+#define TWHEEL_SRC_METRICS_RUNNING_STATS_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace twheel::metrics {
+
+class RunningStats {
+ public:
+  void Add(double x) {
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+
+  std::uint64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  // Population variance; sample variance differs negligibly at our sample sizes.
+  double variance() const { return n_ ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+  void Reset() { *this = RunningStats(); }
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace twheel::metrics
+
+#endif  // TWHEEL_SRC_METRICS_RUNNING_STATS_H_

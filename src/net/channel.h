@@ -1,0 +1,77 @@
+// A lossy, delaying, unidirectional channel.
+//
+// Deliveries are discrete events on a *network* simulator that ticks in lockstep
+// with the host's timer module but keeps its own event set, so channel bookkeeping
+// never contaminates the op counts of the timer scheme under test (see net::Server).
+//
+// Loss and latency are drawn by hashing the packet's identity (connection, sequence
+// number, type, send tick) with the channel seed rather than from a shared stream:
+// the fate of a packet is a pure function of what was sent and when. This makes runs
+// order-insensitive — two timer schemes that dispatch the same tick's expiries in
+// different orders still produce byte-identical network behaviour, which the
+// cross-scheme protocol tests rely on.
+
+#ifndef TWHEEL_SRC_NET_CHANNEL_H_
+#define TWHEEL_SRC_NET_CHANNEL_H_
+
+#include <functional>
+#include <utility>
+
+#include "src/net/types.h"
+#include "src/rng/rng.h"
+#include "src/sim/simulator.h"
+
+namespace twheel::net {
+
+class Channel {
+ public:
+  using Receiver = std::function<void(const Packet&)>;
+
+  Channel(sim::Simulator& network, std::uint64_t seed, ChannelConfig config)
+      : network_(network), seed_(seed), config_(config) {}
+
+  void set_receiver(Receiver receiver) { receiver_ = std::move(receiver); }
+
+  // Transmit: either silently dropped or delivered to the receiver after a
+  // packet-identity-determined delay in [delay_lo, delay_hi].
+  void Send(const Packet& packet) {
+    ++sent_;
+    rng::SplitMix64 hash(seed_ ^ PacketFingerprint(packet, network_.now()));
+    const double loss_draw = static_cast<double>(hash.Next() >> 11) * 0x1.0p-53;
+    if (loss_draw < config_.loss_probability) {
+      ++dropped_;
+      return;
+    }
+    const Duration spread = config_.delay_hi - config_.delay_lo + 1;
+    const Duration delay = config_.delay_lo + hash.Next() % spread;
+    network_.After(delay, [this, packet] {
+      ++delivered_;
+      receiver_(packet);
+    });
+  }
+
+  std::uint64_t sent() const { return sent_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t delivered() const { return delivered_; }
+
+ private:
+  static std::uint64_t PacketFingerprint(const Packet& packet, Tick now) {
+    // Distinct retransmissions of the same segment differ by send tick, so each
+    // attempt gets an independent fate.
+    return (static_cast<std::uint64_t>(packet.connection_id) << 48) ^
+           (packet.seq << 16) ^ (static_cast<std::uint64_t>(packet.type) << 8) ^
+           (now * 0x9e3779b97f4a7c15ULL);
+  }
+
+  sim::Simulator& network_;
+  std::uint64_t seed_;
+  ChannelConfig config_;
+  Receiver receiver_;
+  std::uint64_t sent_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t delivered_ = 0;
+};
+
+}  // namespace twheel::net
+
+#endif  // TWHEEL_SRC_NET_CHANNEL_H_

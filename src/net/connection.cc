@@ -1,0 +1,120 @@
+#include "src/net/connection.h"
+
+#include "src/base/assert.h"
+
+namespace twheel::net {
+
+Connection::Connection(std::uint32_t id, sim::Simulator& host, Channel& to_peer,
+                       Channel& from_peer, ConnectionConfig config)
+    : id_(id),
+      host_(host),
+      to_peer_(to_peer),
+      from_peer_(from_peer),
+      config_(config),
+      rto_current_(config.rto_initial) {}
+
+void Connection::Start() {
+  RearmKeepalive();
+  RearmDeath();
+  SendData(/*is_retransmission=*/false);
+}
+
+void Connection::SendData(bool is_retransmission) {
+  awaiting_ack_ = true;
+  if (is_retransmission) {
+    ++stats_.retransmissions;
+  } else {
+    ++stats_.data_sent;
+  }
+  to_peer_.Send(Packet{id_, seq_, PacketType::kData});
+  RearmKeepalive();  // sending is activity
+  rto_timer_ = host_.After(rto_current_, [this] { OnRtoExpired(); });
+  TWHEEL_ASSERT_MSG(rto_timer_.valid(), "host scheme rejected RTO interval; size its range");
+}
+
+void Connection::OnRtoExpired() {
+  rto_timer_ = sim::EventToken{};
+  // Exponential backoff, capped — then try the same segment again.
+  rto_current_ = rto_current_ * 2 > config_.rto_max ? config_.rto_max : rto_current_ * 2;
+  SendData(/*is_retransmission=*/true);
+}
+
+void Connection::OnClientReceive(const Packet& packet) {
+  switch (packet.type) {
+    case PacketType::kAck:
+      if (awaiting_ack_ && packet.seq == seq_) {
+        ++stats_.acks_received;
+        awaiting_ack_ = false;
+        host_.Cancel(rto_timer_);  // the common case: STOP_TIMER before expiry
+        rto_timer_ = sim::EventToken{};
+        rto_current_ = config_.rto_initial;
+        RearmDeath();
+        RearmKeepalive();
+        ++seq_;
+        think_timer_ = host_.After(config_.think_time, [this] {
+          think_timer_ = sim::EventToken{};
+          SendData(/*is_retransmission=*/false);
+        });
+      }
+      break;
+    case PacketType::kKeepaliveAck:
+      RearmDeath();
+      RearmKeepalive();
+      break;
+    case PacketType::kData:
+    case PacketType::kKeepalive:
+      break;  // client never receives these in this model
+  }
+}
+
+void Connection::OnPeerReceive(const Packet& packet) {
+  // The modeled peer: acknowledge everything relevant through the reverse channel.
+  switch (packet.type) {
+    case PacketType::kData:
+      from_peer_.Send(Packet{id_, packet.seq, PacketType::kAck});
+      break;
+    case PacketType::kKeepalive:
+      from_peer_.Send(Packet{id_, packet.seq, PacketType::kKeepaliveAck});
+      break;
+    case PacketType::kAck:
+    case PacketType::kKeepaliveAck:
+      break;
+  }
+}
+
+void Connection::OnKeepaliveExpired() {
+  keepalive_timer_ = sim::EventToken{};
+  ++stats_.keepalives_sent;
+  to_peer_.Send(Packet{id_, seq_, PacketType::kKeepalive});
+  RearmKeepalive();
+}
+
+void Connection::OnDeathExpired() {
+  death_timer_ = sim::EventToken{};
+  // Prolonged silence: declare the peer dead and start a fresh session — the
+  // "failure inferred by lack of positive action" timer actually expiring.
+  ++stats_.deaths;
+  host_.Cancel(rto_timer_);
+  rto_timer_ = sim::EventToken{};
+  host_.Cancel(think_timer_);
+  think_timer_ = sim::EventToken{};
+  awaiting_ack_ = false;
+  rto_current_ = config_.rto_initial;
+  ++seq_;
+  RearmDeath();
+  SendData(/*is_retransmission=*/false);
+}
+
+void Connection::RearmKeepalive() {
+  host_.Cancel(keepalive_timer_);
+  keepalive_timer_ = host_.After(config_.keepalive_interval, [this] { OnKeepaliveExpired(); });
+  TWHEEL_ASSERT_MSG(keepalive_timer_.valid(), "host scheme rejected keepalive interval");
+}
+
+void Connection::RearmDeath() {
+  host_.Cancel(death_timer_);
+  death_timer_ = host_.After(config_.death_interval, [this] { OnDeathExpired(); });
+  TWHEEL_ASSERT_MSG(death_timer_.valid(), "host scheme rejected death interval");
+}
+
+}  // namespace twheel::net

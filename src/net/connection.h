@@ -1,0 +1,71 @@
+// One stop-and-wait transport connection with the paper's three timers.
+//
+// The client sends a data segment, arms the retransmission timer, and waits. Acks
+// cancel the timer (the overwhelmingly common case — "if failures are infrequent
+// these timers rarely expire"); timeouts retransmit with exponential backoff. A
+// keepalive timer, re-armed by any send or receive, probes idle peers; a
+// death-detection timer, re-armed by acks, declares the peer failed after prolonged
+// silence and resets the session ("other failures can only be inferred by the lack
+// of some positive action within a specified period").
+//
+// Protocol timers run on the *host* simulator (the timer scheme under evaluation);
+// packet propagation runs on the network simulator via Channel. The remote peer is
+// modeled in-line: a delivered data or keepalive packet is acknowledged through the
+// reverse channel.
+
+#ifndef TWHEEL_SRC_NET_CONNECTION_H_
+#define TWHEEL_SRC_NET_CONNECTION_H_
+
+#include <cstdint>
+
+#include "src/net/channel.h"
+#include "src/net/types.h"
+#include "src/sim/simulator.h"
+
+namespace twheel::net {
+
+class Connection {
+ public:
+  Connection(std::uint32_t id, sim::Simulator& host, Channel& to_peer,
+             Channel& from_peer, ConnectionConfig config);
+
+  // Begin the send loop and arm the long-lived timers.
+  void Start();
+
+  // Packet arrived at the client from the peer (Server routes these).
+  void OnClientReceive(const Packet& packet);
+  // Packet arrived at the modeled peer from the client.
+  void OnPeerReceive(const Packet& packet);
+
+  const ConnectionStats& stats() const { return stats_; }
+  std::uint32_t id() const { return id_; }
+  std::uint64_t next_seq() const { return seq_; }
+
+ private:
+  void SendData(bool is_retransmission);
+  void OnRtoExpired();
+  void OnKeepaliveExpired();
+  void OnDeathExpired();
+  void RearmKeepalive();
+  void RearmDeath();
+
+  std::uint32_t id_;
+  sim::Simulator& host_;
+  Channel& to_peer_;
+  Channel& from_peer_;
+  ConnectionConfig config_;
+
+  std::uint64_t seq_ = 0;
+  bool awaiting_ack_ = false;
+  Duration rto_current_;
+  sim::EventToken rto_timer_;
+  sim::EventToken keepalive_timer_;
+  sim::EventToken death_timer_;
+  sim::EventToken think_timer_;
+
+  ConnectionStats stats_;
+};
+
+}  // namespace twheel::net
+
+#endif  // TWHEEL_SRC_NET_CONNECTION_H_

@@ -1,0 +1,66 @@
+// Shared types for the simulated transport substrate.
+//
+// Section 1 motivates the paper with exactly this workload: "consider a server with
+// 200 connections and 3 timers per connection" where "since messages can be lost in
+// the underlying network, timers are needed at some level to trigger
+// retransmissions." The net:: library is that server: per connection a
+// retransmission timer (stopped by acks — the "rarely expire" kind), a keepalive
+// timer (restarted by activity), and a death-detection timer (the
+// failure-inferred-by-absence kind), all running against a configurable scheme.
+
+#ifndef TWHEEL_SRC_NET_TYPES_H_
+#define TWHEEL_SRC_NET_TYPES_H_
+
+#include <cstdint>
+
+#include "src/base/types.h"
+
+namespace twheel::net {
+
+enum class PacketType : std::uint8_t {
+  kData,
+  kAck,
+  kKeepalive,
+  kKeepaliveAck,
+};
+
+struct Packet {
+  std::uint32_t connection_id = 0;
+  std::uint64_t seq = 0;
+  PacketType type = PacketType::kData;
+};
+
+struct ChannelConfig {
+  double loss_probability = 0.05;
+  Duration delay_lo = 2;   // one-way latency, uniform in [lo, hi] ticks
+  Duration delay_hi = 10;
+};
+
+struct ConnectionConfig {
+  Duration rto_initial = 40;      // retransmission timeout
+  Duration rto_max = 640;         // exponential backoff cap
+  Duration think_time = 20;       // gap between an ack and the next data send
+  Duration keepalive_interval = 500;
+  Duration death_interval = 4000;  // no acks for this long => declare peer dead
+};
+
+struct ConnectionStats {
+  std::uint64_t data_sent = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t keepalives_sent = 0;
+  std::uint64_t deaths = 0;
+
+  ConnectionStats& operator+=(const ConnectionStats& o) {
+    data_sent += o.data_sent;
+    retransmissions += o.retransmissions;
+    acks_received += o.acks_received;
+    keepalives_sent += o.keepalives_sent;
+    deaths += o.deaths;
+    return *this;
+  }
+};
+
+}  // namespace twheel::net
+
+#endif  // TWHEEL_SRC_NET_TYPES_H_

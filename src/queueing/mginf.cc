@@ -1,0 +1,25 @@
+#include "src/queueing/mginf.h"
+
+namespace twheel::queueing {
+
+double ScanFractionFrontExponential() {
+  // Memorylessness: the residual of an exponential is the same exponential, so a
+  // fresh draw exceeds a residual with probability exactly 1/2.
+  return 0.5;
+}
+
+double ScanFractionFrontUniform(double lo, double hi) {
+  // p = P(R < X) = (1/mu) * Int (1 - F(t))^2 dt over t >= 0, with F the uniform cdf:
+  // the integrand is 1 on [0, lo) and ((hi - t)/(hi - lo))^2 on [lo, hi].
+  double mu = 0.5 * (lo + hi);
+  return (lo + (hi - lo) / 3.0) / mu;
+}
+
+double ScanFractionFrontConstant() {
+  // Every residual lies strictly below the (constant) fresh draw: the front search
+  // scans the entire list, and the rear search terminates immediately — the paper's
+  // O(1) rear-insertion special case.
+  return 1.0;
+}
+
+}  // namespace twheel::queueing

@@ -1,0 +1,86 @@
+// M/G/infinity analytics for the Figure 3 model of a timer module.
+//
+// "Interestingly, this can be modeled as a single queue with infinite servers; this
+// is valid because every timer in the queue is essentially decremented (or served)
+// every timer tick. It is shown in [4] that we can use Little's result to obtain the
+// average number in the queue; also the distribution of the remaining time of
+// elements in the timer queue seen by a new request is the residual life density of
+// the timer interval distribution."
+//
+// This module provides the closed forms that the fig3-mginf and sec32-insertion-cost
+// benches compare against measurement:
+//
+//   * Little's law: E[outstanding] = lambda * E[interval].
+//   * Residual-life mean: E[T^2] / (2 E[T]) (renewal theory).
+//   * Expected sorted-list insertion scan lengths. A front search examines the
+//     elements whose residual life is below the new draw, plus the terminating one;
+//     under Poisson arrivals (PASTA) each of the n outstanding timers independently
+//     has the residual-life law, so the scan averages n * p + O(1) with
+//     p = P(residual < fresh draw):
+//         exponential:  p = 1/2 front (memoryless: residual ~ same exponential)
+//         uniform[0,a]: p = 2/3 front, 1/3 rear
+//         constant:     p = 1   front, 0   rear   (rear insertion is O(1) —
+//                        the paper's "all timer intervals have the same value" case)
+//
+// Section 3.2 quotes 2 + (2/3)n for negative-exponential and 2 + n/2 for uniform
+// (front search) and 2 + n/3 for exponential rear search, citing Reeves [4]. Under
+// the renewal-theoretic model above, the 2/3 and 1/3 constants belong to the
+// *uniform* distribution and the exponential gives 1/2 either way; our benches
+// measure the actual scan lengths so EXPERIMENTS.md can report which attribution the
+// data supports. All three constants — n/3, n/2, 2n/3 — and the linear-in-n shape
+// are reproduced either way.
+
+#ifndef TWHEEL_SRC_QUEUEING_MGINF_H_
+#define TWHEEL_SRC_QUEUEING_MGINF_H_
+
+#include <cstdint>
+
+namespace twheel::queueing {
+
+// Little's law for the timer module viewed as G/G/inf: average outstanding timers.
+inline double ExpectedOutstanding(double arrival_rate, double mean_interval) {
+  return arrival_rate * mean_interval;
+}
+
+// Mean residual life of a renewal process with the given first two moments.
+inline double ResidualLifeMean(double mean, double second_moment) {
+  return second_moment / (2.0 * mean);
+}
+
+// First two moments of the library's interval distributions (continuous idealiza-
+// tions; tick rounding perturbs them by O(1)).
+struct Moments {
+  double mean = 0.0;
+  double second = 0.0;
+};
+
+inline Moments ExponentialMoments(double mean) { return {mean, 2.0 * mean * mean}; }
+
+inline Moments UniformMoments(double lo, double hi) {
+  double mean = 0.5 * (lo + hi);
+  double second = (lo * lo + lo * hi + hi * hi) / 3.0;
+  return {mean, second};
+}
+
+inline Moments ConstantMoments(double value) { return {value, value * value}; }
+
+// P(residual life of an in-service interval < a fresh interval draw): the expected
+// fraction of the sorted list a front-search insertion scans past.
+double ScanFractionFrontExponential();
+double ScanFractionFrontUniform(double lo, double hi);
+double ScanFractionFrontConstant();
+
+// Rear-search complements (fraction of list scanned from the tail).
+inline double ScanFractionRear(double front_fraction) { return 1.0 - front_fraction; }
+
+// The paper's quoted Section 3.2 closed forms, kept verbatim for comparison.
+inline double PaperInsertCostExponentialFront(double n) { return 2.0 + 2.0 * n / 3.0; }
+inline double PaperInsertCostUniformFront(double n) { return 2.0 + n / 2.0; }
+inline double PaperInsertCostExponentialRear(double n) { return 2.0 + n / 3.0; }
+
+// Renewal-model scan-length prediction: comparisons ~= n * fraction + 1.
+inline double ModelScanLength(double n, double fraction) { return n * fraction + 1.0; }
+
+}  // namespace twheel::queueing
+
+#endif  // TWHEEL_SRC_QUEUEING_MGINF_H_

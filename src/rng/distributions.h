@@ -1,0 +1,183 @@
+// Timer-interval and inter-arrival distributions (Section 3.2).
+//
+// The paper's Scheme 2 analysis is parameterized by "the distribution of timer
+// intervals (from time started to time stopped), and the distribution of the arrival
+// process according to which calls to START_TIMER are made", with closed-form
+// insertion costs for negative-exponential and uniform intervals under Poisson
+// arrivals. These classes supply those distributions (plus constant — the paper's
+// "all timer intervals have the same value" degenerate case — geometric, and Pareto
+// for a heavy-tailed stressor) as draws of integral tick counts.
+
+#ifndef TWHEEL_SRC_RNG_DISTRIBUTIONS_H_
+#define TWHEEL_SRC_RNG_DISTRIBUTIONS_H_
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/base/assert.h"
+#include "src/base/types.h"
+#include "src/rng/rng.h"
+
+namespace twheel::rng {
+
+// A distribution over positive tick durations. Draw() never returns 0: a timer of
+// zero ticks is an immediate expiry, which the schemes treat as a policy question,
+// not a distribution question.
+class IntervalDistribution {
+ public:
+  virtual ~IntervalDistribution() = default;
+
+  virtual Duration Draw(Xoshiro256& g) = 0;
+
+  // Exact mean of the (pre-rounding) distribution, used by the queueing analytics.
+  virtual double Mean() const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+// Every draw is the same value. The paper: "if all timers intervals have the same
+// value... this search strategy [rear insertion] yields an O(1) START_TIMER latency"
+// — and it is the adversarial input that degenerates an unbalanced BST into a list.
+class ConstantInterval final : public IntervalDistribution {
+ public:
+  explicit ConstantInterval(Duration value) : value_(value) { TWHEEL_ASSERT(value >= 1); }
+
+  Duration Draw(Xoshiro256&) override { return value_; }
+  double Mean() const override { return static_cast<double>(value_); }
+  std::string Name() const override { return "constant(" + std::to_string(value_) + ")"; }
+
+ private:
+  Duration value_;
+};
+
+// Uniform over [lo, hi] inclusive.
+class UniformInterval final : public IntervalDistribution {
+ public:
+  UniformInterval(Duration lo, Duration hi) : lo_(lo), hi_(hi) {
+    TWHEEL_ASSERT(lo >= 1 && hi >= lo);
+  }
+
+  Duration Draw(Xoshiro256& g) override { return lo_ + g.NextBounded(hi_ - lo_ + 1); }
+  double Mean() const override { return 0.5 * (static_cast<double>(lo_) + static_cast<double>(hi_)); }
+  std::string Name() const override {
+    return "uniform[" + std::to_string(lo_) + "," + std::to_string(hi_) + "]";
+  }
+
+ private:
+  Duration lo_;
+  Duration hi_;
+};
+
+// Negative exponential with the given mean, rounded up to at least one tick.
+class ExponentialInterval final : public IntervalDistribution {
+ public:
+  explicit ExponentialInterval(double mean) : mean_(mean) { TWHEEL_ASSERT(mean > 0); }
+
+  Duration Draw(Xoshiro256& g) override {
+    double u = g.NextDouble();
+    // Guard the log: NextDouble() is in [0,1); 1-u is in (0,1].
+    double x = -mean_ * std::log(1.0 - u);
+    Duration d = static_cast<Duration>(std::llround(std::ceil(x)));
+    return d == 0 ? 1 : d;
+  }
+  double Mean() const override { return mean_; }
+  std::string Name() const override { return "exponential(mean=" + std::to_string(mean_) + ")"; }
+
+ private:
+  double mean_;
+};
+
+// Pareto (Lomax-shifted) with shape alpha > 1 and minimum x_m >= 1. Heavy-tailed:
+// exercises the deep levels of hierarchical wheels and the overflow behaviour of
+// bounded ones.
+class ParetoInterval final : public IntervalDistribution {
+ public:
+  ParetoInterval(double alpha, Duration x_m) : alpha_(alpha), x_m_(x_m) {
+    TWHEEL_ASSERT(alpha > 1.0 && x_m >= 1);
+  }
+
+  Duration Draw(Xoshiro256& g) override {
+    double u = g.NextDouble();
+    double x = static_cast<double>(x_m_) / std::pow(1.0 - u, 1.0 / alpha_);
+    // Cap draws at 2^40 ticks to keep pathological tails finite in benches.
+    double capped = std::min(x, 1099511627776.0);
+    return static_cast<Duration>(std::llround(std::ceil(capped)));
+  }
+  double Mean() const override { return alpha_ * static_cast<double>(x_m_) / (alpha_ - 1.0); }
+  std::string Name() const override { return "pareto(alpha=" + std::to_string(alpha_) + ")"; }
+
+ private:
+  double alpha_;
+  Duration x_m_;
+};
+
+// Geometric on {1, 2, ...} with success probability p — the discrete analogue of the
+// exponential, natural for tick-quantized timers.
+class GeometricInterval final : public IntervalDistribution {
+ public:
+  explicit GeometricInterval(double p) : p_(p) { TWHEEL_ASSERT(p > 0.0 && p < 1.0); }
+
+  Duration Draw(Xoshiro256& g) override {
+    double u = g.NextDouble();
+    double x = std::floor(std::log(1.0 - u) / std::log(1.0 - p_)) + 1.0;
+    return static_cast<Duration>(x);
+  }
+  double Mean() const override { return 1.0 / p_; }
+  std::string Name() const override { return "geometric(p=" + std::to_string(p_) + ")"; }
+
+ private:
+  double p_;
+};
+
+// Arrival process: gaps between successive START_TIMER calls, in ticks (may be 0:
+// several timers can start on the same tick).
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual Duration NextGap(Xoshiro256& g) = 0;
+  virtual double MeanGap() const = 0;
+  virtual std::string Name() const = 0;
+};
+
+// Poisson arrivals of rate lambda per tick. Exponential inter-arrival times are
+// accumulated in continuous time and quantized to ticks with a fractional carry, so
+// the long-run arrival rate is exactly lambda (flooring each gap independently would
+// inflate the rate and break the Little's-law validation of Figure 3). Sub-tick gaps
+// collapse to 0: several timers start on the same tick, as a real burst would.
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double lambda) : lambda_(lambda) { TWHEEL_ASSERT(lambda > 0); }
+
+  Duration NextGap(Xoshiro256& g) override {
+    double u = g.NextDouble();
+    carry_ += -std::log(1.0 - u) / lambda_;
+    Duration gap = static_cast<Duration>(carry_);
+    carry_ -= static_cast<double>(gap);
+    return gap;
+  }
+  double MeanGap() const override { return 1.0 / lambda_; }
+  std::string Name() const override { return "poisson(lambda=" + std::to_string(lambda_) + ")"; }
+
+ private:
+  double lambda_;
+  double carry_ = 0.0;
+};
+
+// Deterministic arrivals: exactly one start every `gap` ticks.
+class PeriodicArrivals final : public ArrivalProcess {
+ public:
+  explicit PeriodicArrivals(Duration gap) : gap_(gap) {}
+
+  Duration NextGap(Xoshiro256&) override { return gap_; }
+  double MeanGap() const override { return static_cast<double>(gap_); }
+  std::string Name() const override { return "periodic(" + std::to_string(gap_) + ")"; }
+
+ private:
+  Duration gap_;
+};
+
+}  // namespace twheel::rng
+
+#endif  // TWHEEL_SRC_RNG_DISTRIBUTIONS_H_

@@ -1,0 +1,118 @@
+#include "src/sim/simulator.h"
+
+#include "src/base/assert.h"
+
+namespace twheel::sim {
+namespace {
+
+RequestId PackRef(SlabRef ref) {
+  return (static_cast<RequestId>(ref.generation) << 32) | ref.slot;
+}
+
+SlabRef UnpackRef(RequestId id) {
+  return SlabRef{static_cast<std::uint32_t>(id & 0xffffffffu),
+                 static_cast<std::uint32_t>(id >> 32)};
+}
+
+}  // namespace
+
+Simulator::Simulator(std::unique_ptr<TimerService> service)
+    : service_(std::move(service)) {
+  TWHEEL_ASSERT(service_ != nullptr);
+  service_->set_expiry_handler([this](RequestId id, Tick) {
+    const SlabRef ref = UnpackRef(id);
+    Entry* entry = entries_.Get(ref);
+    TWHEEL_ASSERT_MSG(entry != nullptr, "expiry for unknown simulator event");
+    if (entry->period == 0) {
+      // One-shot: move the action out and release the entry *before* running it —
+      // the action may itself schedule or cancel events (touching the arena).
+      Action action = std::move(entry->action);
+      entries_.Free(ref);
+      action();
+      return;
+    }
+    // Periodic: re-arm under the same token first, so the action can cancel its own
+    // future runs; invoke a copy in case the action does exactly that (freeing the
+    // entry, and with it the stored std::function, mid-run).
+    StartResult rearm = service_->StartTimer(entry->period, id);
+    TWHEEL_ASSERT_MSG(rearm.has_value(), "periodic re-arm rejected by the service");
+    entry->handle = rearm.value();
+    Action run = entry->action;
+    run();
+  });
+}
+
+EventToken Simulator::Schedule(Duration delay, Duration period, Action action) {
+  auto [entry, ref] = entries_.Allocate();
+  if (entry == nullptr) {
+    return EventToken{};
+  }
+  entry->action = std::move(action);
+  entry->period = period;
+  StartResult result = service_->StartTimer(delay, PackRef(ref));
+  if (!result.has_value()) {
+    entries_.Free(ref);
+    return EventToken{};
+  }
+  entry->handle = result.value();
+  return EventToken{ref};
+}
+
+EventToken Simulator::After(Duration delay, Action action) {
+  return Schedule(delay, /*period=*/0, std::move(action));
+}
+
+EventToken Simulator::Every(Duration period, Action action) {
+  return Schedule(period, period, std::move(action));
+}
+
+bool Simulator::Cancel(EventToken token) {
+  Entry* entry = entries_.Get(token.ref);
+  if (entry == nullptr) {
+    return false;  // already ran or already cancelled
+  }
+  TimerError err = service_->StopTimer(entry->handle);
+  TWHEEL_ASSERT_MSG(err == TimerError::kOk, "simulator entry alive but timer dead");
+  entries_.Free(token.ref);
+  return true;
+}
+
+std::size_t Simulator::Step() { return service_->PerTickBookkeeping(); }
+
+Tick Simulator::RunUntilIdle(Tick max_ticks) {
+  Tick advanced = 0;
+  while (pending() > 0 && advanced < max_ticks) {
+    Step();
+    ++advanced;
+  }
+  return advanced;
+}
+
+std::optional<Tick> Simulator::RunUntilIdleJumping(Tick max_ticks) {
+  if (!service_->NextExpiryHint().has_value() && pending() > 0) {
+    return std::nullopt;  // scheme cannot peek; caller should tick-step instead
+  }
+  Tick covered = 0;
+  while (pending() > 0 && covered < max_ticks) {
+    std::optional<Tick> next = service_->NextExpiryHint();
+    TWHEEL_ASSERT_MSG(next.has_value(), "pending events but no expiry hint");
+    // Jump the dead time, then execute the expiry tick itself.
+    Tick gap = *next - service_->now();
+    if (gap > 1) {
+      Tick jump_to = *next - 1;
+      if (covered + (jump_to - service_->now()) > max_ticks) {
+        bool ok = service_->FastForward(service_->now() + (max_ticks - covered));
+        TWHEEL_ASSERT(ok);
+        return max_ticks;
+      }
+      covered += jump_to - service_->now();
+      bool ok = service_->FastForward(jump_to);
+      TWHEEL_ASSERT(ok);
+    }
+    Step();
+    ++covered;
+  }
+  return covered;
+}
+
+}  // namespace twheel::sim

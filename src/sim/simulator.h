@@ -1,0 +1,97 @@
+// Discrete-event simulation on top of a timer facility (Section 4).
+//
+// The paper's Section 4 argues the equivalence both ways: "time flow algorithms used
+// for digital simulation can be used to implement timer algorithms; conversely,
+// timer algorithms can be used to implement time flow mechanisms in simulations."
+// This Simulator is the converse direction: a general event scheduler whose pending-
+// event set is any TimerService — hand it a HierarchicalWheel and you have a
+// TEGAS-style tick-stepped simulator; hand it a SortedListTimers and you have the
+// event list of a GPSS/SIMULA-style simulator.
+//
+// Scheduled actions are arbitrary callbacks; the Simulator owns the dispatch table
+// (slab-allocated, generation-checked tokens mirroring TimerHandle semantics) and
+// multiplexes them over the service's single ExpiryHandler via RequestId.
+
+#ifndef TWHEEL_SRC_SIM_SIMULATOR_H_
+#define TWHEEL_SRC_SIM_SIMULATOR_H_
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "src/base/slab_arena.h"
+#include "src/base/types.h"
+#include "src/core/timer_service.h"
+
+namespace twheel::sim {
+
+// Opaque token for a scheduled (cancellable) event.
+struct EventToken {
+  SlabRef ref;
+  constexpr bool valid() const { return ref.valid(); }
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  // The simulator assumes exclusive ownership of the service (it installs its own
+  // expiry handler).
+  explicit Simulator(std::unique_ptr<TimerService> service);
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  // Schedule `action` to run `delay` ticks from now (delay >= 1). Actions scheduled
+  // for the same tick run in scheme-dependent order, which Section 4.2 notes is
+  // acceptable for timer-driven systems. Returns an invalid token if the underlying
+  // service rejects the interval (range/capacity).
+  EventToken After(Duration delay, Action action);
+
+  // Schedule `action` to run every `period` ticks (first run one period from now),
+  // until cancelled. The action may cancel its own token. Re-arming is internal and
+  // phase-stable: the k-th run lands exactly at now + k*period.
+  EventToken Every(Duration period, Action action);
+
+  // Cancel a pending event. Returns false if it already ran (one-shots) or was
+  // cancelled. Cancelling a periodic event stops all future runs.
+  bool Cancel(EventToken token);
+
+  // Advance one tick, running due actions. Returns the number of actions run.
+  std::size_t Step();
+
+  // Run until no events remain or `max_ticks` more ticks have elapsed. Returns
+  // ticks actually advanced. Tick-stepped time flow — Section 4's method 2, the
+  // TEGAS/DECSIM style ("the program ... increments the clock variable by c until
+  // it finds any outstanding events").
+  Tick RunUntilIdle(Tick max_ticks = ~Tick{0});
+
+  // Event-jumping time flow — Section 4's method 1, the GPSS/SIMULA style ("the
+  // earliest event is immediately retrieved ... and the clock jumps to the time of
+  // this event"). Requires a service with the NextExpiryHint/FastForward capability
+  // (sorted list, heap, BST); returns the ticks covered (including jumped ones), or
+  // nullopt if the service cannot jump (fall back to RunUntilIdle).
+  std::optional<Tick> RunUntilIdleJumping(Tick max_ticks = ~Tick{0});
+
+  Tick now() const { return service_->now(); }
+  std::size_t pending() const { return service_->outstanding(); }
+  const TimerService& service() const { return *service_; }
+
+ private:
+  struct Entry {
+    Action action;
+    TimerHandle handle;   // for cancellation
+    Duration period = 0;  // 0 = one-shot; otherwise the Every() re-arm interval
+  };
+
+  EventToken Schedule(Duration delay, Duration period, Action action);
+
+  std::unique_ptr<TimerService> service_;
+  SlabArena<Entry> entries_;
+};
+
+}  // namespace twheel::sim
+
+#endif  // TWHEEL_SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,129 @@
+// Deterministic workload driver for timer schemes.
+//
+// Section 3.2 observes that a timer module's average costs depend on two
+// distributions: the timer-interval distribution and the arrival process of
+// START_TIMER calls; Section 2 adds that some client populations stop almost every
+// timer before expiry (retransmission timers) while others let almost every timer
+// expire (periodic checks). A WorkloadSpec captures exactly those three knobs plus a
+// seed; Run() drives any TimerService with the fully pre-determined call sequence
+// and measures what the paper measures:
+//
+//   * per-START_TIMER cost in key comparisons (vs the 2 + 2n/3 family of forms),
+//   * per-tick bookkeeping work, mean and distribution (vs n/TableSize and the
+//     Section 6.1.2 burstiness claim),
+//   * the paper-weighted VAX instruction totals,
+//   * wall-clock time,
+//   * and the exact expiry trace, for differential testing across schemes.
+//
+// The call sequence (arrival ticks, intervals, which timers are stopped and when)
+// depends only on the spec, never on the scheme under test, so two schemes given the
+// same spec are fed byte-identical request streams.
+
+#ifndef TWHEEL_SRC_WORKLOAD_WORKLOAD_H_
+#define TWHEEL_SRC_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+#include "src/core/timer_service.h"
+#include "src/metrics/histogram.h"
+#include "src/metrics/running_stats.h"
+#include "src/rng/distributions.h"
+
+namespace twheel::workload {
+
+enum class ArrivalKind : std::uint8_t { kPoisson, kPeriodic };
+enum class IntervalKind : std::uint8_t {
+  kConstant,
+  kUniform,
+  kExponential,
+  kPareto,
+  kGeometric,
+};
+
+struct WorkloadSpec {
+  std::uint64_t seed = 1;
+
+  ArrivalKind arrivals = ArrivalKind::kPoisson;
+  double arrival_rate = 1.0;   // Poisson: expected starts per tick
+  Duration arrival_gap = 1;    // Periodic: ticks between starts
+
+  IntervalKind intervals = IntervalKind::kExponential;
+  double interval_mean = 128.0;  // exponential mean / geometric 1/p
+  Duration interval_lo = 1;      // uniform lower bound / constant value / Pareto x_m
+  Duration interval_hi = 256;    // uniform upper bound
+  double pareto_alpha = 1.5;
+
+  // Clamp every drawn interval to this many ticks (0 = no clamp). Keeps heavy-tailed
+  // draws from stretching a replay over 2^40 ticks.
+  Duration interval_cap = 0;
+
+  // Fraction of timers cancelled before expiry (stop tick uniform over the timer's
+  // life). 0.0 = every timer expires (rate-control style); ~1.0 = almost every timer
+  // is stopped (retransmission style, "if failures are infrequent these timers
+  // rarely expire").
+  double stop_fraction = 0.0;
+
+  // Number of START_TIMER calls to issue after warmup, and to warm up with (warmup
+  // lets the outstanding-count reach steady state before measurement starts).
+  std::size_t warmup_starts = 0;
+  std::size_t measured_starts = 10000;
+
+  // Hard tick ceiling as a runaway guard; 0 derives a generous default.
+  Tick max_ticks = 0;
+};
+
+// One expiry observation, in dispatch order.
+struct ExpiryEvent {
+  Tick tick = 0;
+  RequestId request_id = 0;
+  friend bool operator==(const ExpiryEvent&, const ExpiryEvent&) = default;
+  friend auto operator<=>(const ExpiryEvent&, const ExpiryEvent&) = default;
+};
+
+struct WorkloadResult {
+  std::string scheme_name;
+
+  // Counts.
+  std::size_t starts_issued = 0;
+  std::size_t starts_rejected = 0;  // out-of-range / capacity errors from the scheme
+  std::size_t stops_issued = 0;
+  std::size_t expiries = 0;
+  Tick ticks_run = 0;
+
+  // Measured-phase statistics. The measurement window opens at the first
+  // post-warmup start and closes at the last start issued: the drain tail (after
+  // arrivals cease) is excluded so steady-state averages aren't diluted.
+  metrics::RunningStats start_comparisons;   // key comparisons per StartTimer call
+  metrics::RunningStats start_ops;           // comparisons + link ops per call
+  metrics::RunningStats tick_work;           // OpCounts::TickWork delta per tick
+  metrics::Histogram tick_work_hist;         // same, full distribution
+  metrics::RunningStats outstanding;         // sampled before each tick
+  metrics::OpCounts measured_ops;            // aggregate op-count delta over the phase
+
+  double wall_seconds = 0.0;
+
+  // Expiry trace (measured + warmup; dispatch order). For cross-scheme comparison,
+  // sort events within each tick (dispatch order within a tick is scheme-specific —
+  // the paper: "Timer modules need not meet this [FIFO] restriction").
+  std::vector<ExpiryEvent> trace;
+};
+
+// Pre-draws the request stream for `spec` and replays it against `service`.
+WorkloadResult Run(TimerService& service, const WorkloadSpec& spec);
+
+// Normalizes a trace for cross-scheme equality: sorted by (tick, request_id).
+std::vector<ExpiryEvent> NormalizedTrace(const std::vector<ExpiryEvent>& trace);
+
+// The trace the spec *predicts* assuming exact-expiry semantics (Schemes 1-6 and
+// Scheme 7 with full migration) and no rejected starts: every unstopped timer fires
+// at start + interval. Returned normalized and truncated to the same tick horizon
+// Run() uses, so it is directly comparable with NormalizedTrace(result.trace).
+std::vector<ExpiryEvent> PredictedTrace(const WorkloadSpec& spec);
+
+}  // namespace twheel::workload
+
+#endif  // TWHEEL_SRC_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,82 @@
+// Unit tests for the Expected<T, E> fallible-result type.
+
+#include <gtest/gtest.h>
+
+#include "src/base/expected.h"
+#include "src/base/types.h"
+
+namespace twheel {
+namespace {
+
+using IntResult = Expected<int, TimerError>;
+
+TEST(ExpectedTest, HoldsValue) {
+  IntResult r(7);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 7);
+  EXPECT_EQ(r.value_or(-1), 7);
+}
+
+TEST(ExpectedTest, HoldsError) {
+  IntResult r(TimerError::kNoCapacity);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), TimerError::kNoCapacity);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ExpectedTest, CopyPreservesAlternative) {
+  IntResult v(3);
+  IntResult e(TimerError::kZeroInterval);
+  IntResult v2 = v;
+  IntResult e2 = e;
+  EXPECT_EQ(v2.value(), 3);
+  EXPECT_EQ(e2.error(), TimerError::kZeroInterval);
+}
+
+TEST(ExpectedTest, AssignmentSwitchesAlternative) {
+  IntResult r(3);
+  r = IntResult(TimerError::kNoSuchTimer);
+  ASSERT_FALSE(r.has_value());
+  EXPECT_EQ(r.error(), TimerError::kNoSuchTimer);
+  r = IntResult(11);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r.value(), 11);
+}
+
+TEST(ExpectedTest, MutableValueAccess) {
+  IntResult r(1);
+  r.value() = 9;
+  EXPECT_EQ(r.value(), 9);
+}
+
+TEST(ExpectedTest, WorksWithHandlePayload) {
+  using HandleResult = Expected<TimerHandle, TimerError>;
+  HandleResult ok(TimerHandle{4, 2});
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok.value().slot, 4u);
+  EXPECT_EQ(ok.value().generation, 2u);
+  HandleResult bad(TimerError::kIntervalOutOfRange);
+  EXPECT_FALSE(bad.has_value());
+}
+
+TEST(ExpectedDeathTest, ValueOnErrorAborts) {
+  IntResult r(TimerError::kNoCapacity);
+  EXPECT_DEATH((void)r.value(), "assertion failed");
+}
+
+TEST(ExpectedDeathTest, ErrorOnValueAborts) {
+  IntResult r(1);
+  EXPECT_DEATH((void)r.error(), "assertion failed");
+}
+
+TEST(TimerErrorTest, NamesAreStable) {
+  EXPECT_STREQ(TimerErrorName(TimerError::kOk), "kOk");
+  EXPECT_STREQ(TimerErrorName(TimerError::kIntervalOutOfRange), "kIntervalOutOfRange");
+  EXPECT_STREQ(TimerErrorName(TimerError::kZeroInterval), "kZeroInterval");
+  EXPECT_STREQ(TimerErrorName(TimerError::kNoCapacity), "kNoCapacity");
+  EXPECT_STREQ(TimerErrorName(TimerError::kNoSuchTimer), "kNoSuchTimer");
+}
+
+}  // namespace
+}  // namespace twheel

@@ -1,0 +1,196 @@
+// Unit tests for the intrusive doubly-linked list underlying every scheme's O(1)
+// STOP_TIMER (Section 3.2).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+
+namespace twheel {
+namespace {
+
+struct Node : ListNode {
+  explicit Node(int v) : value(v) {}
+  int value;
+};
+
+std::vector<int> Values(const IntrusiveList<Node>& list) {
+  std::vector<int> out;
+  for (Node* n = list.front(); n != nullptr; n = list.Next(n)) {
+    out.push_back(n->value);
+  }
+  return out;
+}
+
+TEST(IntrusiveListTest, StartsEmpty) {
+  IntrusiveList<Node> list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_EQ(list.front(), nullptr);
+  EXPECT_EQ(list.back(), nullptr);
+  EXPECT_EQ(list.CountSlow(), 0u);
+}
+
+TEST(IntrusiveListTest, PushFrontOrders) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.PushFront(&a);
+  list.PushFront(&b);
+  list.PushFront(&c);
+  EXPECT_EQ(Values(list), (std::vector<int>{3, 2, 1}));
+  while (!list.empty()) {
+    list.PopFront();
+  }
+}
+
+TEST(IntrusiveListTest, PushBackOrders) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(list.front()->value, 1);
+  EXPECT_EQ(list.back()->value, 3);
+  while (!list.empty()) {
+    list.PopFront();
+  }
+}
+
+TEST(IntrusiveListTest, UnlinkFromMiddleWithoutListReference) {
+  // The crucial O(1) STOP_TIMER property: a node removes itself knowing nothing
+  // about which list holds it.
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  b.Unlink();
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 3}));
+  EXPECT_FALSE(b.linked());
+  EXPECT_TRUE(a.linked());
+  a.Unlink();
+  c.Unlink();
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, UnlinkFrontAndBack) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  a.Unlink();
+  EXPECT_EQ(list.front()->value, 2);
+  c.Unlink();
+  EXPECT_EQ(list.back()->value, 2);
+  b.Unlink();
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, InsertBeforePosition) {
+  IntrusiveList<Node> list;
+  Node a(1), c(3), b(2);
+  list.PushBack(&a);
+  list.PushBack(&c);
+  list.InsertBefore(&b, &c);
+  EXPECT_EQ(Values(list), (std::vector<int>{1, 2, 3}));
+  a.Unlink();
+  b.Unlink();
+  c.Unlink();
+}
+
+TEST(IntrusiveListTest, PopFrontReturnsInOrder) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  EXPECT_EQ(list.PopFront()->value, 1);
+  EXPECT_EQ(list.PopFront()->value, 2);
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListTest, NextPrevTraversal) {
+  IntrusiveList<Node> list;
+  Node a(1), b(2), c(3);
+  list.PushBack(&a);
+  list.PushBack(&b);
+  list.PushBack(&c);
+  EXPECT_EQ(list.Next(&a), &b);
+  EXPECT_EQ(list.Next(&c), nullptr);
+  EXPECT_EQ(list.Prev(&c), &b);
+  EXPECT_EQ(list.Prev(&a), nullptr);
+  a.Unlink();
+  b.Unlink();
+  c.Unlink();
+}
+
+TEST(IntrusiveListTest, SpliceBackMovesAll) {
+  IntrusiveList<Node> dst;
+  IntrusiveList<Node> src;
+  Node a(1), b(2), c(3), d(4);
+  dst.PushBack(&a);
+  dst.PushBack(&b);
+  src.PushBack(&c);
+  src.PushBack(&d);
+  dst.SpliceBack(src);
+  EXPECT_TRUE(src.empty());
+  EXPECT_EQ(Values(dst), (std::vector<int>{1, 2, 3, 4}));
+  while (!dst.empty()) {
+    dst.PopFront();
+  }
+}
+
+TEST(IntrusiveListTest, SpliceBackFromEmptyIsNoop) {
+  IntrusiveList<Node> dst;
+  IntrusiveList<Node> src;
+  Node a(1);
+  dst.PushBack(&a);
+  dst.SpliceBack(src);
+  EXPECT_EQ(dst.CountSlow(), 1u);
+  a.Unlink();
+}
+
+TEST(IntrusiveListTest, SpliceIntoEmptyList) {
+  IntrusiveList<Node> dst;
+  IntrusiveList<Node> src;
+  Node a(1), b(2);
+  src.PushBack(&a);
+  src.PushBack(&b);
+  dst.SpliceBack(src);
+  EXPECT_EQ(Values(dst), (std::vector<int>{1, 2}));
+  EXPECT_TRUE(src.empty());
+  a.Unlink();
+  b.Unlink();
+}
+
+TEST(IntrusiveListTest, ReinsertionAfterUnlink) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  for (int i = 0; i < 100; ++i) {
+    list.PushBack(&a);
+    EXPECT_TRUE(a.linked());
+    a.Unlink();
+    EXPECT_FALSE(a.linked());
+  }
+  EXPECT_TRUE(list.empty());
+}
+
+TEST(IntrusiveListDeathTest, DoubleUnlinkAborts) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  list.PushBack(&a);
+  a.Unlink();
+  EXPECT_DEATH(a.Unlink(), "assertion failed");
+}
+
+TEST(IntrusiveListDeathTest, DoubleInsertAborts) {
+  IntrusiveList<Node> list;
+  Node a(1);
+  list.PushBack(&a);
+  EXPECT_DEATH(list.PushBack(&a), "already in a list");
+  a.Unlink();
+}
+
+}  // namespace
+}  // namespace twheel

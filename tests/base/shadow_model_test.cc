@@ -1,0 +1,171 @@
+// Shadow-model fuzzing of the base containers: long random operation sequences
+// executed simultaneously against the intrusive/slab implementations and trivially
+// correct standard-library references, with full-state comparison at checkpoints.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <list>
+#include <map>
+#include <vector>
+
+#include "src/base/intrusive_list.h"
+#include "src/base/slab_arena.h"
+#include "src/rng/rng.h"
+
+namespace twheel {
+namespace {
+
+struct Node : ListNode {
+  explicit Node(int v) : value(v) {}
+  int value;
+};
+
+class ListShadowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ListShadowTest, MatchesStdListUnderRandomOps) {
+  rng::Xoshiro256 gen(GetParam());
+  IntrusiveList<Node> list;
+  std::list<Node*> shadow;
+  std::vector<Node*> pool;
+  int next_value = 0;
+
+  auto verify = [&] {
+    ASSERT_EQ(list.CountSlow(), shadow.size());
+    auto it = shadow.begin();
+    for (Node* n = list.front(); n != nullptr; n = list.Next(n), ++it) {
+      ASSERT_EQ(n, *it);
+    }
+    // Backward too.
+    auto rit = shadow.rbegin();
+    for (Node* n = list.back(); n != nullptr; n = list.Prev(n), ++rit) {
+      ASSERT_EQ(n, *rit);
+    }
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    switch (gen.NextBounded(6)) {
+      case 0: {  // push front
+        Node* n = new Node(next_value++);
+        pool.push_back(n);
+        list.PushFront(n);
+        shadow.push_front(n);
+        break;
+      }
+      case 1: {  // push back
+        Node* n = new Node(next_value++);
+        pool.push_back(n);
+        list.PushBack(n);
+        shadow.push_back(n);
+        break;
+      }
+      case 2: {  // insert before a random linked element
+        if (shadow.empty()) {
+          break;
+        }
+        auto pos = shadow.begin();
+        std::advance(pos, gen.NextBounded(shadow.size()));
+        Node* n = new Node(next_value++);
+        pool.push_back(n);
+        list.InsertBefore(n, *pos);
+        shadow.insert(pos, n);
+        break;
+      }
+      case 3: {  // unlink a random element
+        if (shadow.empty()) {
+          break;
+        }
+        auto pos = shadow.begin();
+        std::advance(pos, gen.NextBounded(shadow.size()));
+        (*pos)->Unlink();
+        shadow.erase(pos);
+        break;
+      }
+      case 4: {  // pop front
+        if (shadow.empty()) {
+          break;
+        }
+        Node* popped = list.PopFront();
+        ASSERT_EQ(popped, shadow.front());
+        shadow.pop_front();
+        break;
+      }
+      default: {  // splice a freshly built list onto the back
+        IntrusiveList<Node> other;
+        std::size_t extras = gen.NextBounded(4);
+        for (std::size_t i = 0; i < extras; ++i) {
+          Node* n = new Node(next_value++);
+          pool.push_back(n);
+          other.PushBack(n);
+          shadow.push_back(n);
+        }
+        list.SpliceBack(other);
+        break;
+      }
+    }
+    if (step % 256 == 0) {
+      verify();
+    }
+  }
+  verify();
+
+  while (!list.empty()) {
+    list.PopFront();
+  }
+  for (Node* n : pool) {
+    delete n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ListShadowTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class ArenaShadowTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArenaShadowTest, MatchesMapUnderRandomChurn) {
+  rng::Xoshiro256 gen(GetParam() * 31 + 7);
+  SlabArena<int> arena;
+  std::map<std::uint64_t, std::pair<SlabRef, int>> shadow;  // key -> (ref, value)
+  std::vector<SlabRef> dead_refs;
+  std::uint64_t next_key = 0;
+  int next_value = 0;
+
+  for (int step = 0; step < 20000; ++step) {
+    std::uint64_t action = gen.NextBounded(10);
+    if (action < 5) {  // allocate
+      auto [obj, ref] = arena.Allocate(next_value);
+      ASSERT_NE(obj, nullptr);
+      ASSERT_EQ(*obj, next_value);
+      shadow[next_key++] = {ref, next_value};
+      ++next_value;
+    } else if (action < 8 && !shadow.empty()) {  // free a random live ref
+      auto it = shadow.begin();
+      std::advance(it, gen.NextBounded(shadow.size()));
+      arena.Free(it->second.first);
+      dead_refs.push_back(it->second.first);
+      shadow.erase(it);
+    } else if (!dead_refs.empty()) {  // probe a dead ref: must stay dead
+      const SlabRef& ref = dead_refs[gen.NextBounded(dead_refs.size())];
+      ASSERT_EQ(arena.Get(ref), nullptr);
+    }
+
+    if (step % 512 == 0) {
+      ASSERT_EQ(arena.live(), shadow.size());
+      for (const auto& [key, entry] : shadow) {
+        int* obj = arena.Get(entry.first);
+        ASSERT_NE(obj, nullptr) << "live ref resolved to null";
+        ASSERT_EQ(*obj, entry.second) << "live ref points at wrong object";
+      }
+    }
+  }
+  // Final sweep and teardown.
+  ASSERT_EQ(arena.live(), shadow.size());
+  for (const auto& [key, entry] : shadow) {
+    arena.Free(entry.first);
+  }
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArenaShadowTest, ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace twheel

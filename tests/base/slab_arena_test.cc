@@ -1,0 +1,153 @@
+// Unit tests for the generational slab arena that backs timer records.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/base/slab_arena.h"
+
+namespace twheel {
+namespace {
+
+struct Payload {
+  explicit Payload(int v = 0) : value(v) { ++live_count; }
+  ~Payload() { --live_count; }
+  int value;
+  static int live_count;
+};
+int Payload::live_count = 0;
+
+TEST(SlabArenaTest, AllocateAndResolve) {
+  SlabArena<Payload> arena;
+  auto [obj, ref] = arena.Allocate(42);
+  ASSERT_NE(obj, nullptr);
+  EXPECT_TRUE(ref.valid());
+  EXPECT_EQ(obj->value, 42);
+  EXPECT_EQ(arena.Get(ref), obj);
+  EXPECT_EQ(arena.live(), 1u);
+  arena.Free(ref);
+  EXPECT_EQ(arena.live(), 0u);
+}
+
+TEST(SlabArenaTest, StaleRefResolvesToNull) {
+  SlabArena<Payload> arena;
+  auto [obj, ref] = arena.Allocate(1);
+  (void)obj;
+  arena.Free(ref);
+  EXPECT_EQ(arena.Get(ref), nullptr);
+
+  // Slot recycled: old ref must still be dead, new ref alive.
+  auto [obj2, ref2] = arena.Allocate(2);
+  EXPECT_EQ(ref2.slot, ref.slot);
+  EXPECT_NE(ref2.generation, ref.generation);
+  EXPECT_EQ(arena.Get(ref), nullptr);
+  EXPECT_EQ(arena.Get(ref2), obj2);
+  arena.Free(ref2);
+}
+
+TEST(SlabArenaTest, InvalidAndOutOfRangeRefs) {
+  SlabArena<Payload> arena;
+  EXPECT_EQ(arena.Get(SlabRef{}), nullptr);
+  EXPECT_EQ(arena.Get(SlabRef{999, 0}), nullptr);
+}
+
+TEST(SlabArenaTest, AddressesStableAcrossGrowth) {
+  // Records are linked intrusively, so growth must never move live objects.
+  SlabArena<Payload> arena;
+  std::vector<Payload*> ptrs;
+  std::vector<SlabRef> refs;
+  for (int i = 0; i < 5000; ++i) {  // crosses several 1024-slot chunks
+    auto [obj, ref] = arena.Allocate(i);
+    ptrs.push_back(obj);
+    refs.push_back(ref);
+  }
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_EQ(arena.Get(refs[i]), ptrs[i]);
+    EXPECT_EQ(ptrs[i]->value, i);
+  }
+  for (const auto& ref : refs) {
+    arena.Free(ref);
+  }
+}
+
+TEST(SlabArenaTest, CapacityBound) {
+  SlabArena<Payload> arena(3);
+  auto a = arena.Allocate(1);
+  auto b = arena.Allocate(2);
+  auto c = arena.Allocate(3);
+  ASSERT_NE(c.first, nullptr);
+  auto d = arena.Allocate(4);
+  EXPECT_EQ(d.first, nullptr);
+  EXPECT_FALSE(d.second.valid());
+  // Freeing re-admits.
+  arena.Free(b.second);
+  auto e = arena.Allocate(5);
+  EXPECT_NE(e.first, nullptr);
+  arena.Free(a.second);
+  arena.Free(c.second);
+  arena.Free(e.second);
+}
+
+TEST(SlabArenaTest, DestructorRunsOnFree) {
+  Payload::live_count = 0;
+  SlabArena<Payload> arena;
+  auto [obj, ref] = arena.Allocate(1);
+  (void)obj;
+  EXPECT_EQ(Payload::live_count, 1);
+  arena.Free(ref);
+  EXPECT_EQ(Payload::live_count, 0);
+}
+
+TEST(SlabArenaTest, ArenaDestructorReclaimsLeakedObjects) {
+  Payload::live_count = 0;
+  {
+    SlabArena<Payload> arena;
+    arena.Allocate(1);
+    arena.Allocate(2);
+    EXPECT_EQ(Payload::live_count, 2);
+  }
+  EXPECT_EQ(Payload::live_count, 0);
+}
+
+TEST(SlabArenaTest, FreeListIsLifo) {
+  SlabArena<Payload> arena;
+  auto a = arena.Allocate(1);
+  auto b = arena.Allocate(2);
+  arena.Free(a.second);
+  arena.Free(b.second);
+  auto c = arena.Allocate(3);
+  EXPECT_EQ(c.second.slot, b.second.slot);  // most recently freed first
+  auto d = arena.Allocate(4);
+  EXPECT_EQ(d.second.slot, a.second.slot);
+  arena.Free(c.second);
+  arena.Free(d.second);
+}
+
+TEST(SlabArenaTest, GenerationsIsolateManyRecycles) {
+  SlabArena<Payload> arena;
+  std::set<std::uint32_t> generations;
+  SlabRef first;
+  for (int i = 0; i < 100; ++i) {
+    auto [obj, ref] = arena.Allocate(i);
+    (void)obj;
+    if (i == 0) {
+      first = ref;
+    }
+    EXPECT_EQ(ref.slot, first.slot);
+    generations.insert(ref.generation);
+    arena.Free(ref);
+  }
+  EXPECT_EQ(generations.size(), 100u);
+}
+
+TEST(SlabArenaDeathTest, DoubleFreeAborts) {
+  SlabArena<Payload> arena;
+  auto [obj, ref] = arena.Allocate(1);
+  (void)obj;
+  arena.Free(ref);
+  EXPECT_DEATH(arena.Free(ref), "stale SlabRef");
+}
+
+}  // namespace
+}  // namespace twheel

@@ -1,0 +1,95 @@
+// TickerThread: wall-clock tick delivery, catch-up behaviour, and clean shutdown.
+// Timing assertions use generous bounds so the test is robust on loaded machines.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <thread>
+
+#include "src/concurrent/locked_service.h"
+#include "src/concurrent/sharded_wheel.h"
+#include "src/concurrent/ticker.h"
+#include "src/core/hashed_wheel_unsorted.h"
+
+namespace twheel::concurrent {
+namespace {
+
+TEST(TickerThreadTest, DeliversTicksAtRoughlyTheConfiguredRate) {
+  LockedService service(std::make_unique<HashedWheelUnsorted>(64));
+  {
+    TickerThread ticker(service, std::chrono::microseconds(500));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    ticker.Stop();
+    // 50ms at 0.5ms/tick = ~100 ticks; allow a wide band.
+    EXPECT_GE(ticker.ticks_delivered(), 40u);
+    EXPECT_LE(ticker.ticks_delivered(), 300u);
+    EXPECT_EQ(service.now(), ticker.ticks_delivered());
+  }
+}
+
+TEST(TickerThreadTest, TimersFireUnderWallClockDrive) {
+  LockedService service(std::make_unique<HashedWheelUnsorted>(64));
+  std::atomic<int> fired{0};
+  service.set_expiry_handler([&](RequestId, Tick) { fired.fetch_add(1); });
+  auto handle = service.StartTimer(10, 1);
+  ASSERT_TRUE(handle.has_value());
+
+  TickerThread ticker(service, std::chrono::microseconds(200));
+  // Wait for the expiry rather than a fixed sleep.
+  for (int i = 0; i < 1000 && fired.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ticker.Stop();
+  EXPECT_EQ(fired.load(), 1);
+}
+
+TEST(TickerThreadTest, ConcurrentStartsWhileTicking) {
+  ShardedWheel wheel(4, 64);
+  std::atomic<std::uint64_t> fired{0};
+  wheel.set_expiry_handler([&](RequestId, Tick) { fired.fetch_add(1); });
+
+  TickerThread ticker(wheel, std::chrono::microseconds(100));
+  std::uint64_t started = 0, cancelled = 0;
+  for (int i = 0; i < 2000; ++i) {
+    auto handle = wheel.StartTimer(1 + (i % 40), i);
+    ASSERT_TRUE(handle.has_value());
+    ++started;
+    if (i % 4 == 0 && wheel.StopTimer(handle.value()) == TimerError::kOk) {
+      ++cancelled;
+    }
+  }
+  // Let the remainder drain under wall-clock drive.
+  for (int i = 0; i < 2000 && fired.load() + cancelled < started; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ticker.Stop();
+  EXPECT_EQ(fired.load() + cancelled, started);
+  EXPECT_EQ(wheel.outstanding(), 0u);
+}
+
+TEST(TickerThreadTest, StopIsIdempotentAndFinal) {
+  LockedService service(std::make_unique<HashedWheelUnsorted>(64));
+  TickerThread ticker(service, std::chrono::microseconds(200));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ticker.Stop();
+  const std::uint64_t at_stop = ticker.ticks_delivered();
+  ticker.Stop();  // second stop: no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(ticker.ticks_delivered(), at_stop) << "ticks after Stop()";
+}
+
+TEST(TickerThreadTest, DestructorStops) {
+  LockedService service(std::make_unique<HashedWheelUnsorted>(64));
+  {
+    TickerThread ticker(service, std::chrono::microseconds(200));
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }  // destructor joins
+  const Tick at_destroy = service.now();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(service.now(), at_destroy);
+}
+
+}  // namespace
+}  // namespace twheel::concurrent

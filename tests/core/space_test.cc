@@ -1,0 +1,96 @@
+// The paper's SPACE measure (Section 2), across schemes: fixed structure scaling,
+// the Section 6.2 hierarchy arithmetic, and the relative per-record appetites.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+#include "src/baselines/heap_timers.h"
+#include "src/baselines/unordered_timers.h"
+#include "src/core/basic_wheel.h"
+#include "src/core/hierarchical_wheel.h"
+#include "src/core/timer_facility.h"
+#include "src/hw/timer_chip.h"
+
+namespace twheel {
+namespace {
+
+TEST(SpaceTest, EverySchemeReportsAProfile) {
+  for (SchemeId id : kAllSchemes) {
+    FacilityConfig config;
+    config.scheme = id;
+    auto service = MakeTimerService(config);
+    auto profile = service->Space();
+    EXPECT_GE(profile.essential_record_bytes, 24u) << SchemeName(id);
+    EXPECT_LE(profile.essential_record_bytes, profile.actual_record_bytes)
+        << SchemeName(id) << ": essentials can't exceed the fat shared record";
+    EXPECT_EQ(profile.actual_record_bytes, sizeof(TimerRecord)) << SchemeName(id);
+  }
+}
+
+TEST(SpaceTest, ListSchemesHaveNoFixedStructure) {
+  // "Scheme 1 needs the minimum space possible; Scheme 2 needs O(n) extra space for
+  // the forward and back pointers" — neither owns population-independent arrays.
+  for (SchemeId id : {SchemeId::kScheme1Unordered, SchemeId::kScheme2SortedFront,
+                      SchemeId::kScheme3Bst, SchemeId::kScheme3Leftist}) {
+    FacilityConfig config;
+    config.scheme = id;
+    auto service = MakeTimerService(config);
+    EXPECT_EQ(service->Space().fixed_bytes, 0u) << SchemeName(id);
+  }
+}
+
+TEST(SpaceTest, WheelFixedCostScalesWithSlots) {
+  BasicWheel small(256);
+  BasicWheel large(65536);
+  EXPECT_EQ(large.Space().fixed_bytes, small.Space().fixed_bytes * 256);
+  EXPECT_EQ(small.Space().fixed_bytes, 256 * sizeof(IntrusiveList<TimerRecord>));
+}
+
+TEST(SpaceTest, HierarchySlotArithmeticMatchesPaper) {
+  // "Instead of 100 * 24 * 60 * 60 = 8.64 million locations to store timers up to
+  // 100 days, we need only 100 + 24 + 60 + 60 = 244 locations."
+  HierarchicalWheel hierarchy(std::array<std::size_t, 4>{60, 60, 24, 100});
+  EXPECT_EQ(hierarchy.Space().fixed_bytes, 244 * sizeof(IntrusiveList<TimerRecord>));
+
+  // The flat wheel covering the same range would need 8.64M slots.
+  const std::size_t flat_slots = 60 * 60 * 24 * 100;
+  EXPECT_EQ(flat_slots, 8640000u);
+  EXPECT_EQ(hierarchy.Space().fixed_bytes * flat_slots / 244,
+            flat_slots * sizeof(IntrusiveList<TimerRecord>));
+}
+
+TEST(SpaceTest, HeapAuxiliaryTracksPopulation) {
+  HeapTimers heap;
+  EXPECT_EQ(heap.Space().auxiliary_bytes, 0u);
+  for (RequestId id = 0; id < 1000; ++id) {
+    ASSERT_TRUE(heap.StartTimer(1000, id).has_value());
+  }
+  EXPECT_GE(heap.Space().auxiliary_bytes, 1000 * sizeof(void*));
+}
+
+TEST(SpaceTest, ChipAddsBusyBitsOnly) {
+  hw::ChipAssistedWheel chip(256);
+  FacilityConfig config;
+  config.scheme = SchemeId::kScheme6HashedUnsorted;
+  config.wheel_size = 256;
+  auto plain = MakeTimerService(config);
+  EXPECT_EQ(chip.Space().fixed_bytes, plain->Space().fixed_bytes + 256 / 8);
+}
+
+TEST(SpaceTest, SchemeOrderingMatchesPaperCommentary) {
+  // Per-record appetite: trees > hashed wheels > plain lists/wheels.
+  FacilityConfig config;
+  config.scheme = SchemeId::kScheme3Avl;
+  auto avl = MakeTimerService(config);
+  config.scheme = SchemeId::kScheme6HashedUnsorted;
+  auto hashed = MakeTimerService(config);
+  config.scheme = SchemeId::kScheme1Unordered;
+  auto plain = MakeTimerService(config);
+  EXPECT_GT(avl->Space().essential_record_bytes, hashed->Space().essential_record_bytes);
+  EXPECT_GT(hashed->Space().essential_record_bytes, plain->Space().essential_record_bytes);
+}
+
+}  // namespace
+}  // namespace twheel

@@ -1,0 +1,93 @@
+// Appendix A.1's hardware-assist analysis, in executable form: with a scanning
+// timer chip, Scheme 6 interrupts the host ~T/M times per timer and Scheme 7 at
+// most m times.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/timer_facility.h"
+#include "src/hw/interrupt_model.h"
+
+namespace twheel::hw {
+namespace {
+
+TEST(InterruptModelTest, EmptyTicksAreFree) {
+  FacilityConfig config;
+  config.scheme = SchemeId::kScheme6HashedUnsorted;
+  config.wheel_size = 64;
+  InterruptModel model(MakeTimerService(config));
+  model.Run(1000);
+  EXPECT_EQ(model.chip_scans(), 1000u);
+  EXPECT_EQ(model.host_interrupts(), 0u);
+}
+
+TEST(InterruptModelTest, Scheme6InterruptsPerTimerIsTOverM) {
+  // One timer of interval T on a table of M slots: the cursor passes its bucket
+  // floor((T-1)/M) times before the expiry visit, interrupting the host each time,
+  // plus once to expire — ceil(T/M) interrupts.
+  constexpr Duration kT = 1000;
+  constexpr std::size_t kM = 64;
+  FacilityConfig config;
+  config.scheme = SchemeId::kScheme6HashedUnsorted;
+  config.wheel_size = kM;
+  InterruptModel model(MakeTimerService(config));
+  ASSERT_TRUE(model.service().StartTimer(kT, 1).has_value());
+  model.Run(kT);
+  EXPECT_EQ(model.service().counts().expiries, 1u);
+  EXPECT_EQ(model.host_interrupts(), (kT + kM - 1) / kM);  // 16 ~= T/M
+}
+
+TEST(InterruptModelTest, Scheme7InterruptsPerTimerAtMostLevels) {
+  // The same long timer under a 3-level hierarchy: at most m = 3 host interrupts
+  // (migrations plus the final expiry).
+  constexpr Duration kT = 1000;
+  FacilityConfig config;
+  config.scheme = SchemeId::kScheme7Hierarchical;
+  config.level_sizes = {16, 16, 16};
+  InterruptModel model(MakeTimerService(config));
+  ASSERT_TRUE(model.service().StartTimer(kT, 1).has_value());
+  model.Run(kT);
+  EXPECT_EQ(model.service().counts().expiries, 1u);
+  EXPECT_LE(model.host_interrupts(), 3u);
+  EXPECT_GE(model.host_interrupts(), 1u);
+}
+
+TEST(InterruptModelTest, Scheme7BeatsScheme6ForLongTimersSmallMemory) {
+  // The appendix's conclusion quantified: many long timers, small arrays.
+  constexpr Duration kT = 2000;
+  constexpr std::size_t kTimers = 50;
+
+  FacilityConfig s6;
+  s6.scheme = SchemeId::kScheme6HashedUnsorted;
+  s6.wheel_size = 32;
+  InterruptModel m6(MakeTimerService(s6));
+
+  FacilityConfig s7;
+  s7.scheme = SchemeId::kScheme7Hierarchical;
+  s7.level_sizes = {8, 8, 8, 8};  // comparable memory: 32 slots total
+  InterruptModel m7(MakeTimerService(s7));
+
+  for (RequestId id = 0; id < kTimers; ++id) {
+    ASSERT_TRUE(m6.service().StartTimer(kT - id, id).has_value());
+    ASSERT_TRUE(m7.service().StartTimer(kT - id, id).has_value());
+  }
+  m6.Run(kT);
+  m7.Run(kT);
+  EXPECT_EQ(m6.service().counts().expiries, kTimers);
+  EXPECT_EQ(m7.service().counts().expiries, kTimers);
+  EXPECT_LT(m7.host_interrupts(), m6.host_interrupts());
+  EXPECT_GT(m6.InterruptsPerExpiry(), 10.0);  // ~T/M = 62 visits, amortized by sharing
+  EXPECT_LT(m7.InterruptsPerExpiry(), 4.0);   // <= m = 4
+}
+
+TEST(InterruptModelTest, InterruptsPerExpiryZeroWithoutExpiries) {
+  FacilityConfig config;
+  config.scheme = SchemeId::kScheme6HashedUnsorted;
+  config.wheel_size = 64;
+  InterruptModel model(MakeTimerService(config));
+  EXPECT_EQ(model.InterruptsPerExpiry(), 0.0);
+}
+
+}  // namespace
+}  // namespace twheel::hw

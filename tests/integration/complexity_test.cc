@@ -1,0 +1,130 @@
+// Complexity-shape assertions: Figures 4 and 6 as executable growth-rate checks.
+//
+// For each scheme, measure per-operation op counts at n and at 8n of steady-state
+// population; the ratio must match the figure's asymptotic class:
+//   O(1)      -> ratio ~ 1
+//   O(log n)  -> ratio ~ log(8n)/log(n) (< 2 at these sizes)
+//   O(n)      -> ratio ~ 8
+// Op counts make this exact and machine-independent, where wall-clock tests would
+// flake.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/core/timer_facility.h"
+#include "src/rng/distributions.h"
+#include "src/rng/rng.h"
+
+namespace twheel {
+namespace {
+
+constexpr std::size_t kSmallN = 2048;
+constexpr std::size_t kLargeN = 16384;  // 8x
+
+std::unique_ptr<TimerService> LoadedService(SchemeId id, std::size_t n) {
+  FacilityConfig config;
+  config.scheme = id;
+  config.wheel_size = id == SchemeId::kScheme4BasicWheel ? (1 << 20) : 256;
+  config.level_sizes = {256, 64, 64};
+  auto service = MakeTimerService(config);
+  rng::Xoshiro256 gen(5);
+  // Far-future band: diverse ranks for the sorted structures, but nothing expiring
+  // during the short measurement windows (which would pollute the per-op costs).
+  rng::UniformInterval dist(1 << 17, 1 << 18);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto result = service->StartTimer(dist.Draw(gen), i);
+    EXPECT_TRUE(result.has_value());
+  }
+  return service;
+}
+
+// Average comparisons per start+stop pair at population n.
+double StartCost(SchemeId id, std::size_t n) {
+  auto service = LoadedService(id, n);
+  rng::Xoshiro256 gen(6);
+  rng::UniformInterval dist(1 << 17, 1 << 18);
+  const auto before = service->counts();
+  constexpr int kOps = 300;
+  for (int i = 0; i < kOps; ++i) {
+    auto handle = service->StartTimer(dist.Draw(gen), 0);
+    EXPECT_TRUE(handle.has_value());
+    EXPECT_EQ(service->StopTimer(handle.value()), TimerError::kOk);
+  }
+  const auto delta = service->counts() - before;
+  return static_cast<double>(delta.comparisons) / kOps;
+}
+
+// Average bookkeeping ops per tick at population n (nothing expiring).
+double TickCost(SchemeId id, std::size_t n) {
+  auto service = LoadedService(id, n);
+  const auto before = service->counts();
+  constexpr Duration kTicks = 256;
+  service->AdvanceBy(kTicks);
+  const auto delta = service->counts() - before;
+  return static_cast<double>(delta.TickWork() + delta.comparisons) /
+         static_cast<double>(kTicks);
+}
+
+double Ratio(double large, double small) { return large / std::max(small, 1e-9); }
+
+TEST(ComplexityShapeTest, Scheme1TickIsLinearStartIsConstant) {
+  EXPECT_NEAR(Ratio(TickCost(SchemeId::kScheme1Unordered, kLargeN),
+                    TickCost(SchemeId::kScheme1Unordered, kSmallN)),
+              8.0, 0.5);
+  EXPECT_LT(StartCost(SchemeId::kScheme1Unordered, kLargeN), 1.0);
+}
+
+TEST(ComplexityShapeTest, Scheme2StartIsLinearTickIsConstant) {
+  EXPECT_NEAR(Ratio(StartCost(SchemeId::kScheme2SortedFront, kLargeN),
+                    StartCost(SchemeId::kScheme2SortedFront, kSmallN)),
+              8.0, 1.0);
+  EXPECT_NEAR(Ratio(TickCost(SchemeId::kScheme2SortedFront, kLargeN),
+                    TickCost(SchemeId::kScheme2SortedFront, kSmallN)),
+              1.0, 0.2);
+}
+
+TEST(ComplexityShapeTest, TreeStartsGrowLogarithmically) {
+  for (SchemeId id : {SchemeId::kScheme3Bst, SchemeId::kScheme3Avl}) {
+    double small = StartCost(id, kSmallN);
+    double large = StartCost(id, kLargeN);
+    // log2(16384)/log2(2048) = 14/11 ~= 1.27; allow generous slack, but far below
+    // linear growth.
+    EXPECT_GT(large, small) << SchemeName(id);
+    EXPECT_LT(Ratio(large, small), 2.0) << SchemeName(id);
+  }
+}
+
+TEST(ComplexityShapeTest, WheelsAreConstantInPopulation) {
+  for (SchemeId id :
+       {SchemeId::kScheme4BasicWheel, SchemeId::kScheme6HashedUnsorted}) {
+    EXPECT_LT(StartCost(id, kLargeN), 1.0) << SchemeName(id);
+  }
+  // Scheme 4 per-tick: O(1) absolutely (range covers all intervals, no rounds).
+  EXPECT_NEAR(Ratio(TickCost(SchemeId::kScheme4BasicWheel, kLargeN),
+                    TickCost(SchemeId::kScheme4BasicWheel, kSmallN)),
+              1.0, 0.2);
+  // Scheme 6 per-tick: n/TableSize — linear in n by design, 8x here. That IS the
+  // figure's O(1)-per-timer-per-revolution accounting.
+  EXPECT_NEAR(Ratio(TickCost(SchemeId::kScheme6HashedUnsorted, kLargeN),
+                    TickCost(SchemeId::kScheme6HashedUnsorted, kSmallN)),
+              8.0, 1.0);
+}
+
+TEST(ComplexityShapeTest, Scheme5StartGrowsWithBucketLoad) {
+  // Above TableSize, Scheme 5's sorted-bucket insert is linear in n/M.
+  double small = StartCost(SchemeId::kScheme5HashedSorted, kSmallN);
+  double large = StartCost(SchemeId::kScheme5HashedSorted, kLargeN);
+  EXPECT_NEAR(Ratio(large, small), 8.0, 2.0);
+}
+
+TEST(ComplexityShapeTest, Scheme7StartIsConstantInPopulation) {
+  double small = StartCost(SchemeId::kScheme7Hierarchical, kSmallN);
+  double large = StartCost(SchemeId::kScheme7Hierarchical, kLargeN);
+  // Level search depends on m, not on n.
+  EXPECT_NEAR(Ratio(large, small), 1.0, 0.25);
+  EXPECT_LT(large, 4.0);
+}
+
+}  // namespace
+}  // namespace twheel

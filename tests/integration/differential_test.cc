@@ -1,0 +1,177 @@
+// Differential testing: every scheme, fed an identical randomized request stream,
+// must produce the identical expiry trace — and that trace must equal the one
+// predicted directly from the stream (start + interval for every unstopped timer).
+//
+// This is the strongest correctness pin in the repository: Schemes 1-6 and Scheme 7
+// with full migration all promise *exact* expiry, so any divergence in (tick,
+// request) multisets is a bug in somebody's bookkeeping. Order within a tick is
+// deliberately not compared ("Timer modules need not meet this [FIFO] restriction",
+// Section 4.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "src/core/timer_facility.h"
+#include "src/workload/workload.h"
+
+namespace twheel {
+namespace {
+
+using workload::ArrivalKind;
+using workload::IntervalKind;
+using workload::WorkloadSpec;
+
+struct DiffCase {
+  std::string label;
+  WorkloadSpec spec;
+};
+
+std::vector<DiffCase> DifferentialCases() {
+  std::vector<DiffCase> cases;
+
+  {
+    WorkloadSpec s;
+    s.seed = 101;
+    s.intervals = IntervalKind::kExponential;
+    s.interval_mean = 50.0;
+    s.interval_cap = 400;
+    s.arrival_rate = 1.0;
+    s.measured_starts = 4000;
+    cases.push_back({"poisson_exponential_all_expire", s});
+  }
+  {
+    WorkloadSpec s;
+    s.seed = 102;
+    s.intervals = IntervalKind::kExponential;
+    s.interval_mean = 50.0;
+    s.interval_cap = 400;
+    s.arrival_rate = 2.0;
+    s.stop_fraction = 0.7;  // retransmission-style: most timers cancelled
+    s.measured_starts = 4000;
+    cases.push_back({"poisson_exponential_mostly_stopped", s});
+  }
+  {
+    WorkloadSpec s;
+    s.seed = 103;
+    s.intervals = IntervalKind::kUniform;
+    s.interval_lo = 1;
+    s.interval_hi = 300;
+    s.arrival_rate = 1.5;
+    s.stop_fraction = 0.3;
+    s.measured_starts = 4000;
+    cases.push_back({"poisson_uniform_mixed", s});
+  }
+  {
+    WorkloadSpec s;
+    s.seed = 104;
+    s.intervals = IntervalKind::kConstant;
+    s.interval_lo = 7;
+    s.arrivals = ArrivalKind::kPeriodic;
+    s.arrival_gap = 1;
+    s.measured_starts = 3000;
+    cases.push_back({"periodic_constant", s});
+  }
+  {
+    WorkloadSpec s;
+    s.seed = 105;
+    s.intervals = IntervalKind::kConstant;
+    s.interval_lo = 64;  // exactly a hashed-wheel table size: exercises round logic
+    s.arrival_rate = 0.5;
+    s.stop_fraction = 0.5;
+    s.measured_starts = 3000;
+    cases.push_back({"constant_equal_to_table_size", s});
+  }
+  {
+    WorkloadSpec s;
+    s.seed = 106;
+    s.intervals = IntervalKind::kPareto;
+    s.interval_lo = 2;
+    s.pareto_alpha = 1.3;
+    s.interval_cap = 400;  // keep the replay horizon sane
+    s.arrival_rate = 1.0;
+    s.stop_fraction = 0.2;
+    s.measured_starts = 3000;
+    cases.push_back({"pareto_heavy_tail_capped", s});
+  }
+  {
+    WorkloadSpec s;
+    s.seed = 107;
+    s.intervals = IntervalKind::kGeometric;
+    s.interval_mean = 30.0;
+    s.arrival_rate = 3.0;  // bursty: several starts per tick
+    s.stop_fraction = 0.4;
+    s.measured_starts = 4000;
+    cases.push_back({"geometric_bursty_arrivals", s});
+  }
+  {
+    WorkloadSpec s;
+    s.seed = 108;
+    s.intervals = IntervalKind::kUniform;
+    s.interval_lo = 380;
+    s.interval_hi = 400;  // everything lands many revolutions out on small wheels
+    s.arrival_rate = 0.8;
+    s.measured_starts = 2000;
+    cases.push_back({"long_intervals_many_rounds", s});
+  }
+
+  return cases;
+}
+
+FacilityConfig SchemeConfig(SchemeId id) {
+  FacilityConfig config;
+  config.scheme = id;
+  // All differential intervals are <= 400 ticks.
+  config.wheel_size = id == SchemeId::kScheme4BasicWheel ? 512 : 64;
+  config.level_sizes = {16, 16, 16};
+  return config;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(DifferentialTest, AllSchemesMatchPredictedTrace) {
+  const WorkloadSpec& spec = GetParam().spec;
+  const auto predicted = workload::PredictedTrace(spec);
+  ASSERT_FALSE(predicted.empty()) << "vacuous spec";
+
+  for (SchemeId id : kAllSchemes) {
+    auto service = MakeTimerService(SchemeConfig(id));
+    auto result = workload::Run(*service, spec);
+    EXPECT_EQ(result.starts_rejected, 0u) << SchemeName(id);
+    auto actual = workload::NormalizedTrace(result.trace);
+    ASSERT_EQ(actual.size(), predicted.size())
+        << SchemeName(id) << ": expiry count mismatch";
+    // Element-wise comparison with a readable first-divergence report.
+    for (std::size_t i = 0; i < actual.size(); ++i) {
+      ASSERT_EQ(actual[i], predicted[i])
+          << SchemeName(id) << ": first divergence at event " << i << " (actual tick "
+          << actual[i].tick << " req " << actual[i].request_id << ", predicted tick "
+          << predicted[i].tick << " req " << predicted[i].request_id << ")";
+    }
+  }
+}
+
+TEST_P(DifferentialTest, SchemesAgreeOnOutstandingCountAtEnd) {
+  const WorkloadSpec& spec = GetParam().spec;
+  std::vector<std::size_t> finals;
+  for (SchemeId id : kAllSchemes) {
+    auto service = MakeTimerService(SchemeConfig(id));
+    (void)workload::Run(*service, spec);
+    finals.push_back(service->outstanding());
+  }
+  for (std::size_t i = 1; i < finals.size(); ++i) {
+    EXPECT_EQ(finals[i], finals[0])
+        << SchemeName(kAllSchemes[i]) << " vs " << SchemeName(kAllSchemes[0]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, DifferentialTest,
+                         ::testing::ValuesIn(DifferentialCases()),
+                         [](const ::testing::TestParamInfo<DiffCase>& param_info) {
+                           return param_info.param.label;
+                         });
+
+}  // namespace
+}  // namespace twheel

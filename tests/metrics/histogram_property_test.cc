@@ -1,0 +1,94 @@
+// Histogram accuracy properties, parameterized over value distributions: every
+// quantile must be within the bucketing scheme's relative-error bound of the exact
+// sample quantile, at every magnitude.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/metrics/histogram.h"
+#include "src/rng/rng.h"
+
+namespace twheel::metrics {
+namespace {
+
+struct DistCase {
+  std::string label;
+  std::uint64_t (*draw)(rng::Xoshiro256&);
+};
+
+std::vector<DistCase> Distributions() {
+  return {
+      {"small_uniform", [](rng::Xoshiro256& g) { return g.NextBounded(100); }},
+      {"mid_uniform", [](rng::Xoshiro256& g) { return g.NextBounded(1 << 22); }},
+      {"huge_uniform",
+       [](rng::Xoshiro256& g) { return g.NextBounded(std::uint64_t{1} << 50); }},
+      {"exponentialish",
+       [](rng::Xoshiro256& g) {
+         double u = g.NextDouble();
+         return static_cast<std::uint64_t>(-100000.0 * std::log(1.0 - u));
+       }},
+      {"bimodal",
+       [](rng::Xoshiro256& g) {
+         return g.NextBool(0.5) ? g.NextBounded(64) : (1u << 20) + g.NextBounded(1024);
+       }},
+      {"power_of_two_spikes",
+       [](rng::Xoshiro256& g) { return std::uint64_t{1} << g.NextBounded(40); }},
+  };
+}
+
+class HistogramPropertyTest : public ::testing::TestWithParam<DistCase> {};
+
+TEST_P(HistogramPropertyTest, QuantilesTrackExactSample) {
+  rng::Xoshiro256 gen(2024);
+  Histogram hist;
+  std::vector<std::uint64_t> exact;
+  constexpr int kSamples = 50000;
+  exact.reserve(kSamples);
+  for (int i = 0; i < kSamples; ++i) {
+    std::uint64_t v = GetParam().draw(gen);
+    hist.Add(v);
+    exact.push_back(v);
+  }
+  std::sort(exact.begin(), exact.end());
+
+  ASSERT_EQ(hist.count(), static_cast<std::uint64_t>(kSamples));
+  EXPECT_EQ(hist.max(), exact.back());
+
+  for (double q : {0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999}) {
+    std::uint64_t truth = exact[static_cast<std::size_t>(q * (kSamples - 1))];
+    std::uint64_t approx = hist.Quantile(q);
+    // Relative error bound: one sub-bucket width = 1/32 of the octave, plus slack
+    // for the discrete quantile-index convention.
+    double bound = std::max(2.0, static_cast<double>(truth) * 0.08);
+    EXPECT_NEAR(static_cast<double>(approx), static_cast<double>(truth), bound)
+        << GetParam().label << " q=" << q;
+  }
+}
+
+TEST_P(HistogramPropertyTest, MeanIsExactRegardlessOfBucketing) {
+  rng::Xoshiro256 gen(55);
+  Histogram hist;
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    std::uint64_t v = GetParam().draw(gen);
+    hist.Add(v);
+    sum += static_cast<double>(v);
+  }
+  // The histogram keeps an exact integer sum; the double accumulator here loses
+  // low bits at 2^50-magnitude values, so compare with a relative tolerance.
+  double expected = sum / 10000.0;
+  EXPECT_NEAR(hist.mean(), expected, expected * 1e-9 + 1e-9) << GetParam().label;
+}
+
+INSTANTIATE_TEST_SUITE_P(Distributions, HistogramPropertyTest,
+                         ::testing::ValuesIn(Distributions()),
+                         [](const ::testing::TestParamInfo<DistCase>& param_info) {
+                           return param_info.param.label;
+                         });
+
+}  // namespace
+}  // namespace twheel::metrics

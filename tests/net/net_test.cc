@@ -1,0 +1,157 @@
+// The Section 1 motivating workload: a server with many connections and three
+// timers each, over lossy channels. These tests pin the protocol mechanics and the
+// claim structure (acks cancel most retransmission timers; losses expire them).
+
+#include <gtest/gtest.h>
+
+#include "src/net/server.h"
+
+namespace twheel::net {
+namespace {
+
+ServerConfig BaseConfig() {
+  ServerConfig config;
+  config.num_connections = 20;
+  config.seed = 41;
+  config.channel.loss_probability = 0.0;
+  config.channel.delay_lo = 2;
+  config.channel.delay_hi = 6;
+  config.connection.rto_initial = 40;
+  config.connection.think_time = 10;
+  config.connection.keepalive_interval = 500;
+  config.connection.death_interval = 4000;
+  config.host_scheme.scheme = SchemeId::kScheme6HashedUnsorted;
+  config.host_scheme.wheel_size = 256;
+  return config;
+}
+
+// Segments sent but not yet acked at shutdown (0 or 1 per connection).
+std::size_t CountStillAwaiting(const Server& server) {
+  std::size_t awaiting = 0;
+  for (std::size_t i = 0; i < server.num_connections(); ++i) {
+    // next_seq counts completed segments; data_sent counts initiated ones.
+    awaiting += server.connection(i).stats().data_sent - server.connection(i).next_seq();
+  }
+  return awaiting;
+}
+
+TEST(NetTest, LosslessRunHasNoRetransmissions) {
+  Server server(BaseConfig());
+  server.Run(5000);
+  auto stats = server.TotalStats();
+  EXPECT_GT(stats.data_sent, 1000u);
+  EXPECT_EQ(stats.retransmissions, 0u);
+  EXPECT_EQ(stats.deaths, 0u);
+  // One ack per data segment (no losses, stop-and-wait): every initiated segment is
+  // acked except those still in flight at shutdown.
+  EXPECT_EQ(stats.acks_received, stats.data_sent - CountStillAwaiting(server))
+      << "every completed segment was acked";
+}
+
+TEST(NetTest, LossTriggersRetransmissionsNotDeaths) {
+  auto config = BaseConfig();
+  config.channel.loss_probability = 0.1;
+  Server server(config);
+  server.Run(20000);
+  auto stats = server.TotalStats();
+  EXPECT_GT(stats.retransmissions, 0u);
+  // ~19% of round trips lose a packet; retransmissions should be in that ballpark
+  // relative to data volume.
+  double retx_rate = static_cast<double>(stats.retransmissions) /
+                     static_cast<double>(stats.data_sent + stats.retransmissions);
+  EXPECT_GT(retx_rate, 0.10);
+  EXPECT_LT(retx_rate, 0.30);
+  EXPECT_EQ(stats.deaths, 0u) << "death timer must not fire while acks still flow";
+}
+
+TEST(NetTest, TotalLossLeadsToDeathDetection) {
+  auto config = BaseConfig();
+  config.num_connections = 5;
+  config.channel.loss_probability = 1.0;  // peer unreachable
+  config.connection.death_interval = 2000;
+  Server server(config);
+  server.Run(4100);
+  auto stats = server.TotalStats();
+  EXPECT_GT(stats.retransmissions, 0u);
+  // Each connection declares death every 2000 ticks of silence: 2 rounds in 4100.
+  EXPECT_EQ(stats.deaths, 10u);
+  EXPECT_EQ(stats.acks_received, 0u);
+}
+
+TEST(NetTest, IdleConnectionsSendKeepalives) {
+  auto config = BaseConfig();
+  config.num_connections = 3;
+  // Make data flow stop after the first exchange by making think time enormous.
+  config.connection.think_time = 100000;
+  config.connection.keepalive_interval = 300;
+  config.connection.death_interval = 50000;
+  config.host_scheme.wheel_size = 1024;
+  Server server(config);
+  server.Run(3000);
+  auto stats = server.TotalStats();
+  // ~(3000 / 300) keepalives per connection after the initial exchange settles.
+  EXPECT_GE(stats.keepalives_sent, 3u * 8u);
+  EXPECT_EQ(stats.deaths, 0u) << "keepalive acks must feed the death timer";
+}
+
+TEST(NetTest, ThreeTimersPerConnectionOutstanding) {
+  // The paper's sizing example: with think pauses between segments, each connection
+  // holds keepalive + death (+ rto or think) timers at all times.
+  auto config = BaseConfig();
+  config.num_connections = 200;
+  Server server(config);
+  server.Run(1000);
+  EXPECT_GE(server.host_outstanding(), 2u * 200u);
+  EXPECT_LE(server.host_outstanding(), 3u * 200u);
+}
+
+TEST(NetTest, MostRetransmissionTimersAreStoppedNotExpired) {
+  // "If failures are infrequent these timers rarely expire": with 2% loss, stops
+  // dominate expiries in the host's op counts.
+  auto config = BaseConfig();
+  config.channel.loss_probability = 0.02;
+  Server server(config);
+  server.Run(20000);
+  const auto& counts = server.host_counts();
+  EXPECT_GT(counts.stop_calls, counts.expiries);
+}
+
+TEST(NetTest, DeterministicForSeed) {
+  auto config = BaseConfig();
+  config.channel.loss_probability = 0.1;
+  Server a(config), b(config);
+  a.Run(5000);
+  b.Run(5000);
+  auto sa = a.TotalStats(), sb = b.TotalStats();
+  EXPECT_EQ(sa.data_sent, sb.data_sent);
+  EXPECT_EQ(sa.retransmissions, sb.retransmissions);
+  EXPECT_EQ(sa.acks_received, sb.acks_received);
+  EXPECT_EQ(a.host_counts().start_calls, b.host_counts().start_calls);
+}
+
+TEST(NetTest, SchemesAgreeOnProtocolOutcome) {
+  // The protocol outcome must not depend on which (exact) scheme serves the timers.
+  auto config = BaseConfig();
+  config.channel.loss_probability = 0.15;
+  ConnectionStats reference;
+  bool first = true;
+  for (SchemeId id : {SchemeId::kScheme2SortedFront, SchemeId::kScheme3Heap,
+                      SchemeId::kScheme6HashedUnsorted, SchemeId::kScheme7Hierarchical}) {
+    config.host_scheme.scheme = id;
+    config.host_scheme.level_sizes = {64, 64, 16};
+    Server server(config);
+    server.Run(10000);
+    auto stats = server.TotalStats();
+    if (first) {
+      reference = stats;
+      first = false;
+    } else {
+      EXPECT_EQ(stats.data_sent, reference.data_sent) << SchemeName(id);
+      EXPECT_EQ(stats.retransmissions, reference.retransmissions) << SchemeName(id);
+      EXPECT_EQ(stats.acks_received, reference.acks_received) << SchemeName(id);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twheel::net

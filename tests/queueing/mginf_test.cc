@@ -1,0 +1,129 @@
+// The Figure 3 queueing model, validated against simulation: Little's law for the
+// outstanding-timer count, residual-life means, and the renewal-model scan
+// fractions that drive the Section 3.2 insertion-cost predictions.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/sorted_list_timers.h"
+#include "src/queueing/mginf.h"
+#include "src/workload/workload.h"
+
+namespace twheel::queueing {
+namespace {
+
+using workload::IntervalKind;
+using workload::WorkloadSpec;
+
+TEST(MginfTest, MomentsOfStandardDistributions) {
+  auto exp_m = ExponentialMoments(100.0);
+  EXPECT_DOUBLE_EQ(exp_m.mean, 100.0);
+  EXPECT_DOUBLE_EQ(exp_m.second, 20000.0);
+
+  auto uni = UniformMoments(0.0, 60.0);
+  EXPECT_DOUBLE_EQ(uni.mean, 30.0);
+  EXPECT_DOUBLE_EQ(uni.second, 1200.0);
+
+  auto con = ConstantMoments(42.0);
+  EXPECT_DOUBLE_EQ(con.mean, 42.0);
+  EXPECT_DOUBLE_EQ(con.second, 42.0 * 42.0);
+}
+
+TEST(MginfTest, ResidualLifeMeans) {
+  // Exponential: residual mean equals the mean (memorylessness).
+  auto exp_m = ExponentialMoments(100.0);
+  EXPECT_DOUBLE_EQ(ResidualLifeMean(exp_m.mean, exp_m.second), 100.0);
+  // Uniform[0,a]: residual mean a/3.
+  auto uni = UniformMoments(0.0, 60.0);
+  EXPECT_DOUBLE_EQ(ResidualLifeMean(uni.mean, uni.second), 20.0);
+  // Constant c: residual mean c/2.
+  auto con = ConstantMoments(42.0);
+  EXPECT_DOUBLE_EQ(ResidualLifeMean(con.mean, con.second), 21.0);
+}
+
+TEST(MginfTest, ScanFractions) {
+  EXPECT_DOUBLE_EQ(ScanFractionFrontExponential(), 0.5);
+  EXPECT_NEAR(ScanFractionFrontUniform(0.0, 60.0), 2.0 / 3.0, 1e-12);
+  EXPECT_DOUBLE_EQ(ScanFractionFrontConstant(), 1.0);
+  EXPECT_DOUBLE_EQ(ScanFractionRear(2.0 / 3.0), 1.0 / 3.0);
+  // Narrow uniform approaches the constant case's asymmetry midpoint from below.
+  EXPECT_GT(ScanFractionFrontUniform(100.0, 101.0), 0.99);
+}
+
+TEST(MginfTest, PaperClosedFormsQuoted) {
+  EXPECT_DOUBLE_EQ(PaperInsertCostExponentialFront(30.0), 22.0);
+  EXPECT_DOUBLE_EQ(PaperInsertCostUniformFront(30.0), 17.0);
+  EXPECT_DOUBLE_EQ(PaperInsertCostExponentialRear(30.0), 12.0);
+}
+
+TEST(MginfSimulationTest, LittlesLawHoldsForExponential) {
+  WorkloadSpec spec;
+  spec.seed = 21;
+  spec.intervals = IntervalKind::kExponential;
+  spec.interval_mean = 64.0;
+  spec.arrival_rate = 0.5;
+  spec.warmup_starts = 2000;
+  spec.measured_starts = 20000;
+  SortedListTimers timers;
+  auto result = workload::Run(timers, spec);
+  double predicted = ExpectedOutstanding(0.5, 64.0);
+  EXPECT_NEAR(result.outstanding.mean(), predicted, predicted * 0.06);
+}
+
+TEST(MginfSimulationTest, LittlesLawHoldsForUniform) {
+  WorkloadSpec spec;
+  spec.seed = 22;
+  spec.intervals = IntervalKind::kUniform;
+  spec.interval_lo = 1;
+  spec.interval_hi = 99;
+  spec.arrival_rate = 1.0;
+  spec.warmup_starts = 2000;
+  spec.measured_starts = 20000;
+  SortedListTimers timers;
+  auto result = workload::Run(timers, spec);
+  double predicted = ExpectedOutstanding(1.0, 50.0);
+  EXPECT_NEAR(result.outstanding.mean(), predicted, predicted * 0.06);
+}
+
+TEST(MginfSimulationTest, FrontScanFractionMatchesExponentialModel) {
+  // Measured comparisons per insert / outstanding ~= ScanFractionFrontExponential.
+  WorkloadSpec spec;
+  spec.seed = 23;
+  spec.intervals = IntervalKind::kExponential;
+  spec.interval_mean = 64.0;
+  spec.arrival_rate = 1.0;
+  spec.warmup_starts = 2000;
+  spec.measured_starts = 30000;
+  SortedListTimers timers(SearchDirection::kFromFront);
+  auto result = workload::Run(timers, spec);
+  double n = result.outstanding.mean();
+  double measured_fraction = (result.start_comparisons.mean() - 1.0) / n;
+  EXPECT_NEAR(measured_fraction, ScanFractionFrontExponential(), 0.05);
+}
+
+TEST(MginfSimulationTest, RearScanCheaperThanFrontForUniform) {
+  // The rear-search optimization's benefit grows with the asymmetry of the residual
+  // distribution; for uniform it is a factor of two (1/3 vs 2/3 of the list).
+  WorkloadSpec spec;
+  spec.seed = 24;
+  spec.intervals = IntervalKind::kUniform;
+  spec.interval_lo = 1;
+  spec.interval_hi = 127;
+  spec.arrival_rate = 1.0;
+  spec.warmup_starts = 2000;
+  spec.measured_starts = 30000;
+
+  SortedListTimers front(SearchDirection::kFromFront);
+  auto rf = workload::Run(front, spec);
+  SortedListTimers rear(SearchDirection::kFromRear);
+  auto rr = workload::Run(rear, spec);
+
+  double n = rf.outstanding.mean();
+  EXPECT_NEAR((rf.start_comparisons.mean() - 1.0) / n,
+              ScanFractionFrontUniform(1.0, 127.0), 0.05);
+  EXPECT_NEAR((rr.start_comparisons.mean() - 1.0) / n,
+              ScanFractionRear(ScanFractionFrontUniform(1.0, 127.0)), 0.05);
+  EXPECT_LT(rr.start_comparisons.mean(), rf.start_comparisons.mean());
+}
+
+}  // namespace
+}  // namespace twheel::queueing

@@ -1,0 +1,185 @@
+// Unit and statistical tests for the PRNG and the Section 3.2 distributions.
+//
+// Statistical assertions use wide tolerances (several standard errors) so they are
+// deterministic in practice for the fixed seeds used here.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "src/metrics/running_stats.h"
+#include "src/rng/distributions.h"
+#include "src/rng/rng.h"
+
+namespace twheel::rng {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(42), b(42), c(43);
+  std::uint64_t x = a.Next();
+  EXPECT_EQ(x, b.Next());
+  EXPECT_NE(x, c.Next());
+}
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(Xoshiro256Test, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    same += a.Next() == b.Next();
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Xoshiro256Test, NextDoubleInHalfOpenUnit) {
+  Xoshiro256 g(3);
+  for (int i = 0; i < 10000; ++i) {
+    double d = g.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedStaysInRange) {
+  Xoshiro256 g(4);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, (1ULL << 40)}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(g.NextBounded(bound), bound);
+    }
+  }
+  EXPECT_EQ(g.NextBounded(0), 0u);
+  EXPECT_EQ(g.NextBounded(1), 0u);
+}
+
+TEST(Xoshiro256Test, NextBoundedCoversAllResidues) {
+  Xoshiro256 g(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    seen.insert(g.NextBounded(8));
+  }
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Xoshiro256Test, NextBoundedRoughlyUniform) {
+  Xoshiro256 g(6);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 160000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[g.NextBounded(kBuckets)];
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(Xoshiro256Test, NextBoolMatchesProbability) {
+  Xoshiro256 g(7);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    hits += g.NextBool(0.3);
+  }
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+}
+
+class DistributionMeanTest : public ::testing::Test {
+ protected:
+  static metrics::RunningStats Sample(IntervalDistribution& dist, int n, std::uint64_t seed) {
+    Xoshiro256 g(seed);
+    metrics::RunningStats stats;
+    for (int i = 0; i < n; ++i) {
+      stats.Add(static_cast<double>(dist.Draw(g)));
+    }
+    return stats;
+  }
+};
+
+TEST_F(DistributionMeanTest, ConstantIsConstant) {
+  ConstantInterval dist(17);
+  auto stats = Sample(dist, 1000, 1);
+  EXPECT_EQ(stats.min(), 17.0);
+  EXPECT_EQ(stats.max(), 17.0);
+  EXPECT_EQ(dist.Mean(), 17.0);
+}
+
+TEST_F(DistributionMeanTest, UniformMeanAndRange) {
+  UniformInterval dist(10, 30);
+  auto stats = Sample(dist, 100000, 2);
+  EXPECT_NEAR(stats.mean(), 20.0, 0.2);
+  EXPECT_GE(stats.min(), 10.0);
+  EXPECT_LE(stats.max(), 30.0);
+  EXPECT_EQ(stats.min(), 10.0);  // endpoints inclusive and reachable
+  EXPECT_EQ(stats.max(), 30.0);
+}
+
+TEST_F(DistributionMeanTest, ExponentialMeanCloseToNominal) {
+  ExponentialInterval dist(100.0);
+  auto stats = Sample(dist, 100000, 3);
+  // Ceil-rounding to ticks biases the mean up by ~0.5.
+  EXPECT_NEAR(stats.mean(), 100.5, 2.0);
+  EXPECT_GE(stats.min(), 1.0);
+}
+
+TEST_F(DistributionMeanTest, GeometricMeanCloseToNominal) {
+  GeometricInterval dist(0.05);  // mean 20
+  auto stats = Sample(dist, 100000, 4);
+  EXPECT_NEAR(stats.mean(), 20.0, 0.5);
+  EXPECT_GE(stats.min(), 1.0);
+}
+
+TEST_F(DistributionMeanTest, ParetoMeanCloseToNominal) {
+  ParetoInterval dist(2.5, 10);
+  auto stats = Sample(dist, 200000, 5);
+  // alpha/(alpha-1) * x_m = 16.67, plus ceil bias.
+  EXPECT_NEAR(stats.mean(), dist.Mean() + 0.5, 1.0);
+  EXPECT_GE(stats.min(), 10.0);
+}
+
+TEST_F(DistributionMeanTest, AllDrawsArePositive) {
+  Xoshiro256 g(6);
+  std::vector<std::unique_ptr<IntervalDistribution>> dists;
+  dists.push_back(std::make_unique<ConstantInterval>(1));
+  dists.push_back(std::make_unique<UniformInterval>(1, 2));
+  dists.push_back(std::make_unique<ExponentialInterval>(0.01));  // tiny mean: rounds up
+  dists.push_back(std::make_unique<GeometricInterval>(0.999));
+  dists.push_back(std::make_unique<ParetoInterval>(1.1, 1));
+  for (auto& dist : dists) {
+    for (int i = 0; i < 5000; ++i) {
+      EXPECT_GE(dist->Draw(g), 1u) << dist->Name();
+    }
+  }
+}
+
+TEST(ArrivalProcessTest, PoissonGapMean) {
+  PoissonArrivals arrivals(0.25);  // mean gap 4 ticks
+  Xoshiro256 g(8);
+  metrics::RunningStats stats;
+  for (int i = 0; i < 100000; ++i) {
+    stats.Add(static_cast<double>(arrivals.NextGap(g)));
+  }
+  // The fractional carry preserves the continuous-time rate exactly.
+  EXPECT_NEAR(stats.mean(), 4.0, 0.05);
+}
+
+TEST(ArrivalProcessTest, PeriodicIsExact) {
+  PeriodicArrivals arrivals(5);
+  Xoshiro256 g(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(arrivals.NextGap(g), 5u);
+  }
+  EXPECT_EQ(arrivals.MeanGap(), 5.0);
+}
+
+}  // namespace
+}  // namespace twheel::rng

@@ -1,0 +1,203 @@
+// Tests for the discrete-event simulator built on the timer facility (Section 4's
+// "timer algorithms can be used to implement time flow mechanisms").
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/core/timer_facility.h"
+#include "src/sim/simulator.h"
+
+namespace twheel::sim {
+namespace {
+
+std::unique_ptr<Simulator> MakeSim(SchemeId scheme) {
+  FacilityConfig config;
+  config.scheme = scheme;
+  config.wheel_size = 256;
+  config.level_sizes = {16, 16, 16};
+  return std::make_unique<Simulator>(MakeTimerService(config));
+}
+
+class SimulatorTest : public ::testing::TestWithParam<SchemeId> {};
+
+TEST_P(SimulatorTest, ActionsRunAtScheduledTimes) {
+  auto sim = MakeSim(GetParam());
+  std::vector<std::pair<Tick, int>> ran;
+  sim->After(5, [&] { ran.push_back({sim->now(), 1}); });
+  sim->After(2, [&] { ran.push_back({sim->now(), 2}); });
+  sim->After(9, [&] { ran.push_back({sim->now(), 3}); });
+  sim->RunUntilIdle();
+  ASSERT_EQ(ran.size(), 3u);
+  EXPECT_EQ(ran[0], (std::pair<Tick, int>{2, 2}));
+  EXPECT_EQ(ran[1], (std::pair<Tick, int>{5, 1}));
+  EXPECT_EQ(ran[2], (std::pair<Tick, int>{9, 3}));
+}
+
+TEST_P(SimulatorTest, ActionsCanScheduleFurtherActions) {
+  // The defining property of a simulation: "the simulation proceeds by processing
+  // the earliest event, which in turn may schedule further events."
+  auto sim = MakeSim(GetParam());
+  int depth = 0;
+  std::function<void()> cascade = [&] {
+    ++depth;
+    if (depth < 10) {
+      sim->After(3, cascade);
+    }
+  };
+  sim->After(3, cascade);
+  Tick advanced = sim->RunUntilIdle();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(advanced, 30u);
+  EXPECT_EQ(sim->now(), 30u);
+}
+
+TEST_P(SimulatorTest, CancelPreventsExecution) {
+  auto sim = MakeSim(GetParam());
+  bool ran = false;
+  EventToken token = sim->After(5, [&] { ran = true; });
+  ASSERT_TRUE(token.valid());
+  EXPECT_TRUE(sim->Cancel(token));
+  EXPECT_FALSE(sim->Cancel(token));  // second cancel reports failure
+  sim->RunUntilIdle(20);
+  EXPECT_FALSE(ran);
+}
+
+TEST_P(SimulatorTest, CancelAfterExecutionReportsFalse) {
+  auto sim = MakeSim(GetParam());
+  EventToken token = sim->After(2, [] {});
+  sim->RunUntilIdle();
+  EXPECT_FALSE(sim->Cancel(token));
+}
+
+TEST_P(SimulatorTest, RunUntilIdleRespectsTickBudget) {
+  auto sim = MakeSim(GetParam());
+  bool ran = false;
+  sim->After(100, [&] { ran = true; });
+  EXPECT_EQ(sim->RunUntilIdle(10), 10u);
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(sim->pending(), 1u);
+  sim->RunUntilIdle();
+  EXPECT_TRUE(ran);
+}
+
+TEST_P(SimulatorTest, CancellationInsideActionWorks) {
+  auto sim = MakeSim(GetParam());
+  bool victim_ran = false;
+  EventToken victim = sim->After(10, [&] { victim_ran = true; });
+  sim->After(5, [&] { EXPECT_TRUE(sim->Cancel(victim)); });
+  sim->RunUntilIdle();
+  EXPECT_FALSE(victim_ran);
+}
+
+TEST_P(SimulatorTest, PeriodicFiresEveryPeriod) {
+  auto sim = MakeSim(GetParam());
+  std::vector<Tick> fired;
+  EventToken token = sim->Every(7, [&] { fired.push_back(sim->now()); });
+  ASSERT_TRUE(token.valid());
+  for (int i = 0; i < 50; ++i) {
+    sim->Step();
+  }
+  ASSERT_EQ(fired.size(), 7u);
+  for (std::size_t k = 0; k < fired.size(); ++k) {
+    EXPECT_EQ(fired[k], 7 * (k + 1)) << "phase drifted";
+  }
+  EXPECT_TRUE(sim->Cancel(token));
+  for (int i = 0; i < 50; ++i) {
+    sim->Step();
+  }
+  EXPECT_EQ(fired.size(), 7u);
+}
+
+TEST_P(SimulatorTest, PeriodicMayCancelItself) {
+  auto sim = MakeSim(GetParam());
+  int runs = 0;
+  EventToken token;
+  token = sim->Every(3, [&] {
+    if (++runs == 4) {
+      EXPECT_TRUE(sim->Cancel(token));
+    }
+  });
+  for (int i = 0; i < 60; ++i) {
+    sim->Step();
+  }
+  EXPECT_EQ(runs, 4);
+  EXPECT_EQ(sim->pending(), 0u);
+}
+
+TEST_P(SimulatorTest, PeriodicAndOneShotsCoexist) {
+  auto sim = MakeSim(GetParam());
+  std::vector<std::string> log;
+  sim->Every(10, [&] { log.push_back("tick@" + std::to_string(sim->now())); });
+  sim->After(15, [&] { log.push_back("once@" + std::to_string(sim->now())); });
+  for (int i = 0; i < 30; ++i) {
+    sim->Step();
+  }
+  EXPECT_EQ(log, (std::vector<std::string>{"tick@10", "once@15", "tick@20", "tick@30"}));
+  EXPECT_EQ(sim->pending(), 1u);  // the periodic stays armed
+}
+
+TEST(SimulatorJumpTest, JumpingMatchesSteppingForPeekableSchemes) {
+  // Section 4's two time-flow methods must produce identical event trajectories.
+  for (SchemeId id : {SchemeId::kScheme2SortedFront, SchemeId::kScheme3Heap,
+                      SchemeId::kScheme3Bst}) {
+    auto stepped = MakeSim(id);
+    auto jumped = MakeSim(id);
+    std::vector<std::pair<Tick, int>> log_stepped, log_jumped;
+    auto arm = [](Simulator& sim, std::vector<std::pair<Tick, int>>& log) {
+      for (int k = 1; k <= 12; ++k) {
+        sim.After(k * 97, [&sim, &log, k] { log.push_back({sim.now(), k}); });
+      }
+    };
+    arm(*stepped, log_stepped);
+    arm(*jumped, log_jumped);
+    Tick ticks = stepped->RunUntilIdle();
+    auto jumps = jumped->RunUntilIdleJumping();
+    ASSERT_TRUE(jumps.has_value()) << SchemeName(id);
+    EXPECT_EQ(log_stepped, log_jumped) << SchemeName(id);
+    EXPECT_EQ(ticks, *jumps) << SchemeName(id);
+    EXPECT_EQ(stepped->now(), jumped->now()) << SchemeName(id);
+    // The jumping run must have paid far fewer bookkeeping calls.
+    EXPECT_LT(jumped->service().counts().ticks, stepped->service().counts().ticks / 10);
+  }
+}
+
+TEST(SimulatorJumpTest, WheelsReportNoJumpCapability) {
+  auto sim = MakeSim(SchemeId::kScheme6HashedUnsorted);
+  sim->After(100, [] {});
+  EXPECT_FALSE(sim->RunUntilIdleJumping().has_value());
+  EXPECT_EQ(sim->RunUntilIdle(), 100u);  // tick-stepping still works
+}
+
+TEST(SimulatorJumpTest, JumpRespectsTickBudget) {
+  auto sim = MakeSim(SchemeId::kScheme3Heap);
+  bool ran = false;
+  sim->After(1000, [&] { ran = true; });
+  auto covered = sim->RunUntilIdleJumping(100);
+  ASSERT_TRUE(covered.has_value());
+  EXPECT_EQ(*covered, 100u);
+  EXPECT_EQ(sim->now(), 100u);
+  EXPECT_FALSE(ran);
+  sim->RunUntilIdleJumping();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim->now(), 1000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, SimulatorTest,
+                         ::testing::Values(SchemeId::kScheme2SortedFront,
+                                           SchemeId::kScheme3Heap,
+                                           SchemeId::kScheme6HashedUnsorted,
+                                           SchemeId::kScheme7Hierarchical),
+                         [](const ::testing::TestParamInfo<SchemeId>& param_info) {
+                           std::string name = SchemeName(param_info.param);
+                           for (char& c : name) {
+                             if (c == '-') {
+                               c = '_';
+                             }
+                           }
+                           return name;
+                         });
+
+}  // namespace
+}  // namespace twheel::sim

@@ -1,0 +1,125 @@
+// Tests for the workload driver itself: determinism, scheme-independence of the
+// request stream, measurement plumbing, and trace prediction.
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/sorted_list_timers.h"
+#include "src/core/hashed_wheel_unsorted.h"
+#include "src/workload/workload.h"
+
+namespace twheel::workload {
+namespace {
+
+WorkloadSpec SmallSpec() {
+  WorkloadSpec spec;
+  spec.seed = 7;
+  spec.intervals = IntervalKind::kExponential;
+  spec.interval_mean = 20.0;
+  spec.interval_cap = 200;
+  spec.arrival_rate = 1.0;
+  spec.measured_starts = 500;
+  return spec;
+}
+
+TEST(WorkloadTest, SameSeedSameTrace) {
+  auto spec = SmallSpec();
+  HashedWheelUnsorted a(64), b(64);
+  auto ra = twheel::workload::Run(a, spec);
+  auto rb = workload::Run(b, spec);
+  EXPECT_EQ(ra.trace, rb.trace);
+  EXPECT_EQ(ra.starts_issued, rb.starts_issued);
+  EXPECT_EQ(ra.ticks_run, rb.ticks_run);
+}
+
+TEST(WorkloadTest, DifferentSeedDifferentTrace) {
+  auto spec = SmallSpec();
+  HashedWheelUnsorted a(64);
+  auto ra = twheel::workload::Run(a, spec);
+  spec.seed = 8;
+  HashedWheelUnsorted b(64);
+  auto rb = workload::Run(b, spec);
+  EXPECT_NE(ra.trace, rb.trace);
+}
+
+TEST(WorkloadTest, PredictedTraceMatchesActual) {
+  auto spec = SmallSpec();
+  spec.stop_fraction = 0.4;
+  HashedWheelUnsorted wheel(64);
+  auto result = workload::Run(wheel, spec);
+  EXPECT_EQ(NormalizedTrace(result.trace), PredictedTrace(spec));
+}
+
+TEST(WorkloadTest, StartsAndStopsAccounted) {
+  auto spec = SmallSpec();
+  spec.stop_fraction = 0.5;
+  SortedListTimers timers;
+  auto result = workload::Run(timers, spec);
+  EXPECT_EQ(result.starts_issued, spec.measured_starts);
+  EXPECT_EQ(result.starts_rejected, 0u);
+  // Every start either stopped or expired (or is still outstanding past horizon —
+  // impossible here because horizon covers every resolution).
+  EXPECT_EQ(result.stops_issued + result.expiries, result.starts_issued);
+  EXPECT_NEAR(static_cast<double>(result.stops_issued) /
+                  static_cast<double>(result.starts_issued),
+              0.5, 0.07);
+}
+
+TEST(WorkloadTest, WarmupExcludedFromMeasurement) {
+  auto spec = SmallSpec();
+  spec.warmup_starts = 200;
+  SortedListTimers timers;
+  auto result = workload::Run(timers, spec);
+  EXPECT_EQ(result.starts_issued, 700u);
+  EXPECT_EQ(result.start_comparisons.count(), 500u);  // only measured starts sampled
+}
+
+TEST(WorkloadTest, MaxTicksTruncatesConsistently) {
+  auto spec = SmallSpec();
+  spec.max_ticks = 100;
+  HashedWheelUnsorted wheel(64);
+  auto result = workload::Run(wheel, spec);
+  EXPECT_LE(result.ticks_run, 100u);
+  for (const auto& event : result.trace) {
+    EXPECT_LE(event.tick, 100u);
+  }
+  EXPECT_EQ(NormalizedTrace(result.trace), PredictedTrace(spec));
+}
+
+TEST(WorkloadTest, OutstandingStatSampled) {
+  auto spec = SmallSpec();
+  HashedWheelUnsorted wheel(64);
+  auto result = workload::Run(wheel, spec);
+  EXPECT_GT(result.outstanding.count(), 0u);
+  EXPECT_GT(result.outstanding.mean(), 0.0);
+}
+
+TEST(WorkloadTest, TickWorkHistogramPopulated) {
+  auto spec = SmallSpec();
+  HashedWheelUnsorted wheel(64);
+  auto result = workload::Run(wheel, spec);
+  EXPECT_EQ(result.tick_work_hist.count(), result.tick_work.count());
+  EXPECT_GE(result.tick_work_hist.max(), 1u);
+}
+
+TEST(WorkloadTest, NormalizedTraceSortsByTickThenId) {
+  std::vector<ExpiryEvent> trace = {{5, 2}, {3, 9}, {5, 1}, {3, 1}};
+  auto sorted = NormalizedTrace(trace);
+  EXPECT_EQ(sorted, (std::vector<ExpiryEvent>{{3, 1}, {3, 9}, {5, 1}, {5, 2}}));
+}
+
+TEST(WorkloadTest, IntervalCapHonored) {
+  auto spec = SmallSpec();
+  spec.intervals = IntervalKind::kPareto;
+  spec.interval_lo = 1;
+  spec.pareto_alpha = 1.1;  // wild tail
+  spec.interval_cap = 50;
+  spec.measured_starts = 2000;
+  HashedWheelUnsorted wheel(64);
+  auto result = workload::Run(wheel, spec);
+  // No expiry can be more than cap ticks after the last start; the horizon is thus
+  // bounded by roughly starts * mean_gap + cap.
+  EXPECT_LE(result.ticks_run, 2000 * 2 + 50u);
+}
+
+}  // namespace
+}  // namespace twheel::workload
