@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# Pre-merge verification gate: build and run the full test suite three times —
+# plain, under AddressSanitizer+UBSan, and under ThreadSanitizer — each in its
+# own build directory so the configurations never contaminate one another.
+#
+# Usage:
+#   scripts/verify.sh              # all three configurations
+#   scripts/verify.sh plain        # just the plain build
+#   scripts/verify.sh asan tsan    # any subset, in order
+#
+# Environment:
+#   JOBS=<n>          parallel build jobs (default: nproc)
+#   CTEST_ARGS=...    extra arguments forwarded to ctest (e.g. -R ModelCheck)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${JOBS:-$(nproc)}"
+CONFIGS=("$@")
+if [ ${#CONFIGS[@]} -eq 0 ]; then
+  CONFIGS=(plain asan tsan)
+fi
+
+run_config() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== [$name] configure ==="
+  cmake -S . -B "$build_dir" "$@" >/dev/null
+  echo "=== [$name] build ==="
+  cmake --build "$build_dir" -j "$JOBS"
+  echo "=== [$name] test ==="
+  # shellcheck disable=SC2086
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS" ${CTEST_ARGS:-}
+  echo "=== [$name] OK ==="
+}
+
+for config in "${CONFIGS[@]}"; do
+  case "$config" in
+    plain)
+      run_config plain build ;;
+    asan)
+      # halt_on_error: the first report fails the test instead of scrolling by.
+      ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+      UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
+      run_config asan build-asan -DTWHEEL_SANITIZE=address ;;
+    tsan)
+      TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+      run_config tsan build-tsan -DTWHEEL_SANITIZE=thread ;;
+    *)
+      echo "unknown configuration '$config' (use plain|asan|tsan)" >&2
+      exit 2 ;;
+  esac
+done
+
+echo "All requested configurations passed: ${CONFIGS[*]}"

@@ -57,7 +57,7 @@ class LockedService final : public TimerService {
     return inner_->outstanding();
   }
 
-  const metrics::OpCounts& counts() const override {
+  metrics::OpCounts counts() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->counts();
   }

@@ -13,6 +13,16 @@ ShardedWheel::ShardedWheel(std::size_t shards, std::size_t table_size) {
   for (std::size_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->wheel = std::make_unique<HashedWheelUnsorted>(table_size);
+    // Install the collector exactly once, pointing at storage that lives as long
+    // as the shard itself. Installing a lambda that captures a tick-local vector
+    // would leave the wheel's handler dangling after the tick returns — any expiry
+    // dispatched outside that call (a future destructor drain, an overlapping
+    // tick) would then write through a dead stack frame. Shard::collected is only
+    // touched under Shard::mutex, which every wheel call already holds.
+    Shard* raw = shard.get();
+    raw->wheel->set_expiry_handler([raw](RequestId id, Tick when) {
+      raw->collected.emplace_back(id, when);
+    });
     shards_.push_back(std::move(shard));
   }
 }
@@ -45,15 +55,16 @@ TimerError ShardedWheel::StopTimer(TimerHandle handle) {
 }
 
 std::size_t ShardedWheel::PerTickBookkeeping() {
-  // Collect under each shard's lock, dispatch outside all locks.
+  // Collect under each shard's lock, dispatch outside all locks. The permanent
+  // per-shard collector (installed in the constructor) stages expiries in
+  // Shard::collected; we drain each shard's stage while still holding its lock.
   std::vector<std::pair<RequestId, Tick>> expired;
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.wheel->set_expiry_handler([&expired](RequestId id, Tick when) {
-      expired.emplace_back(id, when);
-    });
     shard.wheel->PerTickBookkeeping();
+    expired.insert(expired.end(), shard.collected.begin(), shard.collected.end());
+    shard.collected.clear();
   }
   now_.fetch_add(1, std::memory_order_relaxed);
 
@@ -79,16 +90,15 @@ std::size_t ShardedWheel::outstanding() const {
   return total;
 }
 
-const metrics::OpCounts& ShardedWheel::counts() const {
-  std::lock_guard<std::mutex> merged_lock(counts_mutex_);
-  merged_counts_ = metrics::OpCounts{};
+metrics::OpCounts ShardedWheel::counts() const {
+  metrics::OpCounts merged;
   for (const auto& shard_ptr : shards_) {
     std::lock_guard<std::mutex> lock(shard_ptr->mutex);
-    merged_counts_ += shard_ptr->wheel->counts();
+    merged += shard_ptr->wheel->counts();
   }
   // Ticks are per-shard internally; report wall ticks.
-  merged_counts_.ticks = now_.load(std::memory_order_relaxed);
-  return merged_counts_;
+  merged.ticks = now_.load(std::memory_order_relaxed);
+  return merged;
 }
 
 TimerService::SpaceProfile ShardedWheel::Space() const {

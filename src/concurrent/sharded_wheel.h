@@ -40,7 +40,8 @@ class ShardedWheel final : public TimerService {
   std::size_t PerTickBookkeeping() override;
   Tick now() const override { return now_.load(std::memory_order_relaxed); }
   std::size_t outstanding() const override;
-  const metrics::OpCounts& counts() const override;
+  // Snapshot merged across shards; by value so nothing shared escapes the locks.
+  metrics::OpCounts counts() const override;
   std::string_view name() const override { return "scheme6-sharded"; }
   void set_expiry_handler(ExpiryHandler handler) override;
 
@@ -55,6 +56,11 @@ class ShardedWheel final : public TimerService {
 
   struct Shard {
     std::mutex mutex;
+    // Expiries the inner wheel reported, staged under `mutex` until the next
+    // PerTickBookkeeping drains them for dispatch outside all locks. Declared
+    // before `wheel` so it outlives the wheel (whose permanently installed
+    // expiry handler appends here) during shard destruction.
+    std::vector<std::pair<RequestId, Tick>> collected;
     std::unique_ptr<HashedWheelUnsorted> wheel;
   };
 
@@ -64,9 +70,6 @@ class ShardedWheel final : public TimerService {
 
   std::mutex handler_mutex_;
   ExpiryHandler handler_;
-
-  mutable std::mutex counts_mutex_;
-  mutable metrics::OpCounts merged_counts_;
 };
 
 }  // namespace twheel::concurrent

@@ -40,14 +40,15 @@ class TickerThread {
   ~TickerThread() { Stop(); }
 
   // Idempotent; blocks until the thread has exited. No bookkeeping call runs after
-  // Stop returns.
+  // Stop returns. A catch-up burst is abandoned mid-burst: Stop waits for at most
+  // the one bookkeeping call in flight, never for the whole backlog.
   void Stop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (stopping_) {
+      if (stopping_.load(std::memory_order_relaxed)) {
         return;
       }
-      stopping_ = true;
+      stopping_.store(true, std::memory_order_relaxed);
     }
     wakeup_.notify_all();
     if (thread_.joinable()) {
@@ -65,12 +66,15 @@ class TickerThread {
     const Clock::time_point epoch = Clock::now();
     std::uint64_t delivered = 0;
     std::unique_lock<std::mutex> lock(mutex_);
-    while (!stopping_) {
+    while (!stopping_.load(std::memory_order_relaxed)) {
       const auto due_count = static_cast<std::uint64_t>((Clock::now() - epoch) / period_);
       if (delivered < due_count) {
         // Catch up without holding the lock across client expiry handlers.
+        // Re-check stopping_ per delivered tick: a long backlog of slow client
+        // handlers must not hold Stop() hostage for the rest of the burst.
         lock.unlock();
-        while (delivered < due_count) {
+        while (delivered < due_count &&
+               !stopping_.load(std::memory_order_relaxed)) {
           service_.PerTickBookkeeping();
           ++delivered;
           ticks_delivered_.store(delivered, std::memory_order_relaxed);
@@ -79,7 +83,7 @@ class TickerThread {
         continue;
       }
       wakeup_.wait_until(lock, epoch + (delivered + 1) * period_,
-                         [this] { return stopping_; });
+                         [this] { return stopping_.load(std::memory_order_relaxed); });
     }
   }
 
@@ -88,7 +92,9 @@ class TickerThread {
 
   std::mutex mutex_;
   std::condition_variable wakeup_;
-  bool stopping_ = false;
+  // Atomic so the unlocked catch-up loop may poll it; still only *set* under
+  // mutex_ so the condition-variable wait cannot miss the transition.
+  std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> ticks_delivered_{0};
 
   std::thread thread_;  // last member: started after everything else is ready

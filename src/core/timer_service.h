@@ -70,7 +70,10 @@ class TimerService {
 
   virtual Tick now() const = 0;
   virtual std::size_t outstanding() const = 0;
-  virtual const metrics::OpCounts& counts() const = 0;
+  // Returned by value: thread-safe services (LockedService, ShardedWheel) snapshot
+  // their counters under their own locks, and a reference would escape that lock and
+  // race with the next caller. Single-threaded schemes just copy ~90 bytes.
+  virtual metrics::OpCounts counts() const = 0;
   virtual std::string_view name() const = 0;
 
   virtual void set_expiry_handler(ExpiryHandler handler) = 0;
@@ -134,7 +137,7 @@ class TimerServiceBase : public TimerService {
   // Live records in the arena. Lazy-deletion schemes (leftist heap) override this to
   // exclude cancelled-but-not-yet-reclaimed records.
   std::size_t outstanding() const override { return arena_.live(); }
-  const metrics::OpCounts& counts() const final { return counts_; }
+  metrics::OpCounts counts() const final { return counts_; }
   void set_expiry_handler(ExpiryHandler handler) final { handler_ = std::move(handler); }
 
  protected:

@@ -41,7 +41,7 @@ class Server {
   std::size_t num_connections() const { return connections_.size(); }
 
   // Op counts of the timer scheme under test (protocol timers only).
-  const metrics::OpCounts& host_counts() const { return host_.service().counts(); }
+  metrics::OpCounts host_counts() const { return host_.service().counts(); }
   std::size_t host_outstanding() const { return host_.pending(); }
 
   const Channel& uplink() const { return to_peer_; }

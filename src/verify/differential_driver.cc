@@ -1,0 +1,519 @@
+#include "src/verify/differential_driver.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/rng/rng.h"
+#include "src/verify/oracle.h"
+
+namespace twheel::verify {
+namespace {
+
+// One live timer as the driver sees it: the same logical request mirrored by two
+// unrelated handles, plus the driver's own expiry prediction (used only to select
+// stop-sibling victims that cannot fire on the tick being processed).
+struct Entry {
+  TimerHandle sut;
+  TimerHandle oracle;
+  Tick expiry = 0;
+  std::size_t index = 0;  // position in the live-id vector (swap-remove)
+};
+
+// Everything a SUT-side handler decided, for oracle-side replay.
+struct TickAction {
+  bool self_poke = false;
+  TimerHandle self_oracle;  // the fired timer's oracle handle, stale by replay time
+  RequestId rearm_id = 0;   // 0 = none (driver ids start at 1)
+  Duration rearm_interval = 0;
+  RequestId next_tick_id = 0;
+  RequestId sibling_id = 0;
+  TimerHandle sibling_oracle;
+  TimerHandle sibling_sut;
+};
+
+class Episode {
+ public:
+  Episode(TimerService& sut, const DriverOptions& options)
+      : sut_(sut), options_(options), rng_(options.seed) {}
+
+  DriverReport Run() {
+    sut_.set_expiry_handler(
+        [this](RequestId id, Tick when) { OnSutFire(id, when); });
+    oracle_.set_expiry_handler(
+        [this](RequestId id, Tick when) { OnOracleFire(id, when); });
+
+    const Tick start_now = sut_.now();
+    if (oracle_.now() != 0 || start_now != 0) {
+      // The driver assumes fresh services so its expiry predictions line up.
+      Diverge(0, "driver requires fresh services (now() == 0)");
+    }
+
+    for (std::size_t t = 0; t < options_.ticks && report_.ok; ++t) {
+      MutatePhase();
+      Step();
+    }
+    draining_ = true;
+    const std::size_t drain_bound = options_.max_interval + options_.drain_slack;
+    for (std::size_t t = 0; t < drain_bound && !live_.empty() && report_.ok; ++t) {
+      Step();
+    }
+    if (report_.ok && !live_.empty()) {
+      Diverge(now_, "timers failed to drain within max_interval + slack");
+    }
+    if (report_.ok && (sut_.outstanding() != 0 || oracle_.outstanding() != 0)) {
+      std::ostringstream os;
+      os << "post-drain outstanding: sut=" << sut_.outstanding()
+         << " oracle=" << oracle_.outstanding();
+      Diverge(now_, os.str());
+    }
+    if (report_.ok) {
+      // The driver made identical routine invocations on both sides, so the
+      // paper's routine-level counters must agree. (stop_calls is exempt:
+      // wrappers may legitimately refuse garbage handles before the counted
+      // layer.) Structural counters — comparisons, migrations — differ by
+      // design between algorithms and are not compared.
+      const metrics::OpCounts a = sut_.counts();
+      const metrics::OpCounts b = oracle_.counts();
+      if (a.start_calls != b.start_calls || a.ticks != b.ticks ||
+          a.expiries != b.expiries) {
+        std::ostringstream os;
+        os << "routine counters diverge: starts " << a.start_calls << "/"
+           << b.start_calls << " ticks " << a.ticks << "/" << b.ticks
+           << " expiries " << a.expiries << "/" << b.expiries;
+        Diverge(now_, os.str());
+      }
+    }
+    return report_;
+  }
+
+ private:
+  // ---- outside-handler mutations -------------------------------------------
+
+  void MutatePhase() {
+    // Starts: fractional rates accumulate via one Bernoulli trial.
+    const double rate = options_.starts_per_tick;
+    std::size_t n = static_cast<std::size_t>(rate);
+    if (rng_.NextBool(rate - static_cast<double>(n))) {
+      ++n;
+    }
+    for (std::size_t i = 0; i < n && report_.ok; ++i) {
+      StartFresh();
+    }
+    if (report_.ok && rng_.NextBool(options_.zero_interval_probability)) {
+      const RequestId id = next_id_++;
+      StartResult rs = sut_.StartTimer(0, id);
+      StartResult ro = oracle_.StartTimer(0, id);
+      if (rs.has_value() || ro.has_value() ||
+          rs.error() != TimerError::kZeroInterval ||
+          ro.error() != TimerError::kZeroInterval) {
+        Diverge(now_, "zero-interval start was not rejected identically");
+      }
+    }
+    if (report_.ok && rng_.NextBool(options_.stop_probability) && !live_ids_.empty()) {
+      const RequestId victim =
+          live_ids_[rng_.NextBounded(live_ids_.size())];
+      auto it = live_.find(victim);
+      const Entry e = it->second;
+      const TimerError rs = sut_.StopTimer(e.sut);
+      const TimerError ro = oracle_.StopTimer(e.oracle);
+      if (rs != TimerError::kOk || ro != TimerError::kOk) {
+        std::ostringstream os;
+        os << "stop of live id " << victim << ": sut=" << TimerErrorName(rs)
+           << " oracle=" << TimerErrorName(ro);
+        Diverge(now_, os.str());
+        return;
+      }
+      RemoveLive(it);
+      Retire(e.sut, e.oracle);
+      ++report_.stops;
+    }
+    if (report_.ok && rng_.NextBool(options_.stale_poke_probability)) {
+      PokeStale();
+    }
+  }
+
+  void StartFresh() {
+    const RequestId id = next_id_++;
+    const Duration interval =
+        options_.min_interval +
+        rng_.NextBounded(options_.max_interval - options_.min_interval + 1);
+    StartResult rs = sut_.StartTimer(interval, id);
+    StartResult ro = oracle_.StartTimer(interval, id);
+    if (rs.has_value() != ro.has_value()) {
+      std::ostringstream os;
+      os << "start(" << interval << ") id " << id << ": sut "
+         << (rs.has_value() ? "accepted" : TimerErrorName(rs.error()))
+         << ", oracle "
+         << (ro.has_value() ? "accepted" : TimerErrorName(ro.error()));
+      Diverge(now_, os.str());
+      return;
+    }
+    if (!rs.has_value()) {
+      return;  // both rejected identically — legal (e.g. bounded arena)
+    }
+    AddLive(id, rs.value(), ro.value(), now_ + interval);
+    ++report_.starts;
+  }
+
+  void PokeStale() {
+    ++report_.stale_pokes;
+    TimerHandle sut_h;
+    TimerHandle oracle_h;
+    switch (rng_.NextBounded(3)) {
+      case 0:  // genuinely retired pair, slots likely recycled since
+        if (retired_.empty()) {
+          return;
+        }
+        std::tie(sut_h, oracle_h) = retired_[rng_.NextBounded(retired_.size())];
+        break;
+      case 1:  // fabricated: plausible slot, impossible generation
+        sut_h = TimerHandle{static_cast<std::uint32_t>(rng_.NextBounded(1u << 20)),
+                            0xDEADBEEFu};
+        oracle_h = sut_h;
+        break;
+      default:  // the null handle
+        sut_h = kInvalidHandle;
+        oracle_h = kInvalidHandle;
+        break;
+    }
+    const TimerError rs = sut_.StopTimer(sut_h);
+    const TimerError ro = oracle_.StopTimer(oracle_h);
+    if (rs != TimerError::kNoSuchTimer || ro != TimerError::kNoSuchTimer) {
+      std::ostringstream os;
+      os << "stale handle (slot " << sut_h.slot << " gen " << sut_h.generation
+         << ") not refused: sut=" << TimerErrorName(rs)
+         << " oracle=" << TimerErrorName(ro);
+      Diverge(now_, os.str());
+    }
+  }
+
+  // ---- the lockstep tick ----------------------------------------------------
+
+  void Step() {
+    current_tick_ = now_ + 1;
+    sut_fired_.clear();
+    oracle_fired_.clear();
+    actions_.clear();
+    fired_handles_.clear();
+    pending_.clear();
+
+    const std::size_t ns = sut_.PerTickBookkeeping();
+    const std::size_t no = oracle_.PerTickBookkeeping();
+    if (!report_.ok) {
+      return;
+    }
+
+    if (ns != sut_fired_.size() || no != oracle_fired_.size() || ns != no) {
+      std::ostringstream os;
+      os << "expiry count mismatch: sut returned " << ns << " (dispatched "
+         << sut_fired_.size() << "), oracle returned " << no << " (dispatched "
+         << oracle_fired_.size() << ")";
+      Diverge(current_tick_, os.str());
+      return;
+    }
+    std::sort(sut_fired_.begin(), sut_fired_.end());
+    std::sort(oracle_fired_.begin(), oracle_fired_.end());
+    if (sut_fired_ != oracle_fired_) {
+      std::size_t i = 0;
+      while (i < sut_fired_.size() && sut_fired_[i] == oracle_fired_[i]) {
+        ++i;
+      }
+      std::ostringstream os;
+      os << "expiry sets differ; first mismatch at position " << i << ": sut id "
+         << (i < sut_fired_.size() ? sut_fired_[i] : 0) << " vs oracle id "
+         << (i < oracle_fired_.size() ? oracle_fired_[i] : 0);
+      Diverge(current_tick_, os.str());
+      return;
+    }
+    report_.expiries += ns;
+
+    // Both sides have now invalidated the fired handles; only now are they stale
+    // on *both* sides and safe to use as stale-poke ammunition.
+    for (const auto& [sut_h, oracle_h] : fired_handles_) {
+      Retire(sut_h, oracle_h);
+    }
+    // Handler-started timers become regular live entries once the oracle replay
+    // has produced the second handle of each pair.
+    for (const auto& p : pending_) {
+      if (!p.oracle_armed) {
+        std::ostringstream os;
+        os << "oracle never fired the id whose handler started id " << p.id;
+        Diverge(current_tick_, os.str());
+        return;
+      }
+      AddLive(p.id, p.sut, p.oracle, p.expiry);
+    }
+
+    now_ = current_tick_;
+    ++report_.ticks_run;
+
+    if (sut_.now() != now_ || oracle_.now() != now_) {
+      std::ostringstream os;
+      os << "clock skew: sut now " << sut_.now() << ", oracle now "
+         << oracle_.now() << ", driver now " << now_;
+      Diverge(now_, os.str());
+      return;
+    }
+    if (sut_.outstanding() != live_.size() ||
+        oracle_.outstanding() != live_.size()) {
+      std::ostringstream os;
+      os << "outstanding mismatch: sut " << sut_.outstanding() << ", oracle "
+         << oracle_.outstanding() << ", driver " << live_.size();
+      Diverge(now_, os.str());
+    }
+  }
+
+  // ---- expiry handlers ------------------------------------------------------
+
+  void OnSutFire(RequestId id, Tick when) {
+    if (!report_.ok) {
+      return;
+    }
+    sut_fired_.push_back(id);
+    auto it = live_.find(id);
+    if (it == live_.end()) {
+      std::ostringstream os;
+      os << "sut fired unknown or doubly-fired id " << id;
+      Diverge(current_tick_, os.str());
+      return;
+    }
+    const Entry e = it->second;
+    if (when != current_tick_ || e.expiry != current_tick_) {
+      std::ostringstream os;
+      os << "sut fired id " << id << " at tick " << when << ", due at "
+         << e.expiry << " while processing " << current_tick_;
+      Diverge(current_tick_, os.str());
+      return;
+    }
+    RemoveLive(it);
+    fired_handles_.emplace_back(e.sut, e.oracle);
+    if (draining_) {
+      return;
+    }
+
+    TickAction action;
+    if (rng_.NextBool(options_.self_poke_probability)) {
+      action.self_poke = true;
+      action.self_oracle = e.oracle;
+      const TimerError r = sut_.StopTimer(e.sut);
+      if (r != TimerError::kNoSuchTimer) {
+        std::ostringstream os;
+        os << "sut accepted the fired timer's own handle inside its handler ("
+           << TimerErrorName(r) << ")";
+        Diverge(current_tick_, os.str());
+        return;
+      }
+    }
+    if (rng_.NextBool(options_.rearm_probability)) {
+      const Duration d = options_.rearm_interval != 0
+                             ? options_.rearm_interval
+                             : options_.min_interval +
+                                   rng_.NextBounded(options_.max_interval -
+                                                    options_.min_interval + 1);
+      action.rearm_id = HandlerStart(d);
+      action.rearm_interval = d;
+      if (!report_.ok) {
+        return;
+      }
+      ++report_.handler_rearms;
+    }
+    if (rng_.NextBool(options_.start_next_tick_probability)) {
+      action.next_tick_id = HandlerStart(1);
+      if (!report_.ok) {
+        return;
+      }
+      ++report_.handler_next_tick_starts;
+    }
+    if (rng_.NextBool(options_.stop_sibling_probability)) {
+      // Only siblings strictly due later are legal victims: a same-tick sibling
+      // may or may not have fired yet depending on the scheme's sweep order.
+      for (int probe = 0; probe < 8 && !live_ids_.empty(); ++probe) {
+        const RequestId candidate =
+            live_ids_[rng_.NextBounded(live_ids_.size())];
+        auto sit = live_.find(candidate);
+        if (sit->second.expiry <= current_tick_) {
+          continue;
+        }
+        const Entry sibling = sit->second;
+        const TimerError r = sut_.StopTimer(sibling.sut);
+        if (r != TimerError::kOk) {
+          std::ostringstream os;
+          os << "sut refused in-handler stop of future sibling " << candidate
+             << ": " << TimerErrorName(r);
+          Diverge(current_tick_, os.str());
+          return;
+        }
+        RemoveLive(sit);
+        action.sibling_id = candidate;
+        action.sibling_oracle = sibling.oracle;
+        action.sibling_sut = sibling.sut;
+        ++report_.handler_sibling_stops;
+        break;
+      }
+    }
+    actions_.emplace(id, action);
+  }
+
+  // Start a timer from inside a SUT handler; returns the fresh id. The SUT handle
+  // is parked in pending_ until the oracle replay arms its twin.
+  RequestId HandlerStart(Duration interval) {
+    const RequestId id = next_id_++;
+    StartResult r = sut_.StartTimer(interval, id);
+    if (!r.has_value()) {
+      std::ostringstream os;
+      os << "sut rejected in-handler start(" << interval
+         << "): " << TimerErrorName(r.error());
+      Diverge(current_tick_, os.str());
+      return 0;
+    }
+    pending_.push_back(
+        Pending{id, r.value(), TimerHandle{}, current_tick_ + interval, false});
+    return id;
+  }
+
+  void OnOracleFire(RequestId id, Tick when) {
+    if (!report_.ok) {
+      return;
+    }
+    oracle_fired_.push_back(id);
+    if (when != current_tick_) {
+      std::ostringstream os;
+      os << "oracle fired id " << id << " at tick " << when
+         << " while processing " << current_tick_;
+      Diverge(current_tick_, os.str());
+      return;
+    }
+    auto ait = actions_.find(id);
+    if (ait == actions_.end()) {
+      return;  // either no action was decided, or the sets diverge (caught later)
+    }
+    const TickAction& a = ait->second;
+    if (a.self_poke) {
+      // Replay: the oracle, too, must refuse the fired timer's own handle.
+      const TimerError r = oracle_.StopTimer(a.self_oracle);
+      if (r != TimerError::kNoSuchTimer) {
+        std::ostringstream os;
+        os << "oracle accepted the fired timer's own handle inside its handler ("
+           << TimerErrorName(r) << ")";
+        Diverge(current_tick_, os.str());
+        return;
+      }
+    }
+    if (a.rearm_id != 0) {
+      ReplayStart(a.rearm_interval, a.rearm_id);
+    }
+    if (a.next_tick_id != 0) {
+      ReplayStart(1, a.next_tick_id);
+    }
+    if (a.sibling_id != 0) {
+      const TimerError r = oracle_.StopTimer(a.sibling_oracle);
+      if (r != TimerError::kOk) {
+        std::ostringstream os;
+        os << "oracle refused replayed sibling stop of id " << a.sibling_id
+           << ": " << TimerErrorName(r);
+        Diverge(current_tick_, os.str());
+        return;
+      }
+      Retire(a.sibling_sut, a.sibling_oracle);
+    }
+  }
+
+  void ReplayStart(Duration interval, RequestId id) {
+    StartResult r = oracle_.StartTimer(interval, id);
+    if (!r.has_value()) {
+      std::ostringstream os;
+      os << "oracle rejected replayed start(" << interval << ") id " << id;
+      Diverge(current_tick_, os.str());
+      return;
+    }
+    for (auto& p : pending_) {
+      if (p.id == id) {
+        p.oracle = r.value();
+        p.oracle_armed = true;
+        return;
+      }
+    }
+    Diverge(current_tick_, "replayed start has no pending SUT twin");
+  }
+
+  // ---- bookkeeping helpers --------------------------------------------------
+
+  void AddLive(RequestId id, TimerHandle sut, TimerHandle oracle, Tick expiry) {
+    Entry e{sut, oracle, expiry, live_ids_.size()};
+    live_ids_.push_back(id);
+    live_.emplace(id, e);
+  }
+
+  void RemoveLive(std::unordered_map<RequestId, Entry>::iterator it) {
+    const std::size_t index = it->second.index;
+    const RequestId moved = live_ids_.back();
+    live_ids_[index] = moved;
+    live_ids_.pop_back();
+    if (moved != it->first) {
+      live_.find(moved)->second.index = index;
+    }
+    live_.erase(it);
+  }
+
+  void Retire(TimerHandle sut, TimerHandle oracle) {
+    if (retired_.size() < kRetiredCap) {
+      retired_.emplace_back(sut, oracle);
+    } else {
+      retired_[rng_.NextBounded(kRetiredCap)] = {sut, oracle};
+    }
+  }
+
+  void Diverge(Tick tick, const std::string& what) {
+    if (!report_.ok) {
+      return;
+    }
+    report_.ok = false;
+    std::ostringstream os;
+    os << "[" << sut_.name() << " @ tick " << tick << "] " << what;
+    report_.divergence = os.str();
+  }
+
+  static constexpr std::size_t kRetiredCap = 256;
+
+  struct Pending {
+    RequestId id;
+    TimerHandle sut;
+    TimerHandle oracle;
+    Tick expiry;
+    bool oracle_armed;
+  };
+
+  TimerService& sut_;
+  OracleTimers oracle_;
+  const DriverOptions options_;
+  rng::Xoshiro256 rng_;
+  DriverReport report_;
+
+  Tick now_ = 0;
+  Tick current_tick_ = 0;
+  RequestId next_id_ = 1;
+  bool draining_ = false;
+
+  std::unordered_map<RequestId, Entry> live_;
+  std::vector<RequestId> live_ids_;
+  std::vector<std::pair<TimerHandle, TimerHandle>> retired_;
+
+  // Per-tick scratch.
+  std::vector<RequestId> sut_fired_;
+  std::vector<RequestId> oracle_fired_;
+  std::unordered_map<RequestId, TickAction> actions_;
+  std::vector<std::pair<TimerHandle, TimerHandle>> fired_handles_;
+  std::vector<Pending> pending_;
+};
+
+}  // namespace
+
+DriverReport RunDifferential(TimerService& sut, const DriverOptions& options) {
+  Episode episode(sut, options);
+  return episode.Run();
+}
+
+}  // namespace twheel::verify

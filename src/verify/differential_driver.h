@@ -1,0 +1,114 @@
+// Differential model-checking driver.
+//
+// Replays one deterministic, seeded stream of timer-facility operations against a
+// TimerService under test and against OracleTimers simultaneously, asserting after
+// every tick that the two worlds are indistinguishable:
+//
+//   * the multiset of (request id) expiries delivered this tick is identical —
+//     order within a tick is deliberately NOT compared (Section 4.2);
+//   * both sides report the same expiry count, the same outstanding() population,
+//     and the same now();
+//   * StartTimer/StopTimer return identical results call-for-call, including the
+//     rejects (zero interval, stale handle);
+//   * stale handles — from expiry, from cancellation, or fabricated — are always
+//     refused with kNoSuchTimer, on both sides, even after the underlying slots
+//     have been recycled many times.
+//
+// The stream covers the paper's full operation alphabet plus the re-entrancy the
+// ExpiryHandler contract permits: handlers may re-arm the fired timer (including
+// the nasty interval ≡ 0 (mod TableSize) case that lands in the bucket currently
+// being swept), stop a not-yet-visited sibling (restricted to siblings due on a
+// *later* tick, because intra-tick firing order is unspecified and a same-tick
+// sibling may or may not have fired already — see oracle.h), and start a timer due
+// on the very next tick.
+//
+// Determinism across the two sides is achieved by a decide-then-replay protocol:
+// the side under test runs its tick first and every in-handler decision (drawn
+// from the seeded RNG) is logged; the oracle's handlers then replay the log rather
+// than re-rolling dice. Because every logged action targets either the fired timer
+// itself or a sibling that cannot fire this tick, the end-of-tick state is
+// independent of intra-tick dispatch order, and replay is sound.
+//
+// CAUTION: LockedService runs expiry handlers while holding its global lock, so
+// re-entrant handler operations self-deadlock on it by documented design. Drive it
+// with DriverOptions::WithoutReentrancy().
+
+#ifndef TWHEEL_SRC_VERIFY_DIFFERENTIAL_DRIVER_H_
+#define TWHEEL_SRC_VERIFY_DIFFERENTIAL_DRIVER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "src/core/timer_service.h"
+
+namespace twheel::verify {
+
+struct DriverOptions {
+  std::uint64_t seed = 1;
+
+  // Measured phase: this many ticks of mixed starts/stops/pokes.
+  std::size_t ticks = 256;
+  double starts_per_tick = 2.0;
+
+  // Intervals are uniform in [min_interval, max_interval]. max_interval must be
+  // within the span of every scheme under test (BasicWheel rejects intervals >=
+  // its wheel size; a {16,16,16} hierarchy spans 4096 ticks). Drive *unbounded*
+  // arena configurations: the oracle models no capacity limit, so a kNoCapacity
+  // reject on only one side is (correctly) reported as divergence.
+  Duration min_interval = 1;
+  Duration max_interval = 300;
+
+  // Per-tick probabilities for the mutation alphabet outside handlers.
+  double stop_probability = 0.35;        // cancel one random live timer
+  double stale_poke_probability = 0.5;   // StopTimer on a retired/garbage handle
+  double zero_interval_probability = 0.1;  // StartTimer(0): both must reject
+
+  // Per-expiry probabilities for the in-handler re-entrancy alphabet.
+  double rearm_probability = 0.0;
+  // 0 = re-arm with a random interval; nonzero = exactly this interval (set it to
+  // the wheel's table size to land the re-arm back in the bucket being swept).
+  Duration rearm_interval = 0;
+  double stop_sibling_probability = 0.0;
+  double start_next_tick_probability = 0.0;
+  // StopTimer on the fired timer's own now-stale handle, from inside its handler.
+  double self_poke_probability = 0.0;
+
+  // After the measured phase the driver stops mutating and ticks until both sides
+  // drain; this bounds how long that may take beyond max_interval.
+  std::size_t drain_slack = 8;
+
+  // A copy safe for services that run handlers under their own lock.
+  DriverOptions WithoutReentrancy() const {
+    DriverOptions o = *this;
+    o.rearm_probability = 0.0;
+    o.stop_sibling_probability = 0.0;
+    o.start_next_tick_probability = 0.0;
+    o.self_poke_probability = 0.0;
+    return o;
+  }
+};
+
+struct DriverReport {
+  bool ok = true;
+  // Human-readable description of the FIRST divergence; empty when ok.
+  std::string divergence;
+
+  std::size_t ticks_run = 0;
+  std::size_t starts = 0;
+  std::size_t stops = 0;
+  std::size_t expiries = 0;
+  std::size_t stale_pokes = 0;
+  std::size_t handler_rearms = 0;
+  std::size_t handler_sibling_stops = 0;
+  std::size_t handler_next_tick_starts = 0;
+};
+
+// Runs one episode. The driver installs its own expiry handler on `sut` (replacing
+// any existing one) and owns the paired oracle internally. The episode ends early
+// at the first divergence.
+DriverReport RunDifferential(TimerService& sut, const DriverOptions& options);
+
+}  // namespace twheel::verify
+
+#endif  // TWHEEL_SRC_VERIFY_DIFFERENTIAL_DRIVER_H_

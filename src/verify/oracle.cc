@@ -1,0 +1,61 @@
+#include "src/verify/oracle.h"
+
+#include <utility>
+#include <vector>
+
+namespace twheel::verify {
+
+StartResult OracleTimers::StartTimer(Duration interval, RequestId request_id) {
+  ++counts_.start_calls;
+  if (interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  const std::uint32_t slot = next_slot_++;
+  auto it = by_expiry_.emplace(now_ + interval, Pending{request_id, slot});
+  live_.emplace(slot, it);
+  ++counts_.insert_link_ops;
+  // Generation 1 everywhere: the oracle never recycles slots, so the generation
+  // carries no information — but a handle with any other generation is garbage.
+  return TimerHandle{slot, 1};
+}
+
+TimerError OracleTimers::StopTimer(TimerHandle handle) {
+  ++counts_.stop_calls;
+  if (!handle.valid() || handle.generation != 1) {
+    return TimerError::kNoSuchTimer;
+  }
+  auto it = live_.find(handle.slot);
+  if (it == live_.end()) {
+    return TimerError::kNoSuchTimer;
+  }
+  by_expiry_.erase(it->second);
+  live_.erase(it);
+  ++counts_.delete_unlink_ops;
+  return TimerError::kOk;
+}
+
+std::size_t OracleTimers::PerTickBookkeeping() {
+  ++counts_.ticks;
+  ++now_;
+  // Commit this tick's expiry set before dispatching anything: handlers may start
+  // timers (earliest legal expiry now_ + 1) and stop future-due siblings, and
+  // neither may affect what fires *now*.
+  std::vector<RequestId> due;
+  auto range = by_expiry_.equal_range(now_);
+  for (auto it = range.first; it != range.second; ++it) {
+    due.push_back(it->second.request_id);
+    live_.erase(it->second.slot);
+  }
+  by_expiry_.erase(range.first, range.second);
+
+  counts_.expiries += due.size();
+  counts_.expiry_dispatches += due.size();
+  if (handler_) {
+    for (RequestId id : due) {
+      handler_(id, now_);
+    }
+  }
+  return due.size();
+}
+
+}  // namespace twheel::verify

@@ -69,6 +69,50 @@ TEST(TickerThreadTest, ConcurrentStartsWhileTicking) {
   EXPECT_EQ(wheel.outstanding(), 0u);
 }
 
+// A service whose bookkeeping is slow — the regression case for Stop() latency.
+// If the ticker's catch-up loop does not re-check stopping_ between deliveries,
+// Stop() blocks behind the ENTIRE accumulated backlog (here: ~2 s of pending
+// ticks at 5 ms each, >10 s of handler time) instead of at most the one call in
+// flight.
+class SlowService final : public TimerService {
+ public:
+  StartResult StartTimer(Duration, RequestId) override {
+    return TimerError::kNoCapacity;
+  }
+  TimerError StopTimer(TimerHandle) override { return TimerError::kNoSuchTimer; }
+  std::size_t PerTickBookkeeping() override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ++now_;
+    return 0;
+  }
+  Tick now() const override { return now_; }
+  std::size_t outstanding() const override { return 0; }
+  metrics::OpCounts counts() const override { return {}; }
+  std::string_view name() const override { return "slow-for-test"; }
+  void set_expiry_handler(ExpiryHandler) override {}
+  SpaceProfile Space() const override { return {}; }
+
+ private:
+  std::atomic<Tick> now_{0};
+};
+
+TEST(TickerThreadTest, StopIsPromptDuringCatchUpBurst) {
+  SlowService service;
+  // Period far below the 5 ms bookkeeping cost: the ticker falls behind
+  // immediately and is permanently in catch-up.
+  TickerThread ticker(service, std::chrono::microseconds(100));
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  // Backlog at this point: ~2000 due ticks x 5 ms = ~10 s of handler time.
+  const auto stop_begin = std::chrono::steady_clock::now();
+  ticker.Stop();
+  const auto stop_elapsed = std::chrono::steady_clock::now() - stop_begin;
+  // Must wait for at most the one bookkeeping call in flight, plus scheduling
+  // slack — nowhere near the backlog.
+  EXPECT_LT(stop_elapsed, std::chrono::milliseconds(500))
+      << "Stop() blocked behind the catch-up backlog";
+  EXPECT_GE(ticker.ticks_delivered(), 1u);
+}
+
 TEST(TickerThreadTest, StopIsIdempotentAndFinal) {
   LockedService service(std::make_unique<HashedWheelUnsorted>(64));
   TickerThread ticker(service, std::chrono::microseconds(200));

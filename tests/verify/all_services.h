@@ -1,0 +1,80 @@
+// Shared enumeration of every TimerService implementation in the repository, for
+// the model-checking suite: the seven schemes (with every variant the facade
+// exposes), the global-lock wrapper, and the sharded wheel in one- and multi-shard
+// configurations. Configurations mirror tests/integration/differential_test.cc:
+// spans comfortably exceed the driver's default max_interval of 300.
+
+#ifndef TWHEEL_TESTS_VERIFY_ALL_SERVICES_H_
+#define TWHEEL_TESTS_VERIFY_ALL_SERVICES_H_
+
+#include <functional>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/concurrent/locked_service.h"
+#include "src/concurrent/sharded_wheel.h"
+#include "src/core/hashed_wheel_unsorted.h"
+#include "src/core/timer_facility.h"
+
+namespace twheel::verify_tests {
+
+struct ServiceCase {
+  std::string label;  // gtest-safe: alphanumerics and underscores only
+  std::function<std::unique_ptr<TimerService>()> make;
+  // LockedService dispatches expiry handlers while holding its global lock, so
+  // in-handler re-entrancy would self-deadlock by documented design.
+  bool handlers_may_reenter = true;
+};
+
+// Keeps gtest's parametrized test listings readable (label, not raw bytes).
+inline void PrintTo(const ServiceCase& c, std::ostream* os) { *os << c.label; }
+
+inline FacilityConfig VerifyConfig(SchemeId id) {
+  FacilityConfig config;
+  config.scheme = id;
+  config.wheel_size = id == SchemeId::kScheme4BasicWheel ? 512 : 64;
+  config.level_sizes = {16, 16, 16};
+  return config;
+}
+
+inline std::vector<ServiceCase> AllServiceCases() {
+  std::vector<ServiceCase> cases;
+  for (SchemeId id : kAllSchemes) {
+    std::string label = SchemeName(id);
+    for (char& c : label) {
+      if (c == '-') {
+        c = '_';
+      }
+    }
+    cases.push_back(
+        {label, [id] { return MakeTimerService(VerifyConfig(id)); }, true});
+  }
+  cases.push_back({"locked_scheme6",
+                   [] {
+                     return std::make_unique<concurrent::LockedService>(
+                         std::make_unique<HashedWheelUnsorted>(64));
+                   },
+                   /*handlers_may_reenter=*/false});
+  cases.push_back({"locked_scheme2",
+                   [] {
+                     return std::make_unique<concurrent::LockedService>(
+                         MakeTimerService(VerifyConfig(SchemeId::kScheme2SortedFront)));
+                   },
+                   /*handlers_may_reenter=*/false});
+  cases.push_back(
+      {"sharded_1x64",
+       [] { return std::make_unique<concurrent::ShardedWheel>(1, 64); }, true});
+  cases.push_back(
+      {"sharded_4x64",
+       [] { return std::make_unique<concurrent::ShardedWheel>(4, 64); }, true});
+  cases.push_back(
+      {"sharded_8x32",
+       [] { return std::make_unique<concurrent::ShardedWheel>(8, 32); }, true});
+  return cases;
+}
+
+}  // namespace twheel::verify_tests
+
+#endif  // TWHEEL_TESTS_VERIFY_ALL_SERVICES_H_

@@ -1,0 +1,128 @@
+// Regression tests for the ShardedWheel memory-safety family.
+//
+// Bug 1 (dangling expiry handler): PerTickBookkeeping used to install, on every
+// shard, a lambda capturing the tick's stack-local `expired` vector — and left it
+// installed after returning. Any expiry dispatched outside that exact call (a
+// destructor drain, a future code path firing from StopTimer, an overlapping
+// tick) would write through a dead stack frame. The fix installs one persistent
+// collector per shard, pointing at per-shard storage with shard lifetime; these
+// tests pin the scenarios in which the stale lambda used to linger, and are run
+// under ASan (-DTWHEEL_SANITIZE=address) by scripts/verify.sh, where any revival
+// of the dangling-capture pattern turns into a hard stack-use-after-scope report.
+//
+// Bug 2 (counts() reference escaping the lock): counts() used to return a
+// reference to a shared merged_counts_ member that the next caller rewrites;
+// two concurrent callers raced reader-vs-rewriter. Now it returns a snapshot by
+// value. ConcurrentCountsReaders fails under TSan against the old signature.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "src/concurrent/sharded_wheel.h"
+
+namespace twheel::concurrent {
+namespace {
+
+// Destroying a wheel that has ticked — i.e. whose shards have dispatched through
+// their collectors — with timers still live must not touch any dead frame. With
+// the old per-tick lambda, each shard's handler still referenced the last tick's
+// stack frame here; the persistent collector makes destruction inert.
+TEST(ShardedWheelRegressionTest, DestroyWithLiveTimersAfterTicking) {
+  for (std::size_t shards : {1u, 4u, 8u}) {
+    ShardedWheel wheel(shards, 64);
+    std::atomic<int> fired{0};
+    wheel.set_expiry_handler([&](RequestId, Tick) { fired.fetch_add(1); });
+    for (RequestId id = 0; id < 200; ++id) {
+      ASSERT_TRUE(wheel.StartTimer(1 + id % 97, id).has_value());
+    }
+    wheel.AdvanceBy(5);  // some expiries dispatched, many timers still live
+    EXPECT_GT(wheel.outstanding(), 0u);
+    // Scope ends with live timers: shard destructors drain their wheels while
+    // the collectors are still installed.
+  }
+}
+
+// Same family, sharper: destroy immediately after a tick on which timers
+// actually expired, so each shard's collector was exercised on the very last
+// tick before destruction.
+TEST(ShardedWheelRegressionTest, DestroyRightAfterExpiryDispatch) {
+  ShardedWheel wheel(4, 16);
+  int fired = 0;
+  wheel.set_expiry_handler([&](RequestId, Tick) { ++fired; });
+  for (RequestId id = 0; id < 16; ++id) {
+    ASSERT_TRUE(wheel.StartTimer(1, id).has_value());
+    ASSERT_TRUE(wheel.StartTimer(300, 1000 + id).has_value());
+  }
+  EXPECT_EQ(wheel.PerTickBookkeeping(), 16u);
+  EXPECT_EQ(fired, 16);
+  EXPECT_EQ(wheel.outstanding(), 16u);
+}
+
+// Expiries staged by a tick must be delivered by that tick and never resurface:
+// the persistent collector is drained under the shard lock each tick, so a tick
+// with no due timers delivers nothing even though the collector object persists.
+TEST(ShardedWheelRegressionTest, CollectorDoesNotReplayAcrossTicks) {
+  ShardedWheel wheel(2, 16);
+  std::vector<std::pair<RequestId, Tick>> fired;
+  wheel.set_expiry_handler([&](RequestId id, Tick when) { fired.push_back({id, when}); });
+  ASSERT_TRUE(wheel.StartTimer(1, 1).has_value());
+  ASSERT_TRUE(wheel.StartTimer(3, 2).has_value());
+  EXPECT_EQ(wheel.PerTickBookkeeping(), 1u);
+  EXPECT_EQ(wheel.PerTickBookkeeping(), 0u);  // nothing due: nothing replayed
+  EXPECT_EQ(wheel.PerTickBookkeeping(), 1u);
+  ASSERT_EQ(fired.size(), 2u);
+  EXPECT_EQ(fired[0], (std::pair<RequestId, Tick>{1, 1}));
+  EXPECT_EQ(fired[1], (std::pair<RequestId, Tick>{2, 3}));
+}
+
+// Bug 2: concurrent counts() callers. Each must get an independent, coherent
+// snapshot; with the by-reference version both read the same shared object while
+// the other call rewrites it (TSan flags the race, and torn reads show up here
+// as counters that go backwards).
+TEST(ShardedWheelRegressionTest, ConcurrentCountsReaders) {
+  ShardedWheel wheel(4, 64);
+  std::atomic<bool> stop{false};
+  std::atomic<bool> failed{false};
+
+  std::thread mutator([&] {
+    RequestId id = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      auto r = wheel.StartTimer(1 + id % 50, id);
+      if (r.has_value() && id % 2 == 0) {
+        wheel.StopTimer(r.value());
+      }
+      wheel.PerTickBookkeeping();
+      ++id;
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      std::uint64_t last_ticks = 0;
+      std::uint64_t last_starts = 0;
+      for (int i = 0; i < 4000; ++i) {
+        const metrics::OpCounts snapshot = wheel.counts();
+        // Monotone counters: a torn or raced read shows up as regression.
+        if (snapshot.ticks < last_ticks || snapshot.start_calls < last_starts) {
+          failed.store(true);
+          break;
+        }
+        last_ticks = snapshot.ticks;
+        last_starts = snapshot.start_calls;
+      }
+    });
+  }
+  for (auto& r : readers) {
+    r.join();
+  }
+  stop.store(true);
+  mutator.join();
+  EXPECT_FALSE(failed.load()) << "counts() snapshot went backwards";
+}
+
+}  // namespace
+}  // namespace twheel::concurrent
