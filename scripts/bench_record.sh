@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Build and run the sparse-tick benchmark, recording the loop-vs-batched numbers
+# for every wheel scheme into BENCH_sparse_tick.json at the repository root.
+# The *_Loop entries are the "before" (one PerTickBookkeeping call per tick);
+# the *_Batched entries are the "after" (one occupancy-bitmap AdvanceTo per
+# span). A per-scheme speedup summary is printed when python3 is available.
+#
+# Usage:
+#   scripts/bench_record.sh                 # default single repetition
+#   scripts/bench_record.sh --benchmark_repetitions=5
+#
+# Environment:
+#   BUILD_DIR=<dir>   build directory (default: build)
+#   JOBS=<n>          parallel build jobs (default: nproc)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${BUILD_DIR:-build}"
+JOBS="${JOBS:-$(nproc)}"
+OUT="BENCH_sparse_tick.json"
+
+cmake -S . -B "$BUILD_DIR" >/dev/null
+cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_sparse_tick
+
+"$BUILD_DIR"/bench/bench_sparse_tick \
+  --benchmark_out="$OUT" \
+  --benchmark_out_format=json \
+  "$@"
+
+echo
+echo "Recorded $OUT"
+
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$OUT" <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# benchmark_repetitions > 1 adds *_mean/_median/_stddev rows; prefer the mean
+# when present, plain rows otherwise.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    base = name[: -len("_mean")] if name.endswith("_mean") else name
+    if name.endswith("_mean") or base not in rows:
+        rows[base] = b["real_time"]
+
+print(f"{'scheme':<24}{'loop ns/span':>16}{'batched ns/span':>18}{'speedup':>10}")
+for name, loop_ns in sorted(rows.items()):
+    if not name.endswith("_Loop"):
+        continue
+    batched = rows.get(name[: -len("_Loop")] + "_Batched")
+    if batched is None:
+        continue
+    scheme = name[len("BM_"):-len("_Loop")]
+    print(f"{scheme:<24}{loop_ns:>16.0f}{batched:>18.0f}{loop_ns / batched:>9.1f}x")
+PYEOF
+fi

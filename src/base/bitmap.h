@@ -1,0 +1,142 @@
+// Two-level occupancy bitmap over a fixed ring of slots.
+//
+// The paper's wheels are O(1) per tick, but a per-tick loop still probes every
+// slot it crosses — empty or not. This bitmap lets a wheel *sleep through dead
+// time*: one bit per slot records "this bucket is non-empty", a 64-ary summary
+// word over the slot words records "this word has a set bit", and the circular
+// next-set-bit query is a handful of CTZ instructions instead of a slot-by-slot
+// walk. It is a deliberate post-paper optimization (see DESIGN.md): Section 3.2's
+// hardware variant skips dead time with a single oscillator; we do it in software
+// with O(popcount) scanning.
+//
+// Maintenance contract (kept eagerly by the wheel schemes): Set on first insert
+// into a slot, Clear when the slot's last record leaves (stop, drain, or
+// migration). Both are idempotent O(1).
+
+#ifndef TWHEEL_SRC_BASE_BITMAP_H_
+#define TWHEEL_SRC_BASE_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "src/base/assert.h"
+#include "src/base/bits.h"
+
+namespace twheel {
+
+class OccupancyBitmap {
+ public:
+  explicit OccupancyBitmap(std::size_t size)
+      : size_(size),
+        words_((size + 63) / 64, 0),
+        summary_((words_.size() + 63) / 64, 0) {
+    TWHEEL_ASSERT_MSG(size >= 1, "bitmap needs at least one slot");
+  }
+
+  std::size_t size() const { return size_; }
+  // Number of set slots.
+  std::size_t count() const { return count_; }
+  bool any() const { return count_ != 0; }
+
+  bool Test(std::size_t index) const {
+    TWHEEL_ASSERT(index < size_);
+    return (words_[index >> 6] >> (index & 63)) & 1u;
+  }
+
+  // Idempotent. O(1).
+  void Set(std::size_t index) {
+    TWHEEL_ASSERT(index < size_);
+    const std::size_t w = index >> 6;
+    const std::uint64_t bit = std::uint64_t{1} << (index & 63);
+    if ((words_[w] & bit) == 0) {
+      words_[w] |= bit;
+      summary_[w >> 6] |= std::uint64_t{1} << (w & 63);
+      ++count_;
+    }
+  }
+
+  // Idempotent. O(1).
+  void Clear(std::size_t index) {
+    TWHEEL_ASSERT(index < size_);
+    const std::size_t w = index >> 6;
+    const std::uint64_t bit = std::uint64_t{1} << (index & 63);
+    if ((words_[w] & bit) != 0) {
+      words_[w] &= ~bit;
+      if (words_[w] == 0) {
+        summary_[w >> 6] &= ~(std::uint64_t{1} << (w & 63));
+      }
+      --count_;
+    }
+  }
+
+  // Distance in [1, size()] from `from` to the next set slot, walking the ring
+  // forward: from+1, from+2, ... wrapping around, with `from` itself examined
+  // last (at distance size()). nullopt when no slot is set. This is exactly the
+  // "how many ticks until the cursor hits a non-empty bucket" query, so a wheel
+  // can jump its cursor over every empty slot in between.
+  std::optional<std::size_t> NextSetDistance(std::size_t from) const {
+    TWHEEL_ASSERT(from < size_);
+    if (count_ == 0) {
+      return std::nullopt;
+    }
+    const std::size_t start = from + 1 == size_ ? 0 : from + 1;
+    const std::size_t found = FindFrom(start);
+    return found > from ? found - from : size_ - (from - found);
+  }
+
+  // Invokes fn(index) for every set slot in ascending index order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        fn((w << 6) + CountTrailingZeros(word));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Heap bytes a bitmap over `slots` slots owns (slot words + summary words).
+  // Shared with SpaceProfile accounting and the space tests.
+  static constexpr std::size_t BytesFor(std::size_t slots) {
+    const std::size_t words = (slots + 63) / 64;
+    const std::size_t summary_words = (words + 63) / 64;
+    return (words + summary_words) * sizeof(std::uint64_t);
+  }
+
+ private:
+  // First set slot at index >= start, wrapping circularly. count_ must be > 0.
+  std::size_t FindFrom(std::size_t start) const {
+    const std::size_t w = start >> 6;
+    const std::uint64_t masked = words_[w] & (~std::uint64_t{0} << (start & 63));
+    if (masked != 0) {
+      return (w << 6) + CountTrailingZeros(masked);
+    }
+    const std::size_t next = NextNonEmptyWordAfter(w);
+    return (next << 6) + CountTrailingZeros(words_[next]);
+  }
+
+  // First word index after `w` (circularly; `w` itself may be re-found on a full
+  // wrap) whose slot word is non-zero, located through the summary level.
+  std::size_t NextNonEmptyWordAfter(std::size_t w) const {
+    const std::size_t probe = w + 1 == words_.size() ? 0 : w + 1;
+    std::size_t s = probe >> 6;
+    std::uint64_t sw = summary_[s] & (~std::uint64_t{0} << (probe & 63));
+    while (sw == 0) {
+      s = s + 1 == summary_.size() ? 0 : s + 1;
+      sw = summary_[s];
+    }
+    return (s << 6) + CountTrailingZeros(sw);
+  }
+
+  std::size_t size_;
+  std::size_t count_ = 0;
+  std::vector<std::uint64_t> words_;
+  std::vector<std::uint64_t> summary_;
+};
+
+}  // namespace twheel
+
+#endif  // TWHEEL_SRC_BASE_BITMAP_H_

@@ -8,6 +8,7 @@
 #ifndef TWHEEL_SRC_BASE_BITS_H_
 #define TWHEEL_SRC_BASE_BITS_H_
 
+#include <bit>
 #include <cstdint>
 
 namespace twheel {
@@ -30,6 +31,17 @@ constexpr std::uint32_t Log2Floor(std::uint64_t v) {
     ++r;
   }
   return r;
+}
+
+// Index of the lowest set bit; v must be non-zero. Single TZCNT/CTZ instruction —
+// the engine of the occupancy-bitmap scans in base/bitmap.h.
+constexpr std::uint32_t CountTrailingZeros(std::uint64_t v) {
+  return static_cast<std::uint32_t>(std::countr_zero(v));
+}
+
+// Number of set bits. Single POPCNT instruction.
+constexpr std::uint32_t PopCount(std::uint64_t v) {
+  return static_cast<std::uint32_t>(std::popcount(v));
 }
 
 }  // namespace twheel

@@ -112,8 +112,11 @@ class IntrusiveList {
     return p == &sentinel_ ? nullptr : static_cast<T*>(p);
   }
 
-  // Splice the entire contents of `other` onto the back of this list. O(1).
-  void SpliceBack(IntrusiveList& other) {
+  // Splice the entire contents of `other` onto the back of this list, preserving
+  // order and leaving `other` empty. O(1) regardless of length — this is how slot
+  // drains move a whole due bucket into a local expiry batch in one pointer swap,
+  // so expiry handlers that re-arm timers never race the bucket walk.
+  void SpliceAll(IntrusiveList& other) {
     if (other.empty()) {
       return;
     }

@@ -42,7 +42,7 @@ std::size_t UnorderedTimers::PerTickBookkeeping() {
   // sibling (unlinking it from the pending list without invalidating the walk).
   std::size_t expired = 0;
   IntrusiveList<TimerRecord> pending;
-  pending.SpliceBack(records_);
+  pending.SpliceAll(records_);
   while (TimerRecord* rec = pending.front()) {
     rec->Unlink();
     ++counts_.decrement_visits;

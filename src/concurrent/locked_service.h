@@ -47,6 +47,24 @@ class LockedService final : public TimerService {
     return inner_->PerTickBookkeeping();
   }
 
+  // One lock acquisition for the whole batch — the batched analogue of the
+  // appendix's criticism: a long AdvanceTo on a slow inner scheme holds the
+  // global lock for the full span.
+  std::size_t AdvanceTo(Tick target) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->AdvanceTo(target);
+  }
+
+  std::optional<Tick> NextExpiryHint() const override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->NextExpiryHint();
+  }
+
+  bool FastForward(Tick target) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->FastForward(target);
+  }
+
   Tick now() const override {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->now();

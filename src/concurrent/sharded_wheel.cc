@@ -1,5 +1,6 @@
 #include "src/concurrent/sharded_wheel.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "src/base/assert.h"
@@ -79,6 +80,65 @@ std::size_t ShardedWheel::PerTickBookkeeping() {
     }
   }
   return expired.size();
+}
+
+std::size_t ShardedWheel::AdvanceTo(Tick target) {
+  const Tick base = now_.load(std::memory_order_relaxed);
+  TWHEEL_ASSERT_MSG(target >= base, "AdvanceTo target is in the past");
+  const Duration delta = target - base;
+  if (delta == 0) {
+    return 0;
+  }
+  // One lock acquisition per shard for the whole batch. Shard clocks tick in
+  // lockstep with the wall clock, so each inner wheel advances by the same delta.
+  std::vector<std::pair<RequestId, Tick>> expired;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.wheel->AdvanceTo(shard.wheel->now() + delta);
+    expired.insert(expired.end(), shard.collected.begin(), shard.collected.end());
+    shard.collected.clear();
+  }
+  now_.fetch_add(delta, std::memory_order_relaxed);
+
+  // Each shard's stage is already chronological; the stable merge re-establishes
+  // cross-shard tick order while keeping FIFO order within a tick (shards are
+  // visited in the same order PerTickBookkeeping would visit them).
+  std::stable_sort(expired.begin(), expired.end(),
+                   [](const auto& a, const auto& b) { return a.second < b.second; });
+
+  ExpiryHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(handler_mutex_);
+    handler = handler_;
+  }
+  if (handler) {
+    for (const auto& [id, when] : expired) {
+      handler(id, when);
+    }
+  }
+  return expired.size();
+}
+
+std::optional<Tick> ShardedWheel::NextExpiryHint() const {
+  std::optional<Tick> best;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    const std::optional<Tick> hint = shard_ptr->wheel->NextExpiryHint();
+    if (hint.has_value() && (!best.has_value() || *hint < *best)) {
+      best = hint;
+    }
+  }
+  return best;
+}
+
+bool ShardedWheel::FastForward(Tick target) {
+  // The single-writer precondition (nothing due before target) cannot be verified
+  // atomically across shards, so delegate to AdvanceTo: anything that does come
+  // due is dispatched rather than silently skipped, and dead time is still
+  // crossed in one batch per shard.
+  AdvanceTo(target);
+  return true;
 }
 
 std::size_t ShardedWheel::outstanding() const {

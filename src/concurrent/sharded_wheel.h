@@ -38,6 +38,15 @@ class ShardedWheel final : public TimerService {
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
   std::size_t PerTickBookkeeping() override;
+  // Batched tick advancement: one lock acquisition per shard per *batch* instead
+  // of per tick, with each shard's inner wheel jumping its dead slots via the
+  // occupancy bitmap. Expiries from all shards are re-merged into chronological
+  // order (FIFO within a tick) before dispatch outside the locks.
+  std::size_t AdvanceTo(Tick target) override;
+  // Minimum of the shards' hints. Only meaningful while no concurrent starts are
+  // racing (a start may create an earlier expiry between the scan and the use).
+  std::optional<Tick> NextExpiryHint() const override;
+  bool FastForward(Tick target) override;
   Tick now() const override { return now_.load(std::memory_order_relaxed); }
   std::size_t outstanding() const override;
   // Snapshot merged across shards; by value so nothing shared escapes the locks.

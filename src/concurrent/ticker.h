@@ -9,17 +9,22 @@
 //
 // The driven service must be thread-safe (LockedService or ShardedWheel) if any
 // other thread starts/stops timers concurrently. Scheduling delays are absorbed by
-// catch-up: the ticker fires as many bookkeeping calls as full periods have
+// catch-up: the ticker delivers as many simulated ticks as full periods have
 // elapsed, so simulated time tracks wall time without drift (ticks are never
-// skipped, matching the model where every tick's bookkeeping must run). This is
-// the only file in the library that reads a wall clock.
+// skipped, matching the model where every tick's bookkeeping must run). Backlogs
+// are delivered through batched AdvanceTo calls in wall-time-bounded chunks — see
+// Loop(). The ticker assumes it is the only clock driver for the service (other
+// threads may start/stop timers, but must not advance the clock). This is the
+// only file in the library that reads a wall clock.
 
 #ifndef TWHEEL_SRC_CONCURRENT_TICKER_H_
 #define TWHEEL_SRC_CONCURRENT_TICKER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <thread>
 
@@ -61,23 +66,46 @@ class TickerThread {
   }
 
  private:
+  // Catch-up chunking: a backlog is delivered through batched AdvanceTo calls (so
+  // a wheel skips its dead slots via the occupancy bitmap instead of paying one
+  // virtual call per tick), in chunks sized so one call's wall time stays near
+  // kChunkWallBudget. Stop() can only interrupt *between* calls, so the adaptive
+  // chunk — re-measured after every call, starting at 1 tick — preserves the
+  // mid-burst abort promptness even when the service's bookkeeping is slow, while
+  // a fast service coalesces a 10k-tick backlog into a handful of calls.
+  static constexpr std::chrono::milliseconds kChunkWallBudget{10};
+  static constexpr std::uint64_t kMaxChunkTicks = 1u << 16;
+
   void Loop() {
     using Clock = std::chrono::steady_clock;
     const Clock::time_point epoch = Clock::now();
     std::uint64_t delivered = 0;
+    std::uint64_t chunk = 1;  // first call measures the service's per-tick cost
     std::unique_lock<std::mutex> lock(mutex_);
     while (!stopping_.load(std::memory_order_relaxed)) {
       const auto due_count = static_cast<std::uint64_t>((Clock::now() - epoch) / period_);
       if (delivered < due_count) {
         // Catch up without holding the lock across client expiry handlers.
-        // Re-check stopping_ per delivered tick: a long backlog of slow client
-        // handlers must not hold Stop() hostage for the rest of the burst.
+        // Re-check stopping_ per chunk: a long backlog of slow client handlers
+        // must not hold Stop() hostage for the rest of the burst.
         lock.unlock();
         while (delivered < due_count &&
                !stopping_.load(std::memory_order_relaxed)) {
-          service_.PerTickBookkeeping();
-          ++delivered;
+          const std::uint64_t n = std::min(chunk, due_count - delivered);
+          const Clock::time_point begin = Clock::now();
+          service_.AdvanceTo(service_.now() + n);
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() - begin);
+          delivered += n;  // simulated ticks, regardless of chunking
           ticks_delivered_.store(delivered, std::memory_order_relaxed);
+          const std::uint64_t per_tick_ns =
+              static_cast<std::uint64_t>(elapsed.count()) / n;
+          const std::uint64_t budget_ns = static_cast<std::uint64_t>(
+              std::chrono::nanoseconds(kChunkWallBudget).count());
+          chunk = per_tick_ns == 0
+                      ? kMaxChunkTicks
+                      : std::min(kMaxChunkTicks, std::max<std::uint64_t>(
+                                                     1, budget_ns / per_tick_ns));
         }
         lock.lock();
         continue;

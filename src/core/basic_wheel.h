@@ -21,13 +21,20 @@
 // its head. Both are O(1); FIFO order among timers due at the same tick gives every
 // scheme in the library the same canonical expiry order, which the differential
 // tests rely on.
+//
+// An occupancy bitmap (base/bitmap.h) mirrors slot emptiness so AdvanceTo can jump
+// the cursor straight to the next populated slot. Because intervals are < wheel
+// size, the bitmap distance from the cursor is exactly the distance to the next
+// expiry, which also makes NextExpiryHint / FastForward exact for this scheme.
 
 #ifndef TWHEEL_SRC_CORE_BASIC_WHEEL_H_
 #define TWHEEL_SRC_CORE_BASIC_WHEEL_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/intrusive_list.h"
 #include "src/core/timer_service.h"
 
@@ -46,24 +53,35 @@ class BasicWheel final : public TimerServiceBase {
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
   std::size_t PerTickBookkeeping() override;
+  std::size_t AdvanceTo(Tick target) override;
+  // Exact: cursor-to-next-set-bit distance (intervals < wheel size, so the slot
+  // under the cursor is never occupied outside a drain).
+  std::optional<Tick> NextExpiryHint() const override;
+  bool FastForward(Tick target) override;
   std::string_view name() const override { return "scheme4-basic-wheel"; }
 
   std::size_t max_interval() const { return slots_.size(); }
   std::size_t cursor() const { return cursor_; }
 
-  // Fixed: one list head per slot — the memory-for-speed trade of a bucket sort
-  // ("it is difficult to justify 2^32 words of memory to implement 32 bit
-  // timers"). Per record: links (16) + expiry (8) + cookie (8).
+  // Fixed: one list head per slot plus the occupancy bitmap — the memory-for-speed
+  // trade of a bucket sort ("it is difficult to justify 2^32 words of memory to
+  // implement 32 bit timers"). Per record: links (16) + expiry (8) + cookie (8).
   SpaceProfile Space() const override {
     SpaceProfile profile;
-    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>);
+    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>) +
+                          OccupancyBitmap::BytesFor(slots_.size());
     profile.essential_record_bytes = 32;
     return profile;
   }
 
  private:
+  // Expire everything in the slot under the cursor. The whole slot is spliced into
+  // a local batch first, so handlers that re-arm timers never race the walk.
+  std::size_t DrainCursorSlot();
+
   OverflowPolicy policy_;
   std::vector<IntrusiveList<TimerRecord>> slots_;
+  OccupancyBitmap occupancy_;
   std::size_t cursor_ = 0;  // the paper's "current time pointer"
 };
 

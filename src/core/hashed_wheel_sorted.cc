@@ -5,7 +5,10 @@
 namespace twheel {
 
 HashedWheelSorted::HashedWheelSorted(std::size_t table_size, std::size_t max_timers)
-    : TimerServiceBase(max_timers), shift_(Log2Floor(table_size)), slots_(table_size) {
+    : TimerServiceBase(max_timers),
+      shift_(Log2Floor(table_size)),
+      slots_(table_size),
+      occupancy_(table_size) {
   TWHEEL_ASSERT_MSG(IsPowerOfTwo(table_size) && table_size >= 2,
                     "table size must be a power of two >= 2");
 }
@@ -32,6 +35,7 @@ StartResult HashedWheelSorted::StartTimer(Duration interval, RequestId request_i
   // timer is due) go into the bucket, kept sorted as in Scheme 2.
   std::uint64_t slot_index = rec->expiry_tick & mask();
   rec->rounds = rec->expiry_tick >> shift_;
+  rec->home_slot = static_cast<std::uint32_t>(slot_index);
 
   IntrusiveList<TimerRecord>& bucket = slots_[slot_index];
   TimerRecord* cur = bucket.front();
@@ -47,6 +51,7 @@ StartResult HashedWheelSorted::StartTimer(Duration interval, RequestId request_i
   } else {
     bucket.InsertBefore(rec, cur);
   }
+  occupancy_.Set(slot_index);
   ++counts_.insert_link_ops;
   return rec->self;
 }
@@ -59,6 +64,9 @@ TimerError HashedWheelSorted::StopTimer(TimerHandle handle) {
   }
   rec->Unlink();
   ++counts_.delete_unlink_ops;
+  if (slots_[rec->home_slot].empty()) {
+    occupancy_.Clear(rec->home_slot);
+  }
   ReleaseRecord(rec);
   return TimerError::kOk;
 }
@@ -66,7 +74,12 @@ TimerError HashedWheelSorted::StopTimer(TimerHandle handle) {
 std::size_t HashedWheelSorted::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;
-  IntrusiveList<TimerRecord>& bucket = slots_[now_ & mask()];
+  return VisitCursorBucket();
+}
+
+std::size_t HashedWheelSorted::VisitCursorBucket() {
+  const std::size_t index = now_ & mask();
+  IntrusiveList<TimerRecord>& bucket = slots_[index];
   if (bucket.empty()) {
     ++counts_.empty_slot_checks;
     return 0;
@@ -74,7 +87,9 @@ std::size_t HashedWheelSorted::PerTickBookkeeping() {
   const std::uint64_t revolution = now_ >> shift_;
   std::size_t expired = 0;
   // Sorted bucket: only the head needs examining; expire while it is due on this
-  // revolution (its expiry tick is then exactly now).
+  // revolution (its expiry tick is then exactly now). A re-arm from a handler can
+  // only insert for a later revolution (intervals that are multiples of TableSize
+  // land back here with rounds > revolution), so the head loop terminates.
   while (TimerRecord* head = bucket.front()) {
     ++counts_.comparisons;
     if (head->rounds != revolution) {
@@ -85,7 +100,59 @@ std::size_t HashedWheelSorted::PerTickBookkeeping() {
     Expire(head);
     ++expired;
   }
+  if (bucket.empty()) {
+    occupancy_.Clear(index);
+  }
   return expired;
+}
+
+std::size_t HashedWheelSorted::AdvanceTo(Tick target) {
+  TWHEEL_ASSERT_MSG(target >= now_, "AdvanceTo target is in the past");
+  ++counts_.batch_advances;
+  std::size_t expired = 0;
+  while (now_ < target) {
+    const Duration remaining = target - now_;
+    // Jump to the next occupied bucket. Unlike Scheme 6 there is no per-visit
+    // mutation: a stop there is one head comparison (possibly finding the head due
+    // on a later revolution) — still far cheaper than probing every empty slot.
+    const std::optional<std::size_t> dist =
+        occupancy_.NextSetDistance(now_ & mask());
+    if (!dist.has_value() || *dist > remaining) {
+      counts_.ticks += remaining;
+      counts_.slots_skipped += remaining;
+      now_ = target;
+      break;
+    }
+    counts_.ticks += *dist;
+    counts_.slots_skipped += *dist - 1;
+    now_ += *dist;
+    expired += VisitCursorBucket();
+  }
+  return expired;
+}
+
+std::optional<Tick> HashedWheelSorted::NextExpiryHint() const {
+  std::optional<Tick> best;
+  occupancy_.ForEachSet([&](std::size_t index) {
+    const TimerRecord* head = slots_[index].front();
+    TWHEEL_ASSERT_MSG(head != nullptr, "occupancy bit set on an empty bucket");
+    if (!best.has_value() || head->expiry_tick < *best) {
+      best = head->expiry_tick;
+    }
+  });
+  return best;
+}
+
+bool HashedWheelSorted::FastForward(Tick target) {
+  TWHEEL_ASSERT(target >= now_);
+  const std::optional<Tick> next = NextExpiryHint();
+  TWHEEL_ASSERT_MSG(!next.has_value() || target < *next,
+                    "FastForward would skip an expiry");
+  // Bucket order is keyed by absolute revolution numbers, so a pure clock jump
+  // needs no per-revolution maintenance (the cursor is now & mask).
+  counts_.slots_skipped += target - now_;
+  now_ = target;
+  return true;
 }
 
 }  // namespace twheel

@@ -29,8 +29,10 @@
 #define TWHEEL_SRC_CORE_HASHED_WHEEL_SORTED_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/bits.h"
 #include "src/base/intrusive_list.h"
 #include "src/core/timer_service.h"
@@ -47,15 +49,22 @@ class HashedWheelSorted final : public TimerServiceBase {
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
   std::size_t PerTickBookkeeping() override;
+  std::size_t AdvanceTo(Tick target) override;
+  // Exact, O(occupied buckets): each occupied bucket's head is its minimum (the
+  // Scheme 2 sort order), so the hint is the least head expiry over set bits.
+  std::optional<Tick> NextExpiryHint() const override;
+  bool FastForward(Tick target) override;
   std::string_view name() const override { return "scheme5-hashed-sorted"; }
 
   std::size_t table_size() const { return slots_.size(); }
 
-  // Fixed: the hash table's list heads. Per record: links (16) + revolution /
-  // high-order bits (8) + cookie (8) + expiry (8) + seq for stable order (8).
+  // Fixed: the hash table's list heads plus the occupancy bitmap. Per record:
+  // links (16) + revolution / high-order bits (8) + cookie (8) + expiry (8) + seq
+  // for stable order (8).
   SpaceProfile Space() const override {
     SpaceProfile profile;
-    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>);
+    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>) +
+                          OccupancyBitmap::BytesFor(slots_.size());
     profile.essential_record_bytes = 48;
     return profile;
   }
@@ -63,8 +72,12 @@ class HashedWheelSorted final : public TimerServiceBase {
  private:
   std::uint64_t mask() const { return slots_.size() - 1; }
 
+  // Head-compare drain of the bucket under the current time.
+  std::size_t VisitCursorBucket();
+
   std::uint32_t shift_;  // log2(table_size)
   std::vector<IntrusiveList<TimerRecord>> slots_;
+  OccupancyBitmap occupancy_;
 };
 
 }  // namespace twheel

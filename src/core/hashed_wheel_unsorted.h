@@ -18,13 +18,22 @@
 // with the same mean. Hence the cheap AND hash is not just adequate but preferable —
 // an "arbitrary hash function... would require PER_TICK_BOOKKEEPING to compute the
 // hash on each timer tick."
+//
+// Batched advancement caveat specific to this scheme: rounds counts *cursor visits
+// remaining*, so an occupied bucket must still be visited (and its residents
+// decremented) once per revolution even when nothing in it is due — only empty
+// buckets can be skipped outright. AdvanceTo therefore stops at every occupied
+// bucket the cursor crosses; with a sparse table that is still a popcount-sized
+// number of stops instead of one probe per tick.
 
 #ifndef TWHEEL_SRC_CORE_HASHED_WHEEL_UNSORTED_H_
 #define TWHEEL_SRC_CORE_HASHED_WHEEL_UNSORTED_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/bits.h"
 #include "src/base/intrusive_list.h"
 #include "src/core/timer_service.h"
@@ -41,17 +50,24 @@ class HashedWheelUnsorted final : public TimerServiceBase {
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
   std::size_t PerTickBookkeeping() override;
+  std::size_t AdvanceTo(Tick target) override;
+  // Exact, but O(n) in outstanding timers: the bitmap confines the scan to live
+  // buckets, within which each record's absolute expiry is examined. Use for
+  // jump-driving sparse wheels, not as a hot-path query.
+  std::optional<Tick> NextExpiryHint() const override;
+  bool FastForward(Tick target) override;
   std::string_view name() const override { return "scheme6-hashed-unsorted"; }
 
   std::size_t table_size() const { return slots_.size(); }
   // Occupancy of the bucket the cursor will visit next, for burstiness studies.
   std::size_t BucketSizeSlow(std::size_t index) const { return slots_[index].CountSlow(); }
 
-  // Fixed: the hash table's list heads. Per record: links (16) + remaining rounds
-  // (8) + cookie (8) + expiry (8).
+  // Fixed: the hash table's list heads plus the occupancy bitmap. Per record:
+  // links (16) + remaining rounds (8) + cookie (8) + expiry (8).
   SpaceProfile Space() const override {
     SpaceProfile profile;
-    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>);
+    profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>) +
+                          OccupancyBitmap::BytesFor(slots_.size());
     profile.essential_record_bytes = 40;
     return profile;
   }
@@ -59,8 +75,16 @@ class HashedWheelUnsorted final : public TimerServiceBase {
  private:
   std::uint64_t mask() const { return slots_.size() - 1; }
 
+  // The Scheme 1 sweep of the bucket under the current time: decrement every
+  // resident's revolution count, expire those reaching zero.
+  std::size_t VisitCursorBucket();
+  // Shared body of AdvanceTo / FastForward; `count_ticks` is false for FastForward
+  // ("the hardware intercepts all clock ticks").
+  std::size_t BatchAdvance(Tick target, bool count_ticks);
+
   std::uint32_t shift_;  // log2(table_size)
   std::vector<IntrusiveList<TimerRecord>> slots_;
+  OccupancyBitmap occupancy_;
 };
 
 }  // namespace twheel

@@ -18,6 +18,7 @@ HierarchicalWheel::HierarchicalWheel(std::span<const std::size_t> level_sizes,
     level.size = size;
     level.granularity = span_;
     level.slots = std::vector<IntrusiveList<TimerRecord>>(size);
+    level.occupancy = OccupancyBitmap(size);
     TWHEEL_ASSERT_MSG(span_ <= ~Duration{0} / size, "hierarchy span overflows 64 bits");
     span_ *= size;
     levels_.push_back(std::move(level));
@@ -69,6 +70,10 @@ TimerError HierarchicalWheel::StopTimer(TimerHandle handle) {
   }
   rec->Unlink();
   ++counts_.delete_unlink_ops;
+  Level& lv = levels_[rec->level];
+  if (lv.slots[rec->home_slot].empty()) {
+    lv.occupancy.Clear(rec->home_slot);
+  }
   ReleaseRecord(rec);
   return TimerError::kOk;
 }
@@ -76,6 +81,10 @@ TimerError HierarchicalWheel::StopTimer(TimerHandle handle) {
 std::size_t HierarchicalWheel::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;
+  return RunVisitsAtNow();
+}
+
+std::size_t HierarchicalWheel::RunVisitsAtNow() {
   std::size_t expired = VisitSlot(0, now_ % levels_[0].size);
   // Advance the coarser arrays whenever a full revolution of the next-finer one
   // completes — the work the paper's built-in "60 second timer" does. Granularities
@@ -107,11 +116,18 @@ std::size_t HierarchicalWheel::FindLevel(Tick expiry) {
   return 0;
 }
 
+void HierarchicalWheel::FileAt(std::size_t level, std::size_t slot_index,
+                               TimerRecord* rec) {
+  rec->level = static_cast<std::uint8_t>(level);
+  rec->home_slot = static_cast<std::uint32_t>(slot_index);
+  levels_[level].slots[slot_index].PushBack(rec);
+  levels_[level].occupancy.Set(slot_index);
+}
+
 void HierarchicalWheel::Insert(TimerRecord* rec) {
   const std::size_t level = FindLevel(rec->expiry_tick);
-  Level& lv = levels_[level];
-  rec->level = static_cast<std::uint8_t>(level);
-  lv.slots[(rec->expiry_tick / lv.granularity) % lv.size].PushBack(rec);
+  const Level& lv = levels_[level];
+  FileAt(level, (rec->expiry_tick / lv.granularity) % lv.size, rec);
 }
 
 void HierarchicalWheel::InsertNoMigration(TimerRecord* rec) {
@@ -131,14 +147,13 @@ void HierarchicalWheel::InsertNoMigration(TimerRecord* rec) {
     ++level;
   }
   for (; level < levels_.size(); ++level) {
-    Level& lv = levels_[level];
+    const Level& lv = levels_[level];
     ++counts_.comparisons;
     const std::uint64_t target_unit =
         (rec->expiry_tick + lv.granularity / 2) / lv.granularity;
     const std::uint64_t distance = target_unit - now_ / lv.granularity;
     if (distance >= 1 && distance <= lv.size) {
-      rec->level = static_cast<std::uint8_t>(level);
-      lv.slots[target_unit % lv.size].PushBack(rec);
+      FileAt(level, target_unit % lv.size, rec);
       return;
     }
   }
@@ -156,9 +171,10 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
   // them from the pending list) or start new timers (which can never target the
   // slot being visited — the digit rule files a same-residue expiry at a coarser
   // level) without invalidating the walk.
+  levels_[level].occupancy.Clear(slot_index);
   std::size_t expired = 0;
   IntrusiveList<TimerRecord> pending;
-  pending.SpliceBack(slot);
+  pending.SpliceAll(slot);
   while (TimerRecord* rec = pending.front()) {
     ++counts_.decrement_visits;
     rec->Unlink();
@@ -189,9 +205,8 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
     } else if (migration_ == MigrationPolicy::kSingleStep) {
       ++counts_.migrations;
       ++rec->migrations_done;
-      Level& below = levels_[level - 1];
-      rec->level = static_cast<std::uint8_t>(level - 1);
-      below.slots[(rec->expiry_tick / below.granularity) % below.size].PushBack(rec);
+      const Level& below = levels_[level - 1];
+      FileAt(level - 1, (rec->expiry_tick / below.granularity) % below.size, rec);
     } else {
       // Full migration: re-file by expiry; lands at a strictly finer level because
       // this level's unit boundary has been reached.
@@ -201,6 +216,89 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
     }
   }
   return expired;
+}
+
+std::optional<Tick> HierarchicalWheel::NextOccupiedVisitTick() const {
+  std::optional<Tick> best;
+  for (const Level& lv : levels_) {
+    const std::uint64_t unit = now_ / lv.granularity;
+    const std::optional<std::size_t> dist =
+        lv.occupancy.NextSetDistance(unit % lv.size);
+    if (dist.has_value()) {
+      const Tick visit = (unit + *dist) * lv.granularity;
+      if (!best.has_value() || visit < *best) {
+        best = visit;
+      }
+    }
+  }
+  return best;
+}
+
+std::size_t HierarchicalWheel::AdvanceTo(Tick target) {
+  TWHEEL_ASSERT_MSG(target >= now_, "AdvanceTo target is in the past");
+  ++counts_.batch_advances;
+  return BatchAdvance(target, /*count_ticks=*/true);
+}
+
+std::size_t HierarchicalWheel::BatchAdvance(Tick target, bool count_ticks) {
+  std::size_t expired = 0;
+  while (now_ < target) {
+    const std::optional<Tick> next = NextOccupiedVisitTick();
+    const Tick stop = (next.has_value() && *next < target) ? *next : target;
+    // Credit the slot probes the per-tick loop would have made on (now, stop) —
+    // and at `stop` itself when nothing is visited there — one per level whose
+    // cursor moves, all provably landing on empty slots.
+    const Tick probe_limit = (next.has_value() && *next == stop) ? stop - 1 : stop;
+    for (const Level& lv : levels_) {
+      counts_.slots_skipped += probe_limit / lv.granularity - now_ / lv.granularity;
+    }
+    if (count_ticks) {
+      counts_.ticks += stop - now_;
+    }
+    now_ = stop;
+    if (next.has_value() && *next == stop) {
+      expired += RunVisitsAtNow();
+    }
+  }
+  return expired;
+}
+
+std::optional<Tick> HierarchicalWheel::NextExpiryHint() const {
+  if (migration_ == MigrationPolicy::kFull) {
+    // Exact: visits only migrate until the expiry's own tick, so the earliest
+    // outstanding absolute expiry is the answer; the bitmap confines the scan to
+    // occupied slots.
+    std::optional<Tick> best;
+    for (const Level& lv : levels_) {
+      lv.occupancy.ForEachSet([&](std::size_t slot_index) {
+        const IntrusiveList<TimerRecord>& slot = lv.slots[slot_index];
+        for (const TimerRecord* rec = slot.front(); rec != nullptr;
+             rec = slot.Next(rec)) {
+          if (!best.has_value() || rec->expiry_tick < *best) {
+            best = rec->expiry_tick;
+          }
+        }
+      });
+    }
+    return best;
+  }
+  // kNone fires whole slots at their visit, so the earliest occupied visit is
+  // exact; kSingleStep may migrate at that visit instead, making this a
+  // conservative (never-late) lower bound — see the header contract.
+  return NextOccupiedVisitTick();
+}
+
+bool HierarchicalWheel::FastForward(Tick target) {
+  TWHEEL_ASSERT(target >= now_);
+  const std::optional<Tick> next = NextExpiryHint();
+  TWHEEL_ASSERT_MSG(!next.has_value() || target < *next,
+                    "FastForward would skip an expiry");
+  // Unlike the flat wheels, dead time may still contain visits that *migrate*
+  // records downward (kFull); the batch walk performs them but, per the
+  // precondition, can never dispatch an expiry.
+  const std::size_t fired = BatchAdvance(target, /*count_ticks=*/false);
+  TWHEEL_ASSERT_MSG(fired == 0, "FastForward dispatched an expiry");
+  return true;
 }
 
 std::size_t HierarchicalWheel::LevelPopulationSlow(std::size_t level) const {

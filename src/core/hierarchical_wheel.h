@@ -41,9 +41,11 @@
 #define TWHEEL_SRC_CORE_HIERARCHICAL_WHEEL_H_
 
 #include <cstddef>
+#include <optional>
 #include <span>
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/intrusive_list.h"
 #include "src/core/timer_service.h"
 
@@ -74,6 +76,14 @@ class HierarchicalWheel final : public TimerServiceBase {
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
   std::size_t PerTickBookkeeping() override;
+  std::size_t AdvanceTo(Tick target) override;
+  // kFull: exact — earliest absolute expiry among residents (bitmap-confined O(n)
+  // scan). kNone: exact — the earliest occupied-slot visit fires everything in
+  // that slot. kSingleStep: a conservative lower bound (the earliest occupied
+  // visit may migrate rather than fire); never later than the true next expiry,
+  // which is what jump-drivers need.
+  std::optional<Tick> NextExpiryHint() const override;
+  bool FastForward(Tick target) override;
   std::string_view name() const override { return "scheme7-hierarchical"; }
 
   std::size_t num_levels() const { return levels_.size(); }
@@ -86,13 +96,15 @@ class HierarchicalWheel final : public TimerServiceBase {
   // Diagnostics: total records currently filed at `level` (O(slots + records)).
   std::size_t LevelPopulationSlow(std::size_t level) const;
 
-  // Fixed: the sum of the level arrays — "instead of 100 * 24 * 60 * 60 = 8.64
-  // million locations ... we need only 100 + 24 + 60 + 60 = 244 locations". Per
-  // record: links (16) + expiry (8) + cookie (8) + level byte (padded to 8).
+  // Fixed: the sum of the level arrays plus one occupancy bitmap per level —
+  // "instead of 100 * 24 * 60 * 60 = 8.64 million locations ... we need only
+  // 100 + 24 + 60 + 60 = 244 locations". Per record: links (16) + expiry (8) +
+  // cookie (8) + level byte (padded to 8).
   SpaceProfile Space() const override {
     SpaceProfile profile;
     for (const Level& level : levels_) {
-      profile.fixed_bytes += level.size * sizeof(IntrusiveList<TimerRecord>);
+      profile.fixed_bytes += level.size * sizeof(IntrusiveList<TimerRecord>) +
+                             OccupancyBitmap::BytesFor(level.size);
     }
     profile.essential_record_bytes = 40;
     return profile;
@@ -103,6 +115,7 @@ class HierarchicalWheel final : public TimerServiceBase {
     std::size_t size = 0;
     Duration granularity = 0;
     std::vector<IntrusiveList<TimerRecord>> slots;
+    OccupancyBitmap occupancy{1};  // re-sized in the constructor
   };
 
   // Highest level whose unit digit of `expiry` differs from the current time's
@@ -112,8 +125,24 @@ class HierarchicalWheel final : public TimerServiceBase {
   void Insert(TimerRecord* rec);
   // MigrationPolicy::kNone placement: magnitude-selected level, nearest slot visit.
   void InsertNoMigration(TimerRecord* rec);
+  // File `rec` into `slot_index` of `level`, maintaining the occupancy bit.
+  void FileAt(std::size_t level, std::size_t slot_index, TimerRecord* rec);
   // Process one visited slot at `level`; returns expiries dispatched.
   std::size_t VisitSlot(std::size_t level, std::size_t slot_index);
+  // The visits the per-tick loop performs at the current (already advanced) tick:
+  // level 0, then each coarser level whose granularity divides now.
+  std::size_t RunVisitsAtNow();
+  // Earliest future tick at which any level's cursor visits an occupied slot.
+  // Every visit between now and that tick would only probe empty slots. Sound
+  // because a level's current-unit slot was fully drained when its unit began, so
+  // every record filed at level L sits d units ahead of the current unit with
+  // d in [1, size_L] (d == size_L for a slot one full revolution out, which is
+  // exactly NextSetDistance's distance-size convention), and its visit tick is
+  // (unit + d) * granularity_L.
+  std::optional<Tick> NextOccupiedVisitTick() const;
+  // Shared body of AdvanceTo / FastForward; `count_ticks` is false for
+  // FastForward ("the hardware intercepts all clock ticks").
+  std::size_t BatchAdvance(Tick target, bool count_ticks);
 
   std::vector<Level> levels_;
   Duration span_ = 1;  // product of level sizes

@@ -1,11 +1,13 @@
 #include "src/core/hybrid_wheel.h"
 
+#include <algorithm>
+
 #include "src/base/assert.h"
 
 namespace twheel {
 
 HybridWheel::HybridWheel(std::size_t wheel_size, std::size_t max_timers)
-    : TimerServiceBase(max_timers), slots_(wheel_size) {
+    : TimerServiceBase(max_timers), slots_(wheel_size), occupancy_(wheel_size) {
   TWHEEL_ASSERT_MSG(wheel_size >= 2, "wheel needs at least two slots");
 }
 
@@ -32,9 +34,13 @@ StartResult HybridWheel::StartTimer(Duration interval, RequestId request_id) {
     return TimerError::kNoCapacity;
   }
   if (interval < slots_.size()) {
-    slots_[(cursor_ + interval) % slots_.size()].PushBack(rec);
+    const std::size_t index = (cursor_ + interval) % slots_.size();
+    rec->home_slot = static_cast<std::uint32_t>(index);
+    slots_[index].PushBack(rec);
+    occupancy_.Set(index);
   } else {
     // Scheme 2 annex: sorted insert from the front by (expiry, FIFO among equals).
+    // Annex residents keep home_slot == kNoIndex; they never enter the wheel.
     TimerRecord* cur = overflow_.front();
     while (cur != nullptr) {
       ++counts_.comparisons;
@@ -61,6 +67,9 @@ TimerError HybridWheel::StopTimer(TimerHandle handle) {
   }
   rec->Unlink();  // O(1) regardless of residence
   ++counts_.delete_unlink_ops;
+  if (rec->home_slot != TimerRecord::kNoIndex && slots_[rec->home_slot].empty()) {
+    occupancy_.Clear(rec->home_slot);
+  }
   ReleaseRecord(rec);
   return TimerError::kOk;
 }
@@ -69,21 +78,33 @@ std::size_t HybridWheel::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;
   cursor_ = (cursor_ + 1) % slots_.size();
-  std::size_t expired = 0;
+  return DrainCursorSlot() + DrainDueOverflow();
+}
 
+std::size_t HybridWheel::DrainCursorSlot() {
   IntrusiveList<TimerRecord>& slot = slots_[cursor_];
   if (slot.empty()) {
     ++counts_.empty_slot_checks;
-  } else {
-    while (TimerRecord* rec = slot.front()) {
-      TWHEEL_ASSERT(rec->expiry_tick == now_);
-      rec->Unlink();
-      Expire(rec);
-      ++expired;
-    }
+    return 0;
   }
+  // As BasicWheel: wheel intervals are < wheel size, so everything here is due
+  // exactly now; splice the whole slot out in O(1) before dispatching.
+  occupancy_.Clear(cursor_);
+  IntrusiveList<TimerRecord> pending;
+  pending.SpliceAll(slot);
+  std::size_t expired = 0;
+  while (TimerRecord* rec = pending.front()) {
+    TWHEEL_ASSERT(rec->expiry_tick == now_);
+    rec->Unlink();
+    Expire(rec);
+    ++expired;
+  }
+  return expired;
+}
 
+std::size_t HybridWheel::DrainDueOverflow() {
   // Scheme 2 head check for the long timers.
+  std::size_t expired = 0;
   while (true) {
     TimerRecord* head = overflow_.front();
     if (head == nullptr) {
@@ -98,6 +119,68 @@ std::size_t HybridWheel::PerTickBookkeeping() {
     ++expired;
   }
   return expired;
+}
+
+std::size_t HybridWheel::AdvanceTo(Tick target) {
+  TWHEEL_ASSERT_MSG(target >= now_, "AdvanceTo target is in the past");
+  ++counts_.batch_advances;
+  std::size_t expired = 0;
+  while (now_ < target) {
+    const Duration remaining = target - now_;
+    // Next event is the earlier of the wheel's next occupied slot and the annex
+    // head (the annex is ordered, so its head is its minimum; it is strictly in
+    // the future outside a drain).
+    const std::optional<std::size_t> dist = occupancy_.NextSetDistance(cursor_);
+    Duration step = remaining + 1;
+    if (dist.has_value()) {
+      step = std::min<Duration>(step, *dist);
+    }
+    if (const TimerRecord* head = overflow_.front()) {
+      TWHEEL_ASSERT(head->expiry_tick > now_);
+      step = std::min<Duration>(step, head->expiry_tick - now_);
+    }
+    if (step > remaining) {
+      counts_.ticks += remaining;
+      counts_.slots_skipped += remaining;
+      cursor_ = (cursor_ + remaining) % slots_.size();
+      now_ = target;
+      break;
+    }
+    counts_.ticks += step;
+    counts_.slots_skipped += step - 1;
+    cursor_ = (cursor_ + step) % slots_.size();
+    now_ += step;
+    // The stop may be annex-driven with an empty slot under the cursor; the probe
+    // is then an honest empty_slot_check, same as the per-tick loop would pay.
+    expired += DrainCursorSlot();
+    expired += DrainDueOverflow();
+  }
+  return expired;
+}
+
+std::optional<Tick> HybridWheel::NextExpiryHint() const {
+  const std::optional<std::size_t> dist = occupancy_.NextSetDistance(cursor_);
+  const TimerRecord* head = overflow_.front();
+  std::optional<Tick> best;
+  if (dist.has_value()) {
+    best = now_ + *dist;
+  }
+  if (head != nullptr && (!best.has_value() || head->expiry_tick < *best)) {
+    best = head->expiry_tick;
+  }
+  return best;
+}
+
+bool HybridWheel::FastForward(Tick target) {
+  TWHEEL_ASSERT(target >= now_);
+  const std::optional<Tick> next = NextExpiryHint();
+  TWHEEL_ASSERT_MSG(!next.has_value() || target < *next,
+                    "FastForward would skip an expiry");
+  const Duration delta = target - now_;
+  counts_.slots_skipped += delta;
+  cursor_ = (cursor_ + delta) % slots_.size();
+  now_ = target;
+  return true;
 }
 
 }  // namespace twheel

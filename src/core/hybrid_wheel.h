@@ -20,8 +20,10 @@
 #define TWHEEL_SRC_CORE_HYBRID_WHEEL_H_
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
+#include "src/base/bitmap.h"
 #include "src/base/intrusive_list.h"
 #include "src/core/timer_service.h"
 
@@ -37,24 +39,37 @@ class HybridWheel final : public TimerServiceBase {
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
   std::size_t PerTickBookkeeping() override;
+  std::size_t AdvanceTo(Tick target) override;
+  // Exact: min(wheel's cursor-to-next-set-bit distance, overflow list head). Both
+  // sides are exact — the wheel's because intervals there are < wheel size, the
+  // annex's because it is ordered by absolute expiry.
+  std::optional<Tick> NextExpiryHint() const override;
+  bool FastForward(Tick target) override;
   std::string_view name() const override { return "scheme4-2-hybrid"; }
 
   std::size_t wheel_size() const { return slots_.size(); }
   std::size_t OverflowCountSlow() const { return overflow_.CountSlow(); }
 
-  // Fixed: the wheel's list heads plus the annex list's head. Per record: links
-  // (16) + expiry (8) + cookie (8).
+  // Fixed: the wheel's list heads, its occupancy bitmap, and the annex list's
+  // head. Per record: links (16) + expiry (8) + cookie (8).
   SpaceProfile Space() const override {
     SpaceProfile profile;
     profile.fixed_bytes =
-        (slots_.size() + 1) * sizeof(IntrusiveList<TimerRecord>);
+        (slots_.size() + 1) * sizeof(IntrusiveList<TimerRecord>) +
+        OccupancyBitmap::BytesFor(slots_.size());
     profile.essential_record_bytes = 32;
     return profile;
   }
 
  private:
+  // Expire the slot under the cursor (splice-drain, as BasicWheel) and then any
+  // due heads of the overflow annex. Returns expiries dispatched.
+  std::size_t DrainCursorSlot();
+  std::size_t DrainDueOverflow();
+
   std::vector<IntrusiveList<TimerRecord>> slots_;
   IntrusiveList<TimerRecord> overflow_;  // Scheme 2 list, ascending absolute expiry
+  OccupancyBitmap occupancy_;            // wheel slots only; the annex has a head
   std::size_t cursor_ = 0;
 };
 

@@ -52,6 +52,12 @@ struct TimerRecord : ListNode {
   std::uint8_t level = 0;
   std::uint8_t migrations_done = 0;  // for the single-migration precision variant
 
+  // -- Schemes 4-7 (wheels): slot index currently holding the record ---------------
+  // Lets StopTimer clear the slot's occupancy bit in O(1) when the slot empties
+  // (base/bitmap.h). kNoIndex when the record is not in a wheel slot (e.g. the
+  // hybrid wheel's overflow annex). For Scheme 7 the slot is within `level`.
+  std::uint32_t home_slot = kNoIndex;
+
   // -- Lazy cancellation (leftist-heap baseline, Section 4.2's simulation idiom) ---
   bool cancelled = false;
 };

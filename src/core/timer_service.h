@@ -107,16 +107,38 @@ class TimerService {
   // interrupts the host only when a timer actually expires."
   //
   // NextExpiryHint returns the earliest outstanding expiry when the scheme can
-  // answer in O(log n) or better (ordered list: head; heap: root; BST: leftmost);
-  // nullopt when it cannot (the wheels would have to scan) or when no timer is
-  // outstanding. FastForward advances the clock to `target` without per-tick calls;
-  // it requires now() < target and target strictly before the next expiry, and
-  // returns false (doing nothing) on schemes without the capability. Together they
-  // let a driver sleep through dead time — see sim::Simulator::RunUntilIdleJumping.
+  // answer without a full per-record scan (ordered list: head; heap: root; BST:
+  // leftmost; wheels: an occupancy-bitmap scan — see each scheme for its cost and
+  // exactness); nullopt when it cannot or when no timer is outstanding. Schemes
+  // whose hint is a conservative lower bound (never later than the true next
+  // expiry) document that on the override; callers jumping to hint-1 stay safe
+  // either way. FastForward advances the clock to `target` without per-tick calls;
+  // it requires now() <= target and target strictly before the next expiry, and
+  // returns false (doing nothing) on schemes without the capability. Ticks crossed
+  // this way are NOT counted in OpCounts ("the hardware intercepts all clock
+  // ticks"). Together they let a driver sleep through dead time — see
+  // sim::Simulator::RunUntilIdleJumping.
   virtual std::optional<Tick> NextExpiryHint() const { return std::nullopt; }
   virtual bool FastForward(Tick /*target*/) { return false; }
 
-  // Convenience: run `n` ticks; returns total expiries.
+  // Batched PER_TICK_BOOKKEEPING: advance the clock to exactly `target` (which
+  // must be >= now()), dispatching every expiry in between in the same order the
+  // per-tick loop would, and counting every simulated tick in OpCounts::ticks.
+  // Returns total expiries. This default loops PerTickBookkeeping, so every
+  // scheme — and the differential oracle — is correct by construction; the wheel
+  // schemes override it with an O(popcount) occupancy-bitmap jump that never
+  // probes an empty slot (counted in OpCounts::slots_skipped / batch_advances).
+  virtual std::size_t AdvanceTo(Tick target) {
+    std::size_t total = 0;
+    while (now() < target) {
+      total += PerTickBookkeeping();
+    }
+    return total;
+  }
+
+  // Convenience: run `n` ticks one at a time; returns total expiries. Kept as an
+  // explicitly un-batched loop — it is the baseline AdvanceTo is benchmarked
+  // against (bench/bench_sparse_tick.cc).
   std::size_t AdvanceBy(Duration n) {
     std::size_t total = 0;
     for (Duration i = 0; i < n; ++i) {

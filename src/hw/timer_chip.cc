@@ -80,7 +80,7 @@ std::size_t ChipAssistedWheel::PerTickBookkeeping() {
 
   std::size_t expired = 0;
   IntrusiveList<TimerRecord> pending;
-  pending.SpliceBack(queue);
+  pending.SpliceAll(queue);
   while (TimerRecord* rec = pending.front()) {
     rec->Unlink();
     ++counts_.decrement_visits;

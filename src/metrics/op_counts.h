@@ -42,6 +42,14 @@ struct OpCounts {
   std::uint64_t comparisons = 0;
   // Scheme 7 only: one timer moved from a coarser wheel to a finer one.
   std::uint64_t migrations = 0;
+  // Batched advancement (AdvanceTo): empty slot probes the occupancy bitmap let a
+  // wheel skip outright. Each skipped slot would have cost an empty_slot_check ("4
+  // instructions to skip an empty array location") under the per-tick loop, so
+  // slots_skipped * 4 is the VAX-instruction saving in the paper's currency.
+  std::uint64_t slots_skipped = 0;
+  // Number of batched AdvanceTo invocations that took a bitmap fast path (the
+  // default loop implementation does not count here).
+  std::uint64_t batch_advances = 0;
 
   OpCounts& operator+=(const OpCounts& o) {
     start_calls += o.start_calls;
@@ -55,6 +63,8 @@ struct OpCounts {
     expiry_dispatches += o.expiry_dispatches;
     comparisons += o.comparisons;
     migrations += o.migrations;
+    slots_skipped += o.slots_skipped;
+    batch_advances += o.batch_advances;
     return *this;
   }
 
@@ -70,6 +80,8 @@ struct OpCounts {
     a.expiry_dispatches -= b.expiry_dispatches;
     a.comparisons -= b.comparisons;
     a.migrations -= b.migrations;
+    a.slots_skipped -= b.slots_skipped;
+    a.batch_advances -= b.batch_advances;
     return a;
   }
 

@@ -71,8 +71,11 @@ class Simulator {
   // Event-jumping time flow — Section 4's method 1, the GPSS/SIMULA style ("the
   // earliest event is immediately retrieved ... and the clock jumps to the time of
   // this event"). Requires a service with the NextExpiryHint/FastForward capability
-  // (sorted list, heap, BST); returns the ticks covered (including jumped ones), or
-  // nullopt if the service cannot jump (fall back to RunUntilIdle).
+  // (sorted list, heap, BST — and, via their occupancy bitmaps, all five wheel
+  // schemes); returns the ticks covered (including jumped ones), or nullopt if the
+  // service cannot jump (fall back to RunUntilIdle). Conservative hints (e.g. the
+  // hierarchical wheel's kSingleStep lower bound) are fine: a step that fires
+  // nothing just re-queries the hint.
   std::optional<Tick> RunUntilIdleJumping(Tick max_ticks = ~Tick{0});
 
   Tick now() const { return service_->now(); }

@@ -53,7 +53,15 @@ class Episode {
 
     for (std::size_t t = 0; t < options_.ticks && report_.ok; ++t) {
       MutatePhase();
-      Step();
+      if (!report_.ok) {
+        break;
+      }
+      if (options_.jump_probability > 0.0 &&
+          rng_.NextBool(options_.jump_probability)) {
+        Jump();
+      } else {
+        Step();
+      }
     }
     draining_ = true;
     const std::size_t drain_bound = options_.max_interval + options_.drain_slack;
@@ -266,11 +274,128 @@ class Episode {
     }
   }
 
+  // ---- the batched jump -----------------------------------------------------
+
+  // Replaces one Step() with a single AdvanceTo(now + delta) call on each side.
+  // The SUT's batched override (for the wheels: occupancy-bitmap slot skipping)
+  // must dispatch exactly the same (tick, id) pairs as the oracle's loop default,
+  // each in nondecreasing tick order, and leave both clocks and populations in
+  // lockstep. Handlers stay passive (see OnSutFire/OnOracleFire): the
+  // decide-then-replay protocol is tick-grained, so re-entrancy coverage stays
+  // with Step().
+  void Jump() {
+    Duration delta;
+    if (!options_.jump_pivots.empty() && rng_.NextBool(0.5)) {
+      delta = options_.jump_pivots[rng_.NextBounded(options_.jump_pivots.size())];
+    } else {
+      delta = 1 + rng_.NextBounded(options_.max_jump);
+    }
+    jump_target_ = now_ + delta;
+    sut_jump_fired_.clear();
+    oracle_jump_fired_.clear();
+    fired_handles_.clear();
+
+    jumping_ = true;
+    const std::size_t ns = sut_.AdvanceTo(jump_target_);
+    const std::size_t no = oracle_.AdvanceTo(jump_target_);
+    jumping_ = false;
+    if (!report_.ok) {
+      return;
+    }
+
+    if (ns != sut_jump_fired_.size() || no != oracle_jump_fired_.size() ||
+        ns != no) {
+      std::ostringstream os;
+      os << "jump(+" << delta << ") expiry count mismatch: sut returned " << ns
+         << " (dispatched " << sut_jump_fired_.size() << "), oracle returned "
+         << no << " (dispatched " << oracle_jump_fired_.size() << ")";
+      Diverge(jump_target_, os.str());
+      return;
+    }
+    const auto by_tick = [](const std::pair<Tick, RequestId>& a,
+                            const std::pair<Tick, RequestId>& b) {
+      return a.first < b.first;
+    };
+    if (!std::is_sorted(sut_jump_fired_.begin(), sut_jump_fired_.end(), by_tick)) {
+      Diverge(jump_target_, "sut dispatched jump expiries out of tick order");
+      return;
+    }
+    if (!std::is_sorted(oracle_jump_fired_.begin(), oracle_jump_fired_.end(),
+                        by_tick)) {
+      Diverge(jump_target_, "oracle dispatched jump expiries out of tick order");
+      return;
+    }
+    std::sort(sut_jump_fired_.begin(), sut_jump_fired_.end());
+    std::sort(oracle_jump_fired_.begin(), oracle_jump_fired_.end());
+    if (sut_jump_fired_ != oracle_jump_fired_) {
+      std::size_t i = 0;
+      while (i < sut_jump_fired_.size() &&
+             sut_jump_fired_[i] == oracle_jump_fired_[i]) {
+        ++i;
+      }
+      std::ostringstream os;
+      os << "jump(+" << delta << ") expiry sets differ at position " << i
+         << ": sut (tick " << sut_jump_fired_[i].first << ", id "
+         << sut_jump_fired_[i].second << ") vs oracle (tick "
+         << oracle_jump_fired_[i].first << ", id " << oracle_jump_fired_[i].second
+         << ")";
+      Diverge(jump_target_, os.str());
+      return;
+    }
+    report_.expiries += ns;
+
+    for (const auto& [sut_h, oracle_h] : fired_handles_) {
+      Retire(sut_h, oracle_h);
+    }
+
+    now_ = jump_target_;
+    report_.ticks_run += static_cast<std::size_t>(delta);
+    ++report_.jumps;
+    report_.jump_ticks += static_cast<std::size_t>(delta);
+
+    if (sut_.now() != now_ || oracle_.now() != now_) {
+      std::ostringstream os;
+      os << "clock skew after jump: sut now " << sut_.now() << ", oracle now "
+         << oracle_.now() << ", driver now " << now_;
+      Diverge(now_, os.str());
+      return;
+    }
+    if (sut_.outstanding() != live_.size() ||
+        oracle_.outstanding() != live_.size()) {
+      std::ostringstream os;
+      os << "outstanding mismatch after jump: sut " << sut_.outstanding()
+         << ", oracle " << oracle_.outstanding() << ", driver " << live_.size();
+      Diverge(now_, os.str());
+    }
+  }
+
   // ---- expiry handlers ------------------------------------------------------
 
   void OnSutFire(RequestId id, Tick when) {
     if (!report_.ok) {
       return;
+    }
+    if (jumping_) {
+      sut_jump_fired_.emplace_back(when, id);
+      auto it = live_.find(id);
+      if (it == live_.end()) {
+        std::ostringstream os;
+        os << "sut fired unknown or doubly-fired id " << id << " during a jump";
+        Diverge(when, os.str());
+        return;
+      }
+      const Entry e = it->second;
+      if (when != e.expiry || when <= now_ || when > jump_target_) {
+        std::ostringstream os;
+        os << "sut fired id " << id << " at tick " << when << ", due at "
+           << e.expiry << " while jumping (" << now_ << ", " << jump_target_
+           << "]";
+        Diverge(when, os.str());
+        return;
+      }
+      RemoveLive(it);
+      fired_handles_.emplace_back(e.sut, e.oracle);
+      return;  // handlers are passive across a jump
     }
     sut_fired_.push_back(id);
     auto it = live_.find(id);
@@ -376,6 +501,18 @@ class Episode {
 
   void OnOracleFire(RequestId id, Tick when) {
     if (!report_.ok) {
+      return;
+    }
+    if (jumping_) {
+      // The SUT's pass already removed this id from live_; only the window is
+      // checkable here. Set equality is established after both sides return.
+      oracle_jump_fired_.emplace_back(when, id);
+      if (when <= now_ || when > jump_target_) {
+        std::ostringstream os;
+        os << "oracle fired id " << id << " at tick " << when
+           << " while jumping (" << now_ << ", " << jump_target_ << "]";
+        Diverge(when, os.str());
+      }
       return;
     }
     oracle_fired_.push_back(id);
@@ -496,6 +633,8 @@ class Episode {
   Tick current_tick_ = 0;
   RequestId next_id_ = 1;
   bool draining_ = false;
+  bool jumping_ = false;
+  Tick jump_target_ = 0;
 
   std::unordered_map<RequestId, Entry> live_;
   std::vector<RequestId> live_ids_;
@@ -507,6 +646,10 @@ class Episode {
   std::unordered_map<RequestId, TickAction> actions_;
   std::vector<std::pair<TimerHandle, TimerHandle>> fired_handles_;
   std::vector<Pending> pending_;
+  // Per-jump scratch: (tick, id) so set comparison covers *which tick inside the
+  // jumped window* each timer fired at, not merely that it fired.
+  std::vector<std::pair<Tick, RequestId>> sut_jump_fired_;
+  std::vector<std::pair<Tick, RequestId>> oracle_jump_fired_;
 };
 
 }  // namespace

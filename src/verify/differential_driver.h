@@ -39,6 +39,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/core/timer_service.h"
 
@@ -74,6 +75,21 @@ struct DriverOptions {
   // StopTimer on the fired timer's own now-stale handle, from inside its handler.
   double self_poke_probability = 0.0;
 
+  // Batched-advance jumps: with this probability a tick of the measured phase is
+  // replaced by one AdvanceTo(now + delta) call on both sides. The SUT's batched
+  // override (occupancy-bitmap jumping for the wheels) is checked against the
+  // oracle's loop default: both must dispatch the identical (tick, id) multiset
+  // across the jumped window, in nondecreasing tick order, and land on the same
+  // clock/outstanding state. Handlers are passive during a jump (the per-tick
+  // decide-then-replay protocol is tick-grained).
+  double jump_probability = 0.0;
+  // Random jump deltas are uniform in [1, max_jump].
+  Duration max_jump = 64;
+  // When non-empty, half the jumps draw their delta from here instead — the test
+  // supplies wheel-size / hierarchy-rollover boundary values (size-1, size,
+  // size+1, span, ...).
+  std::vector<Duration> jump_pivots;
+
   // After the measured phase the driver stops mutating and ticks until both sides
   // drain; this bounds how long that may take beyond max_interval.
   std::size_t drain_slack = 8;
@@ -102,6 +118,8 @@ struct DriverReport {
   std::size_t handler_rearms = 0;
   std::size_t handler_sibling_stops = 0;
   std::size_t handler_next_tick_starts = 0;
+  std::size_t jumps = 0;       // AdvanceTo batches executed
+  std::size_t jump_ticks = 0;  // ticks covered by those batches (included in ticks_run)
 };
 
 // Runs one episode. The driver installs its own expiry handler on `sut` (replacing

@@ -1,0 +1,174 @@
+// OccupancyBitmap: the two-level bit structure behind every wheel's batched
+// AdvanceTo. Correctness here is load-bearing for the jump differential suite,
+// so beyond the targeted edge cases (word boundaries, summary wrap, the
+// distance-size() self case) there is a randomized differential against a naive
+// vector<bool> reference model.
+
+#include "src/base/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "src/rng/rng.h"
+
+namespace twheel {
+namespace {
+
+// Sizes straddling every structural boundary: single word, exact word, word+1,
+// exact summary word (64*64), summary word + 1.
+const std::size_t kSizes[] = {1, 2, 63, 64, 65, 100, 128, 129, 512, 4096, 4097};
+
+// Naive reference: walk the ring forward one slot at a time.
+std::optional<std::size_t> NaiveNextSetDistance(const std::vector<bool>& bits,
+                                                std::size_t from) {
+  for (std::size_t d = 1; d <= bits.size(); ++d) {
+    if (bits[(from + d) % bits.size()]) {
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+TEST(OccupancyBitmapTest, EmptyBitmapHasNoNextSet) {
+  for (const std::size_t size : kSizes) {
+    OccupancyBitmap bitmap(size);
+    EXPECT_EQ(bitmap.size(), size);
+    EXPECT_EQ(bitmap.count(), 0u);
+    EXPECT_FALSE(bitmap.any());
+    for (std::size_t from = 0; from < size; from += (size > 7 ? 7 : 1)) {
+      EXPECT_EQ(bitmap.NextSetDistance(from), std::nullopt) << size;
+    }
+  }
+}
+
+TEST(OccupancyBitmapTest, SetAndClearAreIdempotent) {
+  OccupancyBitmap bitmap(130);
+  bitmap.Set(7);
+  bitmap.Set(7);
+  EXPECT_EQ(bitmap.count(), 1u);
+  EXPECT_TRUE(bitmap.Test(7));
+  bitmap.Set(64);
+  bitmap.Set(129);
+  EXPECT_EQ(bitmap.count(), 3u);
+  bitmap.Clear(7);
+  bitmap.Clear(7);
+  EXPECT_EQ(bitmap.count(), 2u);
+  EXPECT_FALSE(bitmap.Test(7));
+  bitmap.Clear(64);
+  bitmap.Clear(129);
+  EXPECT_FALSE(bitmap.any());
+}
+
+TEST(OccupancyBitmapTest, SingleBitDistancesFromEveryOrigin) {
+  const std::size_t size = 100;
+  const std::size_t set_at = 37;
+  OccupancyBitmap bitmap(size);
+  bitmap.Set(set_at);
+  for (std::size_t from = 0; from < size; ++from) {
+    const std::size_t expected =
+        from == set_at ? size : (set_at + size - from) % size;
+    ASSERT_EQ(bitmap.NextSetDistance(from), expected) << "from " << from;
+  }
+}
+
+// The only set slot being the query origin itself means "one full revolution":
+// exactly the wheel case of a record due TableSize ticks out sitting in the
+// cursor's own slot.
+TEST(OccupancyBitmapTest, DistanceToSelfIsFullRevolution) {
+  for (const std::size_t size : kSizes) {
+    OccupancyBitmap bitmap(size);
+    const std::size_t slot = size / 2;
+    bitmap.Set(slot);
+    EXPECT_EQ(bitmap.NextSetDistance(slot), size) << size;
+  }
+}
+
+// Wrap that must route through the summary level: 4096 slots = 64 slot words =
+// one full summary word; 4097 forces a second summary word.
+TEST(OccupancyBitmapTest, WrapAcrossSummaryWords) {
+  {
+    OccupancyBitmap bitmap(4096);
+    bitmap.Set(0);
+    EXPECT_EQ(bitmap.NextSetDistance(4095), 1u);
+    EXPECT_EQ(bitmap.NextSetDistance(0), 4096u);
+    bitmap.Clear(0);
+    bitmap.Set(100);
+    EXPECT_EQ(bitmap.NextSetDistance(200), 4096u - 100u);
+  }
+  {
+    OccupancyBitmap bitmap(4097);
+    bitmap.Set(4096);  // lone bit in the second summary word
+    EXPECT_EQ(bitmap.NextSetDistance(0), 4096u);
+    EXPECT_EQ(bitmap.NextSetDistance(4096), 4097u);
+    bitmap.Set(5);
+    EXPECT_EQ(bitmap.NextSetDistance(4096), 6u);  // wraps back into word 0
+  }
+}
+
+TEST(OccupancyBitmapTest, ForEachSetVisitsAscending) {
+  OccupancyBitmap bitmap(300);
+  const std::vector<std::size_t> slots = {0, 1, 63, 64, 65, 128, 255, 299};
+  for (const std::size_t s : slots) {
+    bitmap.Set(s);
+  }
+  std::vector<std::size_t> seen;
+  bitmap.ForEachSet([&seen](std::size_t index) { seen.push_back(index); });
+  EXPECT_EQ(seen, slots);
+}
+
+TEST(OccupancyBitmapTest, BytesForCountsBothLevels) {
+  EXPECT_EQ(OccupancyBitmap::BytesFor(64), (1 + 1) * sizeof(std::uint64_t));
+  EXPECT_EQ(OccupancyBitmap::BytesFor(65), (2 + 1) * sizeof(std::uint64_t));
+  EXPECT_EQ(OccupancyBitmap::BytesFor(4096), (64 + 1) * sizeof(std::uint64_t));
+  EXPECT_EQ(OccupancyBitmap::BytesFor(4097), (65 + 2) * sizeof(std::uint64_t));
+}
+
+// Randomized differential against the naive reference: mixed set/clear churn,
+// then count / membership / circular distance / enumeration must agree at every
+// step.
+TEST(OccupancyBitmapTest, RandomizedDifferentialAgainstNaiveModel) {
+  for (const std::size_t size : kSizes) {
+    rng::Xoshiro256 rng(size * 7919 + 1);
+    OccupancyBitmap bitmap(size);
+    std::vector<bool> reference(size, false);
+    const std::size_t steps = size < 64 ? 400 : 1200;
+    std::size_t expected_count = 0;
+    for (std::size_t step = 0; step < steps; ++step) {
+      const std::size_t index = rng.NextBounded(size);
+      if (rng.NextBool(0.55)) {
+        if (!reference[index]) {
+          ++expected_count;
+        }
+        reference[index] = true;
+        bitmap.Set(index);
+      } else {
+        if (reference[index]) {
+          --expected_count;
+        }
+        reference[index] = false;
+        bitmap.Clear(index);
+      }
+      ASSERT_EQ(bitmap.count(), expected_count) << "size " << size;
+      ASSERT_EQ(bitmap.Test(index), static_cast<bool>(reference[index]));
+      const std::size_t from = rng.NextBounded(size);
+      ASSERT_EQ(bitmap.NextSetDistance(from),
+                NaiveNextSetDistance(reference, from))
+          << "size " << size << " step " << step << " from " << from;
+    }
+    std::vector<std::size_t> via_bitmap;
+    bitmap.ForEachSet([&via_bitmap](std::size_t i) { via_bitmap.push_back(i); });
+    std::vector<std::size_t> via_reference;
+    for (std::size_t i = 0; i < size; ++i) {
+      if (reference[i]) {
+        via_reference.push_back(i);
+      }
+    }
+    ASSERT_EQ(via_bitmap, via_reference) << "size " << size;
+  }
+}
+
+}  // namespace
+}  // namespace twheel

@@ -125,7 +125,7 @@ TEST(IntrusiveListTest, NextPrevTraversal) {
   c.Unlink();
 }
 
-TEST(IntrusiveListTest, SpliceBackMovesAll) {
+TEST(IntrusiveListTest, SpliceAllMovesAll) {
   IntrusiveList<Node> dst;
   IntrusiveList<Node> src;
   Node a(1), b(2), c(3), d(4);
@@ -133,7 +133,7 @@ TEST(IntrusiveListTest, SpliceBackMovesAll) {
   dst.PushBack(&b);
   src.PushBack(&c);
   src.PushBack(&d);
-  dst.SpliceBack(src);
+  dst.SpliceAll(src);
   EXPECT_TRUE(src.empty());
   EXPECT_EQ(Values(dst), (std::vector<int>{1, 2, 3, 4}));
   while (!dst.empty()) {
@@ -141,12 +141,12 @@ TEST(IntrusiveListTest, SpliceBackMovesAll) {
   }
 }
 
-TEST(IntrusiveListTest, SpliceBackFromEmptyIsNoop) {
+TEST(IntrusiveListTest, SpliceAllFromEmptyIsNoop) {
   IntrusiveList<Node> dst;
   IntrusiveList<Node> src;
   Node a(1);
   dst.PushBack(&a);
-  dst.SpliceBack(src);
+  dst.SpliceAll(src);
   EXPECT_EQ(dst.CountSlow(), 1u);
   a.Unlink();
 }
@@ -157,11 +157,39 @@ TEST(IntrusiveListTest, SpliceIntoEmptyList) {
   Node a(1), b(2);
   src.PushBack(&a);
   src.PushBack(&b);
-  dst.SpliceBack(src);
+  dst.SpliceAll(src);
   EXPECT_EQ(Values(dst), (std::vector<int>{1, 2}));
   EXPECT_TRUE(src.empty());
   a.Unlink();
   b.Unlink();
+}
+
+// The slot-drain pattern every wheel uses: splice the whole bucket into a local
+// batch in O(1), then pop records one by one — and while draining, new records
+// may be pushed back into the (now detached) source bucket without disturbing
+// the batch. FIFO order must hold on both lists throughout.
+TEST(IntrusiveListTest, SpliceAllThenDrainWithConcurrentReinsertion) {
+  IntrusiveList<Node> slot;
+  Node a(1), b(2), c(3), d(4);
+  slot.PushBack(&a);
+  slot.PushBack(&b);
+  slot.PushBack(&c);
+
+  IntrusiveList<Node> pending;
+  pending.SpliceAll(slot);
+  EXPECT_TRUE(slot.empty());
+
+  std::vector<int> drained;
+  while (!pending.empty()) {
+    Node* node = pending.PopFront();
+    drained.push_back(node->value);
+    if (node->value == 1) {
+      slot.PushBack(&d);  // handler re-arms into the same bucket mid-drain
+    }
+  }
+  EXPECT_EQ(drained, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Values(slot), (std::vector<int>{4}));
+  d.Unlink();
 }
 
 TEST(IntrusiveListTest, ReinsertionAfterUnlink) {

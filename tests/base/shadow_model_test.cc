@@ -99,7 +99,7 @@ TEST_P(ListShadowTest, MatchesStdListUnderRandomOps) {
           other.PushBack(n);
           shadow.push_back(n);
         }
-        list.SpliceBack(other);
+        list.SpliceAll(other);
         break;
       }
     }

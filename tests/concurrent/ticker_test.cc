@@ -113,6 +113,72 @@ TEST(TickerThreadTest, StopIsPromptDuringCatchUpBurst) {
   EXPECT_GE(ticker.ticks_delivered(), 1u);
 }
 
+// Records how the ticker partitions delivery into AdvanceTo batches. The first
+// call blocks long enough for a >10k-tick backlog to pile up at the 10 µs
+// period; the adaptive chunking must then coalesce that backlog into a handful
+// of batched calls instead of 10k+ virtual calls.
+class BatchRecordingService final : public TimerService {
+ public:
+  StartResult StartTimer(Duration, RequestId) override {
+    return TimerError::kNoCapacity;
+  }
+  TimerError StopTimer(TimerHandle) override { return TimerError::kNoSuchTimer; }
+  std::size_t PerTickBookkeeping() override {
+    ++now_;
+    return 0;
+  }
+  std::size_t AdvanceTo(Tick target) override {
+    if (calls_.fetch_add(1) == 0) {
+      // Build the backlog while the ticker is stuck inside its first delivery.
+      std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    }
+    const Tick base = now_.load();
+    if (base < 10000) {
+      calls_below_10k_.fetch_add(1);
+    }
+    Tick batch = target - base;
+    Tick biggest = max_batch_.load();
+    while (batch > biggest && !max_batch_.compare_exchange_weak(biggest, batch)) {
+    }
+    now_.store(target);
+    return 0;
+  }
+  Tick now() const override { return now_.load(); }
+  std::size_t outstanding() const override { return 0; }
+  metrics::OpCounts counts() const override { return {}; }
+  std::string_view name() const override { return "batch-recorder"; }
+  void set_expiry_handler(ExpiryHandler) override {}
+  SpaceProfile Space() const override { return {}; }
+
+  std::uint64_t calls_below_10k() const { return calls_below_10k_.load(); }
+  Tick max_batch() const { return max_batch_.load(); }
+
+ private:
+  std::atomic<Tick> now_{0};
+  std::atomic<std::uint64_t> calls_{0};
+  std::atomic<std::uint64_t> calls_below_10k_{0};
+  std::atomic<Tick> max_batch_{0};
+};
+
+TEST(TickerThreadTest, CatchUpBacklogIsCoalescedIntoBatchedAdvances) {
+  BatchRecordingService service;
+  TickerThread ticker(service, std::chrono::microseconds(10));
+  // 150 ms of blockage at 10 µs/tick is a ~15k-tick backlog. Wait until it has
+  // been worked off.
+  for (int i = 0; i < 5000 && ticker.ticks_delivered() < 10000; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ticker.Stop();
+  ASSERT_GE(ticker.ticks_delivered(), 10000u) << "backlog never materialized";
+  // Crossing the first 10k simulated ticks must take a handful of AdvanceTo
+  // calls, not one per tick (the pre-batching ticker needed >= 10000).
+  EXPECT_LE(service.calls_below_10k(), 64u);
+  // And at least one call must have carried a genuinely large batch.
+  EXPECT_GE(service.max_batch(), 4096u);
+  // ticks_delivered() counts simulated ticks, however they were chunked.
+  EXPECT_EQ(service.now(), ticker.ticks_delivered());
+}
+
 TEST(TickerThreadTest, StopIsIdempotentAndFinal) {
   LockedService service(std::make_unique<HashedWheelUnsorted>(64));
   TickerThread ticker(service, std::chrono::microseconds(200));

@@ -6,6 +6,7 @@
 #include <array>
 #include <memory>
 
+#include "src/base/bitmap.h"
 #include "src/baselines/heap_timers.h"
 #include "src/baselines/unordered_timers.h"
 #include "src/core/basic_wheel.h"
@@ -44,21 +45,35 @@ TEST(SpaceTest, ListSchemesHaveNoFixedStructure) {
 TEST(SpaceTest, WheelFixedCostScalesWithSlots) {
   BasicWheel small(256);
   BasicWheel large(65536);
-  EXPECT_EQ(large.Space().fixed_bytes, small.Space().fixed_bytes * 256);
-  EXPECT_EQ(small.Space().fixed_bytes, 256 * sizeof(IntrusiveList<TimerRecord>));
+  EXPECT_EQ(small.Space().fixed_bytes,
+            256 * sizeof(IntrusiveList<TimerRecord>) +
+                OccupancyBitmap::BytesFor(256));
+  EXPECT_EQ(large.Space().fixed_bytes,
+            65536 * sizeof(IntrusiveList<TimerRecord>) +
+                OccupancyBitmap::BytesFor(65536));
+  // The occupancy bitmap rides along at well under 1% of the slot array: two
+  // bits-per-slot levels against a 16-byte list head per slot.
+  EXPECT_LT(OccupancyBitmap::BytesFor(65536) * 100,
+            65536 * sizeof(IntrusiveList<TimerRecord>));
 }
 
 TEST(SpaceTest, HierarchySlotArithmeticMatchesPaper) {
   // "Instead of 100 * 24 * 60 * 60 = 8.64 million locations to store timers up to
   // 100 days, we need only 100 + 24 + 60 + 60 = 244 locations."
   HierarchicalWheel hierarchy(std::array<std::size_t, 4>{60, 60, 24, 100});
-  EXPECT_EQ(hierarchy.Space().fixed_bytes, 244 * sizeof(IntrusiveList<TimerRecord>));
+  const std::size_t bitmap_bytes =
+      2 * OccupancyBitmap::BytesFor(60) + OccupancyBitmap::BytesFor(24) +
+      OccupancyBitmap::BytesFor(100);
+  EXPECT_EQ(hierarchy.Space().fixed_bytes,
+            244 * sizeof(IntrusiveList<TimerRecord>) + bitmap_bytes);
 
-  // The flat wheel covering the same range would need 8.64M slots.
+  // The flat wheel covering the same range would need 8.64M slots; the
+  // hierarchy's whole footprint (bitmaps included) stays >30000x smaller.
   const std::size_t flat_slots = 60 * 60 * 24 * 100;
   EXPECT_EQ(flat_slots, 8640000u);
-  EXPECT_EQ(hierarchy.Space().fixed_bytes * flat_slots / 244,
-            flat_slots * sizeof(IntrusiveList<TimerRecord>));
+  EXPECT_GT(flat_slots * sizeof(IntrusiveList<TimerRecord>) /
+                hierarchy.Space().fixed_bytes,
+            30000u);
 }
 
 TEST(SpaceTest, HeapAuxiliaryTracksPopulation) {
@@ -71,12 +86,19 @@ TEST(SpaceTest, HeapAuxiliaryTracksPopulation) {
 }
 
 TEST(SpaceTest, ChipAddsBusyBitsOnly) {
+  // The chip holds one busy bit per slot in its own memory on top of the bare
+  // host slot array; the software wheel carries the two-level occupancy bitmap
+  // (its software analogue, one summary level larger) instead.
   hw::ChipAssistedWheel chip(256);
+  const std::size_t bare_slots = 256 * sizeof(IntrusiveList<TimerRecord>);
+  EXPECT_EQ(chip.Space().fixed_bytes, bare_slots + 256 / 8);
+
   FacilityConfig config;
   config.scheme = SchemeId::kScheme6HashedUnsorted;
   config.wheel_size = 256;
   auto plain = MakeTimerService(config);
-  EXPECT_EQ(chip.Space().fixed_bytes, plain->Space().fixed_bytes + 256 / 8);
+  EXPECT_EQ(plain->Space().fixed_bytes,
+            bare_slots + OccupancyBitmap::BytesFor(256));
 }
 
 TEST(SpaceTest, SchemeOrderingMatchesPaperCommentary) {

@@ -163,11 +163,20 @@ TEST(SimulatorJumpTest, JumpingMatchesSteppingForPeekableSchemes) {
   }
 }
 
-TEST(SimulatorJumpTest, WheelsReportNoJumpCapability) {
+TEST(SimulatorJumpTest, WheelsJumpViaOccupancyBitmap) {
+  // Historically the wheels lacked NextExpiryHint/FastForward and this fell
+  // back to nullopt; the occupancy bitmap gives them the capability, so the
+  // GPSS/SIMULA-style time flow now works on a hashed wheel too.
   auto sim = MakeSim(SchemeId::kScheme6HashedUnsorted);
-  sim->After(100, [] {});
-  EXPECT_FALSE(sim->RunUntilIdleJumping().has_value());
-  EXPECT_EQ(sim->RunUntilIdle(), 100u);  // tick-stepping still works
+  bool ran = false;
+  sim->After(100, [&ran] { ran = true; });
+  const auto covered = sim->RunUntilIdleJumping();
+  ASSERT_TRUE(covered.has_value());
+  EXPECT_EQ(*covered, 100u);
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim->now(), 100u);
+  // Dead time is crossed by FastForward, whose ticks the "hardware" absorbs.
+  EXPECT_LT(sim->service().counts().ticks, 100u / 10);
 }
 
 TEST(SimulatorJumpTest, JumpRespectsTickBudget) {

@@ -5,6 +5,10 @@
 // re-arms, sibling stops, and next-tick starts; after every tick the expiry
 // *sets*, outstanding() population, and clocks must be identical. See
 // src/verify/differential_driver.h for the decide-then-replay protocol.
+//
+// The jump suites additionally interleave randomized AdvanceTo batches — the
+// occupancy-bitmap fast path — pinned to wheel-size and hierarchy-rollover
+// boundaries, checked (tick, id)-exactly against the oracle's loop default.
 
 #include <gtest/gtest.h>
 
@@ -85,6 +89,61 @@ TEST_P(ModelCheckTest, ChurnEpisodesKeepHandlesSafe) {
                            << report.divergence;
     EXPECT_GT(report.stale_pokes, 0u) << c.label << " seed " << seed;
   }
+}
+
+// 100 seeded episodes where a quarter of the ticks are replaced by AdvanceTo
+// jumps. The pivot deltas land exactly on, one short of, and one past the wheel
+// sizes in play (64, 256 = hierarchical level-2 unit, 512 = the Scheme 4
+// configuration), so cursor wraps and cascade boundaries are hit dead-on rather
+// than only by chance. The oracle has no AdvanceTo override: it runs the base
+// class's bookkeeping loop, making every episode a batched-vs-loop equivalence
+// check for the implementation's occupancy-bitmap skipping.
+TEST_P(ModelCheckTest, JumpEpisodesMatchOracle) {
+  const ServiceCase& c = GetParam();
+  std::size_t total_jumps = 0;
+  std::size_t total_jump_ticks = 0;
+  for (std::uint64_t seed = 3000; seed < 3100; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 64;
+    options.max_interval = 300;
+    options.jump_probability = 0.25;
+    options.max_jump = 300;
+    options.jump_pivots = {63, 64, 65, 255, 256, 257, 511, 512, 513};
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    ASSERT_GT(report.starts, 0u) << c.label << " seed " << seed << ": vacuous";
+    total_jumps += report.jumps;
+    total_jump_ticks += report.jump_ticks;
+  }
+  // The jump alphabet must actually have been exercised across the suite.
+  EXPECT_GT(total_jumps, 0u) << c.label;
+  EXPECT_GT(total_jump_ticks, total_jumps) << c.label << ": only 1-tick jumps";
+}
+
+// Fewer, bigger episodes whose pivots cross the full {16,16,16} hierarchical
+// span (4096) and the 1024 level boundary: a single jump can force cascades at
+// every level, including the all-levels-aligned rollover tick.
+TEST_P(ModelCheckTest, SpanRolloverJumpsMatchOracle) {
+  const ServiceCase& c = GetParam();
+  std::size_t total_jumps = 0;
+  for (std::uint64_t seed = 4000; seed < 4010; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 32;
+    options.max_interval = 300;
+    options.jump_probability = 0.3;
+    options.max_jump = 600;
+    options.jump_pivots = {1023, 1024, 1025, 4095, 4096, 4097};
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    total_jumps += report.jumps;
+  }
+  EXPECT_GT(total_jumps, 0u) << c.label;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllImplementations, ModelCheckTest,
