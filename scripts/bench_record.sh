@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
-# Build and run the sparse-tick benchmark, recording the loop-vs-batched numbers
-# for every wheel scheme into BENCH_sparse_tick.json at the repository root.
-# The *_Loop entries are the "before" (one PerTickBookkeeping call per tick);
-# the *_Batched entries are the "after" (one occupancy-bitmap AdvanceTo per
-# span). A per-scheme speedup summary is printed when python3 is available.
+# Build and run the recorded benchmarks, writing one BENCH_<name>.json per
+# experiment at the repository root, with a python summary when python3 is
+# available:
+#
+#   sparse_tick   BENCH_sparse_tick.json — loop-vs-batched tick advancement
+#                 (*_Loop = one PerTickBookkeeping call per tick, *_Batched =
+#                 one occupancy-bitmap AdvanceTo per span) per wheel scheme.
+#   mpsc_submit   BENCH_mpsc_submit.json — locked vs. deferred (MPSC ring)
+#                 start/stop submission throughput at 1/2/4/8 producer threads
+#                 against a driver thread sweeping a 4Mi-timer wheel.
 #
 # Usage:
-#   scripts/bench_record.sh                 # default single repetition
-#   scripts/bench_record.sh --benchmark_repetitions=5
+#   scripts/bench_record.sh                         # record every experiment
+#   scripts/bench_record.sh mpsc_submit             # just one
+#   scripts/bench_record.sh all --benchmark_repetitions=5
 #
 # Environment:
 #   BUILD_DIR=<dir>   build directory (default: build)
@@ -17,21 +23,36 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BUILD_DIR="${BUILD_DIR:-build}"
 JOBS="${JOBS:-$(nproc)}"
-OUT="BENCH_sparse_tick.json"
+
+TARGET="all"
+case "${1:-}" in
+  sparse_tick|mpsc_submit|all)
+    TARGET="$1"
+    shift ;;
+esac
 
 cmake -S . -B "$BUILD_DIR" >/dev/null
-cmake --build "$BUILD_DIR" -j "$JOBS" --target bench_sparse_tick
 
-"$BUILD_DIR"/bench/bench_sparse_tick \
-  --benchmark_out="$OUT" \
-  --benchmark_out_format=json \
-  "$@"
+record() {
+  local bench="$1" out="$2"
+  shift 2
+  cmake --build "$BUILD_DIR" -j "$JOBS" --target "$bench"
+  "$BUILD_DIR"/bench/"$bench" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    "$@"
+  echo
+  echo "Recorded $out"
+}
 
-echo
-echo "Recorded $OUT"
+summarize() {
+  command -v python3 >/dev/null 2>&1 || return 0
+  python3 - "$@"
+}
 
-if command -v python3 >/dev/null 2>&1; then
-  python3 - "$OUT" <<'PYEOF'
+if [ "$TARGET" = "sparse_tick" ] || [ "$TARGET" = "all" ]; then
+  record bench_sparse_tick BENCH_sparse_tick.json "$@"
+  summarize BENCH_sparse_tick.json <<'PYEOF'
 import json
 import sys
 
@@ -58,5 +79,40 @@ for name, loop_ns in sorted(rows.items()):
         continue
     scheme = name[len("BM_"):-len("_Loop")]
     print(f"{scheme:<24}{loop_ns:>16.0f}{batched:>18.0f}{loop_ns / batched:>9.1f}x")
+PYEOF
+fi
+
+if [ "$TARGET" = "mpsc_submit" ] || [ "$TARGET" = "all" ]; then
+  record bench_mpsc_submit BENCH_mpsc_submit.json "$@"
+  summarize BENCH_mpsc_submit.json <<'PYEOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# rows[(mode, threads)] = items_per_second; prefer the *_mean rows when
+# benchmark_repetitions > 1 adds aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    m = re.match(r"mpsc_submit/(locked|deferred)/real_time/threads:(\d+)", name)
+    if not m or "items_per_second" not in b:
+        continue
+    key = (m.group(1), int(m.group(2)))
+    if name.endswith("_mean") or key not in rows:
+        rows[key] = b["items_per_second"]
+
+print(f"{'producers':<12}{'locked ops/s':>16}{'deferred ops/s':>18}{'speedup':>10}")
+for threads in sorted({t for (_, t) in rows}):
+    locked = rows.get(("locked", threads))
+    deferred = rows.get(("deferred", threads))
+    if locked is None or deferred is None:
+        continue
+    print(f"{threads:<12}{locked:>16,.0f}{deferred:>18,.0f}"
+          f"{deferred / locked:>9.1f}x")
 PYEOF
 fi

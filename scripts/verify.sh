@@ -11,6 +11,11 @@
 # Environment:
 #   JOBS=<n>          parallel build jobs (default: nproc)
 #   CTEST_ARGS=...    extra arguments forwarded to ctest (e.g. -R ModelCheck)
+#   TWHEEL_TORTURE_EPISODES=<n>
+#                     episodes per case for the `torture`-labelled concurrent
+#                     tests; when unset, the plain build runs the tests'
+#                     default (50) and the sanitizer builds run reduced counts
+#                     (asan 12, tsan 8) since each episode costs ~20x there.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,9 +25,13 @@ if [ ${#CONFIGS[@]} -eq 0 ]; then
   CONFIGS=(plain asan tsan)
 fi
 
+# A pre-set TWHEEL_TORTURE_EPISODES wins over the per-config defaults.
+USER_TORTURE_EPISODES="${TWHEEL_TORTURE_EPISODES:-}"
+
 run_config() {
-  local name="$1" build_dir="$2"
-  shift 2
+  local name="$1" build_dir="$2" episodes="$3"
+  shift 3
+  export TWHEEL_TORTURE_EPISODES="${USER_TORTURE_EPISODES:-$episodes}"
   echo "=== [$name] configure ==="
   cmake -S . -B "$build_dir" "$@" >/dev/null
   echo "=== [$name] build ==="
@@ -36,15 +45,15 @@ run_config() {
 for config in "${CONFIGS[@]}"; do
   case "$config" in
     plain)
-      run_config plain build ;;
+      run_config plain build 50 ;;
     asan)
       # halt_on_error: the first report fails the test instead of scrolling by.
       ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
       UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" \
-      run_config asan build-asan -DTWHEEL_SANITIZE=address ;;
+      run_config asan build-asan 12 -DTWHEEL_SANITIZE=address ;;
     tsan)
       TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-      run_config tsan build-tsan -DTWHEEL_SANITIZE=thread ;;
+      run_config tsan build-tsan 8 -DTWHEEL_SANITIZE=thread ;;
     *)
       echo "unknown configuration '$config' (use plain|asan|tsan)" >&2
       exit 2 ;;

@@ -8,12 +8,25 @@
 namespace twheel::concurrent {
 
 ShardedWheel::ShardedWheel(std::size_t shards, std::size_t table_size) {
+  Construct(shards, table_size, nullptr);
+}
+
+ShardedWheel::ShardedWheel(std::size_t shards, std::size_t table_size,
+                           const SubmitOptions& submit) {
+  Construct(shards, table_size, &submit);
+}
+
+void ShardedWheel::Construct(std::size_t shards, std::size_t table_size,
+                             const SubmitOptions* submit) {
   TWHEEL_ASSERT_MSG(IsPowerOfTwo(shards) && shards >= 1 && shards <= 256,
                     "shard count must be a power of two in [1, 256]");
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>();
     shard->wheel = std::make_unique<HashedWheelUnsorted>(table_size);
+    if (submit != nullptr) {
+      shard->submit = std::make_unique<ShardSubmitQueue>(*submit);
+    }
     // Install the collector exactly once, pointing at storage that lives as long
     // as the shard itself. Installing a lambda that captures a tick-local vector
     // would leave the wheel's handler dangling after the tick returns — any expiry
@@ -32,6 +45,24 @@ StartResult ShardedWheel::StartTimer(Duration interval, RequestId request_id) {
   const std::uint32_t index = static_cast<std::uint32_t>(
       next_shard_.fetch_add(1, std::memory_order_relaxed) & (shards_.size() - 1));
   Shard& shard = *shards_[index];
+  if (shard.submit != nullptr) {
+    client_starts_.fetch_add(1, std::memory_order_relaxed);
+    if (interval == 0) {
+      return TimerError::kZeroInterval;  // match the inner wheel's policy
+    }
+    // Lock-free path: capture the absolute deadline now, enqueue the command.
+    // A tick racing this call may advance the clock before the command drains;
+    // the drain then registers the remaining interval (min 1), so the timer
+    // fires at max(deadline, drain tick + 1).
+    const Tick deadline = now_.load(std::memory_order_acquire) + interval;
+    StartResult result = shard.submit->SubmitStart(request_id, deadline);
+    if (!result.has_value()) {
+      return result;
+    }
+    live_.fetch_add(1, std::memory_order_relaxed);
+    const TimerHandle local = result.value();
+    return TimerHandle{(index << kShardShift) | local.slot, local.generation};
+  }
   std::lock_guard<std::mutex> lock(shard.mutex);
   StartResult result = shard.wheel->StartTimer(interval, request_id);
   if (!result.has_value()) {
@@ -51,35 +82,66 @@ TimerError ShardedWheel::StopTimer(TimerHandle handle) {
     return TimerError::kNoSuchTimer;
   }
   Shard& shard = *shards_[index];
+  if (shard.submit != nullptr) {
+    // Lock-free path: the CAS inside SubmitCancel is the commit point; kOk
+    // means the timer can no longer fire, whether or not its start command has
+    // even drained yet (pending-cancel reconciliation).
+    const TimerError err =
+        shard.submit->SubmitCancel(handle.slot & kSlotMask, handle.generation);
+    if (err == TimerError::kOk) {
+      live_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    return err;
+  }
   std::lock_guard<std::mutex> lock(shard.mutex);
   return shard.wheel->StopTimer(TimerHandle{handle.slot & kSlotMask, handle.generation});
+}
+
+std::size_t ShardedWheel::DrainSubmissions() {
+  std::size_t total = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    if (shard.submit == nullptr) {
+      return 0;
+    }
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.submit->Drain(*shard.wheel);
+  }
+  return total;
 }
 
 std::size_t ShardedWheel::PerTickBookkeeping() {
   // Collect under each shard's lock, dispatch outside all locks. The permanent
   // per-shard collector (installed in the constructor) stages expiries in
   // Shard::collected; we drain each shard's stage while still holding its lock.
-  std::vector<std::pair<RequestId, Tick>> expired;
-  for (auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
+  // MPSC mode drains the shard's submission ring first — same lock acquisition —
+  // so every command enqueued before this call is registered before its shard
+  // advances.
+  const bool mpsc = deferred();
+  std::vector<PendingExpiry> pending;
+  std::vector<std::pair<RequestId, Tick>> fires;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    if (mpsc) {
+      shard.submit->Drain(*shard.wheel);
+    }
     shard.wheel->PerTickBookkeeping();
-    expired.insert(expired.end(), shard.collected.begin(), shard.collected.end());
+    if (mpsc) {
+      for (const auto& [id, when] : shard.collected) {
+        pending.push_back(PendingExpiry{s, id, when});
+      }
+    } else {
+      fires.insert(fires.end(), shard.collected.begin(), shard.collected.end());
+    }
     shard.collected.clear();
   }
-  now_.fetch_add(1, std::memory_order_relaxed);
+  now_.fetch_add(1, std::memory_order_release);
 
-  ExpiryHandler handler;
-  {
-    std::lock_guard<std::mutex> lock(handler_mutex_);
-    handler = handler_;
+  if (mpsc) {
+    ClaimFires(pending, fires);
   }
-  if (handler) {
-    for (const auto& [id, when] : expired) {
-      handler(id, when);
-    }
-  }
-  return expired.size();
+  return Dispatch(fires);
 }
 
 std::size_t ShardedWheel::AdvanceTo(Tick target) {
@@ -89,45 +151,96 @@ std::size_t ShardedWheel::AdvanceTo(Tick target) {
   if (delta == 0) {
     return 0;
   }
-  // One lock acquisition per shard for the whole batch. Shard clocks tick in
-  // lockstep with the wall clock, so each inner wheel advances by the same delta.
-  std::vector<std::pair<RequestId, Tick>> expired;
-  for (auto& shard_ptr : shards_) {
-    Shard& shard = *shard_ptr;
+  // One lock acquisition per shard for the whole batch: drain the shard's
+  // submission ring (MPSC mode), then advance. Shard clocks tick in lockstep
+  // with the wall clock, so each inner wheel advances by the same delta. The
+  // drain-then-advance order is what makes the NextExpiryHint contract sound
+  // for callers that jump: a start whose enqueue completed before this call is
+  // registered here, before any slot it could land in is crossed.
+  const bool mpsc = deferred();
+  std::vector<PendingExpiry> pending;
+  std::vector<std::pair<RequestId, Tick>> fires;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
+    if (mpsc) {
+      shard.submit->Drain(*shard.wheel);
+    }
     shard.wheel->AdvanceTo(shard.wheel->now() + delta);
-    expired.insert(expired.end(), shard.collected.begin(), shard.collected.end());
+    if (mpsc) {
+      for (const auto& [id, when] : shard.collected) {
+        pending.push_back(PendingExpiry{s, id, when});
+      }
+    } else {
+      fires.insert(fires.end(), shard.collected.begin(), shard.collected.end());
+    }
     shard.collected.clear();
   }
-  now_.fetch_add(delta, std::memory_order_relaxed);
+  now_.fetch_add(delta, std::memory_order_release);
 
   // Each shard's stage is already chronological; the stable merge re-establishes
   // cross-shard tick order while keeping FIFO order within a tick (shards are
   // visited in the same order PerTickBookkeeping would visit them).
-  std::stable_sort(expired.begin(), expired.end(),
-                   [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (mpsc) {
+    std::stable_sort(pending.begin(), pending.end(),
+                     [](const auto& a, const auto& b) { return a.when < b.when; });
+    ClaimFires(pending, fires);
+  } else {
+    std::stable_sort(fires.begin(), fires.end(),
+                     [](const auto& a, const auto& b) { return a.second < b.second; });
+  }
+  return Dispatch(fires);
+}
 
+void ShardedWheel::ClaimFires(const std::vector<PendingExpiry>& expired,
+                              std::vector<std::pair<RequestId, Tick>>& fires) {
+  // Two-pass commit: claim every collected expiry (bumping its entry's
+  // generation, so StopTimer on it now returns kNoSuchTimer) before the caller
+  // dispatches any handler. Entries whose cancel won the race are suppressed
+  // and reclaimed inside ClaimFire.
+  fires.reserve(fires.size() + expired.size());
+  for (const PendingExpiry& e : expired) {
+    RequestId client_id = 0;
+    if (shards_[e.shard]->submit->ClaimFire(
+            ShardSubmitQueue::InnerIdIndex(e.id),
+            ShardSubmitQueue::InnerIdGeneration(e.id), &client_id)) {
+      fires.emplace_back(client_id, e.when);
+      live_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t ShardedWheel::Dispatch(
+    const std::vector<std::pair<RequestId, Tick>>& fires) {
   ExpiryHandler handler;
   {
     std::lock_guard<std::mutex> lock(handler_mutex_);
     handler = handler_;
   }
   if (handler) {
-    for (const auto& [id, when] : expired) {
+    for (const auto& [id, when] : fires) {
       handler(id, when);
     }
   }
-  return expired.size();
+  return fires.size();
 }
 
 std::optional<Tick> ShardedWheel::NextExpiryHint() const {
   std::optional<Tick> best;
-  for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
-    const std::optional<Tick> hint = shard_ptr->wheel->NextExpiryHint();
+  const auto fold = [&best](std::optional<Tick> hint) {
     if (hint.has_value() && (!best.has_value() || *hint < *best)) {
       best = hint;
     }
+  };
+  for (const auto& shard_ptr : shards_) {
+    if (shard_ptr->submit != nullptr) {
+      // Pending (not-yet-drained) submissions first: EarliestPending is never
+      // later than the deadline of any submission completed before this call,
+      // so the merged hint cannot skip past one.
+      fold(shard_ptr->submit->EarliestPending());
+    }
+    std::lock_guard<std::mutex> lock(shard_ptr->mutex);
+    fold(shard_ptr->wheel->NextExpiryHint());
   }
   return best;
 }
@@ -135,13 +248,19 @@ std::optional<Tick> ShardedWheel::NextExpiryHint() const {
 bool ShardedWheel::FastForward(Tick target) {
   // The single-writer precondition (nothing due before target) cannot be verified
   // atomically across shards, so delegate to AdvanceTo: anything that does come
-  // due is dispatched rather than silently skipped, and dead time is still
-  // crossed in one batch per shard.
+  // due — including timers whose start commands are still queued and drain at
+  // the head of the batch — is dispatched rather than silently skipped, and
+  // dead time is still crossed in one batch per shard.
   AdvanceTo(target);
   return true;
 }
 
 std::size_t ShardedWheel::outstanding() const {
+  if (deferred()) {
+    // Started minus {fired, cancelled}; counts timers still awaiting their
+    // drain as outstanding (the client holds a live handle for them).
+    return static_cast<std::size_t>(live_.load(std::memory_order_relaxed));
+  }
   std::size_t total = 0;
   for (const auto& shard_ptr : shards_) {
     std::lock_guard<std::mutex> lock(shard_ptr->mutex);
@@ -153,17 +272,30 @@ std::size_t ShardedWheel::outstanding() const {
 metrics::OpCounts ShardedWheel::counts() const {
   metrics::OpCounts merged;
   for (const auto& shard_ptr : shards_) {
+    if (shard_ptr->submit != nullptr) {
+      merged.enqueued_starts += shard_ptr->submit->enqueued_starts();
+      merged.drained_commands += shard_ptr->submit->drained_commands();
+      merged.submit_retries += shard_ptr->submit->submit_retries();
+    }
     std::lock_guard<std::mutex> lock(shard_ptr->mutex);
     merged += shard_ptr->wheel->counts();
   }
   // Ticks are per-shard internally; report wall ticks.
   merged.ticks = now_.load(std::memory_order_relaxed);
+  if (deferred()) {
+    // Report the client's view of START_TIMER: the inner wheels only see the
+    // drained registrations (and never see cancelled-before-drain starts).
+    merged.start_calls = client_starts_.load(std::memory_order_relaxed);
+  }
   return merged;
 }
 
 TimerService::SpaceProfile ShardedWheel::Space() const {
   SpaceProfile profile;
   for (const auto& shard_ptr : shards_) {
+    if (shard_ptr->submit != nullptr) {
+      profile.fixed_bytes += shard_ptr->submit->FixedBytes();
+    }
     std::lock_guard<std::mutex> lock(shard_ptr->mutex);
     SpaceProfile shard_profile = shard_ptr->wheel->Space();
     profile.fixed_bytes += shard_profile.fixed_bytes;

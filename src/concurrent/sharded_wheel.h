@@ -12,8 +12,21 @@
 // lock but dispatching the client's ExpiryHandler after release, so handlers may
 // freely start and stop timers.
 //
+// Deferred-registration (MPSC) mode — the three-argument constructor — removes
+// the shard mutex from the producer path entirely: StartTimer/StopTimer become
+// lock-free enqueues of start/cancel commands onto a per-shard bounded MPSC ring
+// (src/concurrent/submission.h), which the tick driver drains at tick/batch
+// boundaries *before* advancing, while it already holds each shard's mutex. A
+// timer becomes visible to the wheel at that drain; it still fires at exactly
+// `now-at-StartTimer + interval` whenever its command drains before that tick is
+// crossed (drain-before-advance guarantees this for any submission that completed
+// before the AdvanceTo/PerTickBookkeeping call began), and at the first tick
+// after the drain otherwise. Driven single-threaded, the mode is observationally
+// equivalent to the locked mode — every differential-oracle test runs both.
+//
 // Handles encode the shard in the top byte of the slot index; each shard may hold
-// up to 2^24 concurrent timers.
+// up to 2^24 concurrent timers (locked mode: inner arena slot; MPSC mode:
+// registration-table index, bounded by SubmitOptions::registration_capacity).
 
 #ifndef TWHEEL_SRC_CONCURRENT_SHARDED_WHEEL_H_
 #define TWHEEL_SRC_CONCURRENT_SHARDED_WHEEL_H_
@@ -25,6 +38,7 @@
 #include <vector>
 
 #include "src/base/bits.h"
+#include "src/concurrent/submission.h"
 #include "src/core/hashed_wheel_unsorted.h"
 #include "src/core/timer_service.h"
 
@@ -32,31 +46,63 @@ namespace twheel::concurrent {
 
 class ShardedWheel final : public TimerService {
  public:
-  // `shards` must be a power of two in [1, 256]; `table_size` is per-shard.
+  // Locked mode: `shards` must be a power of two in [1, 256]; `table_size` is
+  // per-shard.
   ShardedWheel(std::size_t shards, std::size_t table_size);
+  // Deferred-registration mode: same wheel geometry plus a per-shard submission
+  // runtime (ring + registration table) configured by `submit`.
+  ShardedWheel(std::size_t shards, std::size_t table_size,
+               const SubmitOptions& submit);
 
+  // Locked mode: registers under the shard mutex. MPSC mode: lock-free — mints
+  // a generation-checked handle, captures `now() + interval` as the absolute
+  // deadline, and enqueues a start command; kNoCapacity under
+  // SubmitPolicy::kReject when the shard's ring or table is full.
   StartResult StartTimer(Duration interval, RequestId request_id) override;
+  // Locked mode: removes under the shard mutex. MPSC mode: lock-free — commits
+  // the cancel with one CAS (the result is authoritative: kOk means the timer
+  // will never fire) and enqueues a best-effort prompt-removal command.
   TimerError StopTimer(TimerHandle handle) override;
   std::size_t PerTickBookkeeping() override;
   // Batched tick advancement: one lock acquisition per shard per *batch* instead
   // of per tick, with each shard's inner wheel jumping its dead slots via the
-  // occupancy bitmap. Expiries from all shards are re-merged into chronological
-  // order (FIFO within a tick) before dispatch outside the locks.
+  // occupancy bitmap. In MPSC mode each shard's submission ring is drained
+  // under that same lock acquisition, before the shard advances — so no start
+  // whose enqueue completed before this call can be skipped past. Expiries from
+  // all shards are re-merged into chronological order (FIFO within a tick)
+  // before dispatch outside the locks.
   std::size_t AdvanceTo(Tick target) override;
-  // Minimum of the shards' hints. Only meaningful while no concurrent starts are
-  // racing (a start may create an earlier expiry between the scan and the use).
+  // Minimum of the shards' hints; in MPSC mode also folds in each shard's
+  // pending-submission deadline minimum, so a hint taken after a completed
+  // StartTimer is never later than that timer's deadline even though its
+  // command has not drained yet. Concurrent starts *during* the scan can still
+  // make the hint stale-late; AdvanceTo/FastForward stay correct regardless
+  // because they drain before advancing and dispatch (never skip) anything that
+  // comes due.
   std::optional<Tick> NextExpiryHint() const override;
   bool FastForward(Tick target) override;
   Tick now() const override { return now_.load(std::memory_order_relaxed); }
   std::size_t outstanding() const override;
   // Snapshot merged across shards; by value so nothing shared escapes the locks.
+  // MPSC mode adds the submission counters (enqueued_starts, drained_commands,
+  // submit_retries).
   metrics::OpCounts counts() const override;
-  std::string_view name() const override { return "scheme6-sharded"; }
+  std::string_view name() const override {
+    return deferred() ? "scheme6-sharded-mpsc" : "scheme6-sharded";
+  }
   void set_expiry_handler(ExpiryHandler handler) override;
 
   std::size_t num_shards() const { return shards_.size(); }
+  bool deferred() const { return shards_[0]->submit != nullptr; }
 
-  // Sum of the shards' structures; per-record needs match Scheme 6's.
+  // MPSC mode: drain every shard's command ring into its wheel without
+  // advancing the clock (each shard under its own mutex). Returns commands
+  // consumed. Exposed for tests and for drivers that want registration latency
+  // tighter than their tick period. No-op in locked mode.
+  std::size_t DrainSubmissions();
+
+  // Sum of the shards' structures; per-record needs match Scheme 6's. MPSC
+  // mode adds the rings and registration tables to fixed_bytes.
   SpaceProfile Space() const override;
 
  private:
@@ -71,11 +117,39 @@ class ShardedWheel final : public TimerService {
     // expiry handler appends here) during shard destruction.
     std::vector<std::pair<RequestId, Tick>> collected;
     std::unique_ptr<HashedWheelUnsorted> wheel;
+    // Deferred-registration runtime; nullptr in locked mode.
+    std::unique_ptr<ShardSubmitQueue> submit;
   };
+
+  // An expiry collected from a shard but not yet resolved against the shard's
+  // registration table (MPSC mode). `id` is the inner packed {generation,
+  // entry index}, not the client cookie.
+  struct PendingExpiry {
+    std::uint32_t shard;
+    RequestId id;
+    Tick when;
+  };
+
+  void Construct(std::size_t shards, std::size_t table_size,
+                 const SubmitOptions* submit);
+  // MPSC mode: resolve collected expiries against the registration tables —
+  // claiming ALL fires before the caller dispatches ANY handler, so a tick's
+  // expiry set is committed when the tick begins (a handler stopping a
+  // same-tick sibling gets kNoSuchTimer, matching the oracle and the locked
+  // mode) — and append the surviving {client cookie, tick} pairs to `fires`.
+  void ClaimFires(const std::vector<PendingExpiry>& expired,
+                  std::vector<std::pair<RequestId, Tick>>& fires);
+  std::size_t Dispatch(const std::vector<std::pair<RequestId, Tick>>& fires);
 
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<std::uint64_t> next_shard_{0};
   std::atomic<Tick> now_{0};
+  // MPSC mode: started minus {fired, cancelled}, maintained without locks.
+  std::atomic<std::uint64_t> live_{0};
+  // MPSC mode: client-level StartTimer invocations (including rejects). The
+  // inner wheels count start_calls only at drain, and a cancelled-before-drain
+  // start never reaches them, so counts() reports this instead.
+  std::atomic<std::uint64_t> client_starts_{0};
 
   std::mutex handler_mutex_;
   ExpiryHandler handler_;

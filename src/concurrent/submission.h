@@ -1,0 +1,485 @@
+// Deferred-registration submission runtime for the sharded wheel.
+//
+// Appendix A.2 wants O(1), independent critical sections; the sharded wheel
+// delivers that, but producers still contend with the tick path on the shard
+// mutex. This layer removes the producer-side lock entirely: StartTimer and
+// StopTimer become lock-free enqueues of start/cancel *commands* onto a bounded
+// per-shard MPSC ring (base/mpsc_queue.h), and the tick driver drains the ring
+// at tick/batch boundaries — before advancing — while it already holds the
+// shard mutex. The visible semantics move from "registered immediately" to
+// "registered at the next drain" (Netty's HashedWheelTimer popularized the
+// shape); the timer still fires at exactly `enqueue-time now + interval`
+// whenever its command drains before that tick is crossed, because the command
+// carries the absolute deadline minted at enqueue time.
+//
+// Handles are minted at enqueue time from a per-shard registration table: a
+// fixed slab of entries with a lock-free (tagged Treiber) free list and a
+// packed atomic {generation, state} word per entry. The word is the single
+// linearization point for every race in the system:
+//
+//             StartTimer            drain(start cmd)        inner expiry
+//   kFree ──────────────► kPending ───────────────► kRegistered ─────► kFree
+//                            │                          │     (gen+1, dispatch)
+//                  StopTimer │                StopTimer │
+//                            ▼                          ▼
+//                   kCancelledPending          kCancelledRegistered
+//                            │ drain(start cmd)         │ drain(cancel cmd)
+//                            ▼                          ▼  or suppressed expiry
+//                     kFree (gen+1)               kFree (gen+1)
+//
+//   * A cancel is *committed* by one CAS on the word (StopTimer returns kOk
+//     synchronously); the cancel command in the ring only makes the inner-wheel
+//     removal prompt. If the ring is full the command is simply dropped and the
+//     removal happens lazily — at the start command's drain (cancel arrived
+//     before its start drained: the pending-cancel reconciliation) or at the
+//     inner expiry (the claim pass sees kCancelledRegistered and suppresses the
+//     dispatch).
+//   * Expiry dispatch claims the word (kRegistered → kFree, generation bumped)
+//     *before* any client handler runs, so a cancel racing an expiry resolves
+//     to exactly one of {fired, cancelled}, and a handler stopping a same-tick
+//     sibling gets kNoSuchTimer — the same committed-at-tick-start contract the
+//     differential oracle pins.
+//   * Stale handles (fired, cancelled, fabricated) fail the generation check.
+//
+// Backpressure when a ring or the table fills is a policy: kReject surfaces
+// kNoCapacity from StartTimer (and drops cancel commands, falling back to lazy
+// reclamation); kSpin waits for the drainer, trading wait-freedom for
+// lossless submission.
+
+#ifndef TWHEEL_SRC_CONCURRENT_SUBMISSION_H_
+#define TWHEEL_SRC_CONCURRENT_SUBMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <thread>
+
+#include "src/base/assert.h"
+#include "src/base/bits.h"
+#include "src/base/mpsc_queue.h"
+#include "src/base/types.h"
+#include "src/core/timer_service.h"
+
+namespace twheel::concurrent {
+
+// What a producer does when a submission ring (or the registration table) is
+// full: reject the operation upward, or spin until the tick driver drains.
+enum class SubmitPolicy : std::uint8_t { kReject, kSpin };
+
+struct SubmitOptions {
+  // Per-shard command ring capacity; power of two >= 2. Bounds how many
+  // start/cancel commands may await one drain.
+  std::size_t ring_capacity = 1024;
+  // Per-shard registration table capacity (concurrent live + pending timers per
+  // shard); must be <= 2^24 so the entry index fits the handle's slot bits.
+  std::size_t registration_capacity = 4096;
+  SubmitPolicy on_full = SubmitPolicy::kReject;
+};
+
+// One shard's submission state: command ring + registration table. All methods
+// prefixed Submit*/Earliest are producer-safe (lock-free); Drain and ClaimFire
+// are driver-side — Drain must run under the shard mutex, ClaimFire is
+// mutex-free but races are resolved by the entry word.
+class ShardSubmitQueue {
+ public:
+  explicit ShardSubmitQueue(const SubmitOptions& options)
+      : policy_(options.on_full),
+        capacity_(options.registration_capacity),
+        entries_(new Entry[options.registration_capacity]),
+        next_(new std::atomic<std::uint32_t>[options.registration_capacity]),
+        ring_(options.ring_capacity) {
+    TWHEEL_ASSERT_MSG(capacity_ >= 2 && capacity_ <= (1u << 24),
+                      "registration capacity must be in [2, 2^24]");
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+      next_[i].store(i + 1 == capacity_ ? kNilIndex : i + 1,
+                     std::memory_order_relaxed);
+    }
+    free_head_.store(PackHead(0, 0), std::memory_order_relaxed);
+  }
+
+  // ---- Producer side -------------------------------------------------------
+
+  // Mint a handle and enqueue the start command. `deadline` is the absolute
+  // expiry tick captured by the caller (now + interval). The returned handle's
+  // slot is the *local* entry index; the wheel ORs in its shard bits.
+  StartResult SubmitStart(RequestId client_id, Tick deadline) {
+    std::uint64_t retries = 0;
+    std::uint32_t index;
+    while (!AllocEntry(&index, &retries)) {
+      if (policy_ == SubmitPolicy::kReject) {
+        FlushRetries(retries);
+        return TimerError::kNoCapacity;
+      }
+      std::this_thread::yield();  // kSpin: wait for the drainer to reclaim
+      ++retries;
+    }
+    Entry& entry = entries_[index];
+    const std::uint32_t generation =
+        GenerationOf(entry.word.load(std::memory_order_relaxed));
+    entry.client_id.store(client_id, std::memory_order_relaxed);
+    entry.deadline = deadline;
+    entry.inner = kInvalidHandle;
+    entry.word.store(Pack(generation, State::kPending),
+                     std::memory_order_release);
+    // Record the deadline for NextExpiryHint *before* publishing the command,
+    // so a hint computed after a completed submission is never later than this
+    // timer's expiry (see EarliestPending for the reset protocol).
+    UpdateEarliest(deadline);
+    if (!Push(Command{Command::Kind::kStart, index, generation}, &retries)) {
+      // Ring full under kReject. Nobody else holds the handle yet, so the
+      // rollback is private: retire the generation and free the entry.
+      entry.word.store(Pack(generation + 1, State::kFree),
+                       std::memory_order_release);
+      FreeEntry(index);
+      FlushRetries(retries);
+      return TimerError::kNoCapacity;
+    }
+    enqueued_starts_.fetch_add(1, std::memory_order_relaxed);
+    FlushRetries(retries);
+    return TimerHandle{index, generation};
+  }
+
+  // Commit a cancel (one CAS on the word) and enqueue the removal command.
+  // Returns kOk iff this call won the timer — i.e. the timer can no longer
+  // fire. The command enqueue is best-effort under kReject (lazy reclamation
+  // covers a dropped command).
+  TimerError SubmitCancel(std::uint32_t index, std::uint32_t generation) {
+    if (index >= capacity_) {
+      return TimerError::kNoSuchTimer;
+    }
+    Entry& entry = entries_[index];
+    std::uint64_t word = entry.word.load(std::memory_order_acquire);
+    for (;;) {
+      if (GenerationOf(word) != generation) {
+        return TimerError::kNoSuchTimer;  // fired, reclaimed, or fabricated
+      }
+      State desired;
+      switch (StateOf(word)) {
+        case State::kPending:
+          desired = State::kCancelledPending;
+          break;
+        case State::kRegistered:
+          desired = State::kCancelledRegistered;
+          break;
+        default:
+          return TimerError::kNoSuchTimer;  // already cancelled
+      }
+      if (entry.word.compare_exchange_weak(word, Pack(generation, desired),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        break;
+      }
+      submit_retries_.fetch_add(1, std::memory_order_relaxed);
+      // `word` was reloaded; states only move forward, so this terminates.
+    }
+    std::uint64_t retries = 0;
+    (void)Push(Command{Command::Kind::kCancel, index, generation}, &retries);
+    FlushRetries(retries);
+    return TimerError::kOk;
+  }
+
+  // Conservative earliest deadline among commands that may still be awaiting a
+  // drain; nullopt when none are known. Never later than the true earliest for
+  // any submission whose Push completed before this call (it may be stale-early
+  // for commands that have since drained — the inner wheel's own hint covers
+  // those exactly).
+  std::optional<Tick> EarliestPending() const {
+    const Tick t = earliest_pending_.load(std::memory_order_acquire);
+    if (t == kNoPending) {
+      return std::nullopt;
+    }
+    return t;
+  }
+
+  // ---- Driver side ---------------------------------------------------------
+
+  // Drain up to one ring's worth of commands into `wheel`, registering starts
+  // (at `deadline - wheel.now()`, clamped to 1 for deadlines the clock already
+  // passed) and removing cancelled timers. MUST run under the shard mutex —
+  // that is what serializes ring consumption and entry registration. Returns
+  // the number of commands consumed.
+  std::size_t Drain(TimerService& wheel) {
+    const Tick observed = earliest_pending_.load(std::memory_order_acquire);
+    bool emptied = false;
+    const std::size_t drained = ring_.Drain(
+        ring_.capacity(),
+        [&](const Command& cmd) { Apply(cmd, wheel); }, &emptied);
+    drained_commands_.fetch_add(drained, std::memory_order_relaxed);
+    if (emptied) {
+      // Everything published up to the cut is now in the wheel, so the hint
+      // this drain observed is covered by the inner wheel. Reset it — unless a
+      // producer recorded a new deadline meanwhile, in which case the CAS fails
+      // and the (conservative) newer minimum survives.
+      Tick expected = observed;
+      earliest_pending_.compare_exchange_strong(expected, kNoPending,
+                                                std::memory_order_acq_rel);
+    }
+    return drained;
+  }
+
+  // Resolve an inner-wheel expiry for entry (index, generation): returns true
+  // and fills `client_id` iff the dispatch should happen (this call claimed the
+  // fire); false when a cancel won the race (the entry is reclaimed here if the
+  // cancel command was dropped or has not drained yet). Thread-safe against
+  // producers; the wheel calls it for every collected expiry *before*
+  // dispatching any client handler, which is what commits a tick's expiry set
+  // at the start of the tick.
+  bool ClaimFire(std::uint32_t index, std::uint32_t generation,
+                 RequestId* client_id) {
+    Entry& entry = entries_[index];
+    std::uint64_t word = entry.word.load(std::memory_order_acquire);
+    for (;;) {
+      if (GenerationOf(word) != generation) {
+        return false;  // a drained cancel command already reclaimed the entry
+      }
+      switch (StateOf(word)) {
+        case State::kRegistered: {
+          // Relaxed read ordered by the word acquire; a stale value (the entry
+          // recycled between the load above and here) dies with the failed CAS.
+          const RequestId id = entry.client_id.load(std::memory_order_relaxed);
+          if (entry.word.compare_exchange_weak(
+                  word, Pack(generation + 1, State::kFree),
+                  std::memory_order_acq_rel, std::memory_order_acquire)) {
+            *client_id = id;
+            FreeEntry(index);
+            return true;
+          }
+          continue;  // a canceller intervened between load and CAS
+        }
+        case State::kCancelledRegistered:
+          // Cancel won after the inner record was collected. Reclaim (the
+          // cancel command, if any, will see the bumped generation and no-op).
+          (void)TryReclaim(index, generation, State::kCancelledRegistered);
+          return false;
+        default:
+          // kPending/kCancelledPending cannot reach the inner wheel; kFree with
+          // a matching generation cannot exist (reclaim bumps it). Defensive:
+          return false;
+      }
+    }
+  }
+
+  // ---- Accounting ----------------------------------------------------------
+
+  std::uint64_t enqueued_starts() const {
+    return enqueued_starts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t drained_commands() const {
+    return drained_commands_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t submit_retries() const {
+    return submit_retries_.load(std::memory_order_relaxed);
+  }
+
+  std::size_t FixedBytes() const {
+    return MpscRing<Command>::BytesFor(ring_.capacity()) +
+           capacity_ * (sizeof(Entry) + sizeof(std::atomic<std::uint32_t>));
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kFree = 0,
+    kPending = 1,              // start command enqueued, not yet drained
+    kRegistered = 2,           // live in the inner wheel
+    kCancelledPending = 3,     // cancelled before the start command drained
+    kCancelledRegistered = 4,  // cancelled while live in the inner wheel
+  };
+
+  struct Command {
+    enum class Kind : std::uint8_t { kStart, kCancel };
+    Kind kind;
+    std::uint32_t index;
+    std::uint32_t generation;
+  };
+
+  struct Entry {
+    // {generation:32 | state:8} — the linearization point (see file comment).
+    std::atomic<std::uint64_t> word{0};
+    // Atomic because ClaimFire reads it outside the shard mutex and may race a
+    // producer re-initializing a recycled entry; the generation CAS discards
+    // any stale read. deadline/inner need no atomicity: deadline is written
+    // before the kPending release-publish and read only at drain (under the
+    // shard mutex, while kPending pins the entry); inner is driver-only.
+    std::atomic<RequestId> client_id{0};
+    Tick deadline = 0;
+    TimerHandle inner = kInvalidHandle;  // driver-only, valid in *Registered
+  };
+
+  static constexpr std::uint32_t kNilIndex =
+      std::numeric_limits<std::uint32_t>::max();
+  static constexpr Tick kNoPending = std::numeric_limits<Tick>::max();
+
+  static constexpr std::uint64_t Pack(std::uint32_t generation, State state) {
+    return (static_cast<std::uint64_t>(state) << 32) | generation;
+  }
+  static constexpr std::uint32_t GenerationOf(std::uint64_t word) {
+    return static_cast<std::uint32_t>(word);
+  }
+  static constexpr State StateOf(std::uint64_t word) {
+    return static_cast<State>(word >> 32);
+  }
+  static constexpr std::uint64_t PackHead(std::uint32_t tag, std::uint32_t index) {
+    return (static_cast<std::uint64_t>(tag) << 32) | index;
+  }
+
+  void FlushRetries(std::uint64_t retries) {
+    if (retries != 0) {
+      submit_retries_.fetch_add(retries, std::memory_order_relaxed);
+    }
+  }
+
+  // Tagged Treiber free list. The tag bumps on every successful pop so a
+  // pop-use-repush cycle by another thread cannot ABA a stale head.
+  bool AllocEntry(std::uint32_t* index, std::uint64_t* retries) {
+    std::uint64_t head = free_head_.load(std::memory_order_acquire);
+    for (;;) {
+      const std::uint32_t idx = static_cast<std::uint32_t>(head);
+      if (idx == kNilIndex) {
+        return false;  // table exhausted
+      }
+      const std::uint32_t next = next_[idx].load(std::memory_order_relaxed);
+      const std::uint64_t desired =
+          PackHead(static_cast<std::uint32_t>(head >> 32) + 1, next);
+      if (free_head_.compare_exchange_weak(head, desired,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+        *index = idx;
+        return true;
+      }
+      ++*retries;
+    }
+  }
+
+  void FreeEntry(std::uint32_t index) {
+    std::uint64_t head = free_head_.load(std::memory_order_relaxed);
+    for (;;) {
+      next_[index].store(static_cast<std::uint32_t>(head),
+                         std::memory_order_relaxed);
+      const std::uint64_t desired =
+          PackHead(static_cast<std::uint32_t>(head >> 32) + 1, index);
+      if (free_head_.compare_exchange_weak(head, desired,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+
+  // Exclusive reclaim of a cancelled entry: exactly one of the racing driver
+  // paths (cancel-command drain vs suppressed-expiry claim) wins the CAS and
+  // frees the entry; the loser observes the bumped generation and drops.
+  bool TryReclaim(std::uint32_t index, std::uint32_t generation, State from) {
+    Entry& entry = entries_[index];
+    std::uint64_t expected = Pack(generation, from);
+    if (entry.word.compare_exchange_strong(expected,
+                                           Pack(generation + 1, State::kFree),
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      FreeEntry(index);
+      return true;
+    }
+    return false;
+  }
+
+  bool Push(const Command& cmd, std::uint64_t* retries) {
+    for (;;) {
+      if (ring_.TryPush(cmd, retries)) {
+        return true;
+      }
+      if (policy_ == SubmitPolicy::kReject) {
+        return false;
+      }
+      std::this_thread::yield();  // kSpin: bounded by the drainer's progress
+      ++*retries;
+    }
+  }
+
+  void UpdateEarliest(Tick deadline) {
+    Tick current = earliest_pending_.load(std::memory_order_relaxed);
+    while (deadline < current &&
+           !earliest_pending_.compare_exchange_weak(
+               current, deadline, std::memory_order_release,
+               std::memory_order_relaxed)) {
+    }
+  }
+
+  // Applies one drained command. Runs under the shard mutex.
+  void Apply(const Command& cmd, TimerService& wheel) {
+    Entry& entry = entries_[cmd.index];
+    std::uint64_t word = entry.word.load(std::memory_order_acquire);
+    if (GenerationOf(word) != cmd.generation) {
+      return;  // a previous incarnation's command; the entry moved on
+    }
+    if (cmd.kind == Command::Kind::kStart) {
+      if (StateOf(word) == State::kPending) {
+        if (!entry.word.compare_exchange_strong(
+                word, Pack(cmd.generation, State::kRegistered),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          // Lost to a canceller: the start never becomes visible.
+          (void)TryReclaim(cmd.index, cmd.generation, State::kCancelledPending);
+          return;
+        }
+        const Tick now = wheel.now();
+        const Duration remaining =
+            entry.deadline > now ? entry.deadline - now : 1;
+        StartResult result = wheel.StartTimer(
+            remaining, PackInnerId(cmd.index, cmd.generation));
+        TWHEEL_ASSERT_MSG(result.has_value(),
+                          "inner wheel rejected a drained registration");
+        entry.inner = result.value();
+      } else if (StateOf(word) == State::kCancelledPending) {
+        // The pending-cancel reconciliation: cancel committed before this start
+        // drained, so the timer is never registered at all.
+        (void)TryReclaim(cmd.index, cmd.generation, State::kCancelledPending);
+      }
+      // kRegistered/kCancelledRegistered with a matching generation would mean
+      // a double drain of the same start; the FIFO ring makes that impossible.
+    } else {  // kCancel
+      if (StateOf(word) == State::kCancelledRegistered) {
+        // Prompt removal. May return kNoSuchTimer when the inner record was
+        // already collected by a concurrent driver's tick — the suppressed
+        // claim pass reclaims in that interleaving.
+        (void)wheel.StopTimer(entry.inner);
+        (void)TryReclaim(cmd.index, cmd.generation, State::kCancelledRegistered);
+      }
+      // kCancelledPending: unreachable while the ring is FIFO (the start
+      // command precedes its cancel); if it ever surfaces, the start command's
+      // drain reclaims. Other states: the entry was already resolved.
+    }
+  }
+
+ public:
+  // The inner wheel's RequestId for a registration carries the entry identity;
+  // the wheel's collected expiries come back through ClaimFire with it. The
+  // shard index rides in bits the wheel adds (see ShardedWheel).
+  static constexpr RequestId PackInnerId(std::uint32_t index,
+                                         std::uint32_t generation) {
+    return (static_cast<RequestId>(generation) << 32) | index;
+  }
+  static constexpr std::uint32_t InnerIdIndex(RequestId id) {
+    return static_cast<std::uint32_t>(id) & 0x00ffffffu;
+  }
+  static constexpr std::uint32_t InnerIdGeneration(RequestId id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+
+ private:
+  const SubmitPolicy policy_;
+  const std::uint32_t capacity_;
+  std::unique_ptr<Entry[]> entries_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> next_;
+  alignas(64) std::atomic<std::uint64_t> free_head_{0};
+  alignas(64) std::atomic<Tick> earliest_pending_{kNoPending};
+  MpscRing<Command> ring_;
+
+  std::atomic<std::uint64_t> enqueued_starts_{0};
+  std::atomic<std::uint64_t> drained_commands_{0};
+  std::atomic<std::uint64_t> submit_retries_{0};
+};
+
+}  // namespace twheel::concurrent
+
+#endif  // TWHEEL_SRC_CONCURRENT_SUBMISSION_H_

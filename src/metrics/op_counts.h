@@ -50,6 +50,17 @@ struct OpCounts {
   // Number of batched AdvanceTo invocations that took a bitmap fast path (the
   // default loop implementation does not count here).
   std::uint64_t batch_advances = 0;
+  // Deferred-registration submission runtime (concurrent::ShardedWheel in MPSC
+  // mode). Start commands accepted into a per-shard submission ring; the client
+  // saw kOk but the wheel sees the timer only at the next drain.
+  std::uint64_t enqueued_starts = 0;
+  // Commands (starts and cancels) the tick driver has consumed from the rings.
+  std::uint64_t drained_commands = 0;
+  // CAS attempts lost to a concurrent producer while enqueueing a command or
+  // allocating a registration entry — the price of lock-freedom, in the same
+  // spirit as the paper's elementary-operation accounting. Zero under no
+  // contention (the enqueue is then wait-free: one CAS, one store).
+  std::uint64_t submit_retries = 0;
 
   OpCounts& operator+=(const OpCounts& o) {
     start_calls += o.start_calls;
@@ -65,6 +76,9 @@ struct OpCounts {
     migrations += o.migrations;
     slots_skipped += o.slots_skipped;
     batch_advances += o.batch_advances;
+    enqueued_starts += o.enqueued_starts;
+    drained_commands += o.drained_commands;
+    submit_retries += o.submit_retries;
     return *this;
   }
 
@@ -82,6 +96,9 @@ struct OpCounts {
     a.migrations -= b.migrations;
     a.slots_skipped -= b.slots_skipped;
     a.batch_advances -= b.batch_advances;
+    a.enqueued_starts -= b.enqueued_starts;
+    a.drained_commands -= b.drained_commands;
+    a.submit_retries -= b.submit_retries;
     return a;
   }
 

@@ -1,0 +1,509 @@
+#include "src/verify/concurrent_driver.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/base/assert.h"
+#include "src/concurrent/ticker.h"
+#include "src/rng/rng.h"
+#include "src/verify/oracle.h"
+
+namespace twheel::verify {
+namespace {
+
+// Cookies are globally unique per episode: {producer:16 | sequence:48}. The
+// checker decodes them back into the owning thread's op log.
+constexpr RequestId MakeCookie(std::size_t producer, std::uint64_t seq) {
+  return (static_cast<RequestId>(producer) << 48) | seq;
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Race modes (kManualRace, kTickerRace): free-running producers, invariant
+// checks over per-thread op logs and the dispatch stream.
+// ---------------------------------------------------------------------------
+
+struct OpRecord {
+  Duration interval = 0;
+  // The producer's read of now() immediately before StartTimer — a lower bound
+  // on the now the service captured, hence on the legal fire tick minus
+  // interval.
+  Tick observed_now = 0;
+  bool started = false;       // StartTimer returned a handle
+  bool cancelled_ok = false;  // our StopTimer returned kOk
+  bool cancel_missed = false; // our StopTimer returned kNoSuchTimer
+};
+
+struct ProducerLog {
+  std::vector<OpRecord> ops;
+  std::size_t start_rejects = 0;
+};
+
+// The dispatch stream, appended under `mutex` by whichever single thread is
+// advancing the clock (driver thread or TickerThread — never both at once; the
+// phases are sequenced by thread joins).
+struct FireLog {
+  std::mutex mutex;
+  std::vector<std::pair<RequestId, Tick>> fires;
+  bool have_last = false;
+  Tick last_when = 0;
+  std::string violation;  // first in-handler violation (monotonicity)
+
+  void Record(RequestId cookie, Tick when, Tick service_now) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (violation.empty()) {
+      if (have_last && when < last_when) {
+        violation = Format("dispatch ticks not monotone: %llu after %llu",
+                           static_cast<unsigned long long>(when),
+                           static_cast<unsigned long long>(last_when));
+      } else if (when > service_now) {
+        violation = Format("dispatch at tick %llu but service now() is %llu",
+                           static_cast<unsigned long long>(when),
+                           static_cast<unsigned long long>(service_now));
+      }
+    }
+    have_last = true;
+    last_when = when;
+    fires.emplace_back(cookie, when);
+  }
+};
+
+void RaceProducer(TimerService& sut, const TortureOptions& options,
+                  std::size_t producer, std::uint64_t seed, ProducerLog& log) {
+  rng::Xoshiro256 rng(seed);
+  std::vector<std::pair<std::uint64_t, TimerHandle>> live;  // {seq, handle}
+  log.ops.reserve(options.ops_per_producer);
+  for (std::size_t i = 0; i < options.ops_per_producer; ++i) {
+    if ((i & 15) == 0) {
+      std::this_thread::yield();  // stretch the episode across more ticks
+    }
+    if (!live.empty() && rng.NextBool(options.stop_probability)) {
+      const std::size_t pick = rng.NextBounded(live.size());
+      const auto [seq, handle] = live[pick];
+      live[pick] = live.back();
+      live.pop_back();
+      const TimerError err = sut.StopTimer(handle);
+      if (err == TimerError::kOk) {
+        log.ops[seq].cancelled_ok = true;
+      } else {
+        // The timer beat us to the fire (or, under MPSC, its fire was already
+        // claimed). Legal; the checker requires it to appear in the fire log.
+        log.ops[seq].cancel_missed = true;
+      }
+      continue;
+    }
+    const Duration interval =
+        options.min_interval +
+        rng.NextBounded(options.max_interval - options.min_interval + 1);
+    OpRecord record;
+    record.interval = interval;
+    record.observed_now = sut.now();
+    const std::uint64_t seq = log.ops.size();
+    StartResult result = sut.StartTimer(interval, MakeCookie(producer, seq));
+    if (result.has_value()) {
+      record.started = true;
+      live.emplace_back(seq, result.value());
+    } else {
+      ++log.start_rejects;  // backpressure under kReject; not a violation
+    }
+    log.ops.push_back(record);
+  }
+}
+
+// Drives the clock until every producer has finished, then quiesces the
+// service. `advance` is called by the sole clock-driving thread.
+void QuiesceAfterRace(TimerService& sut, const TortureOptions& options,
+                      TortureReport& report) {
+  // One batch of max_interval + 2 drains every queued command (deferred mode
+  // drains before advancing) and fires everything it registers; loop a few
+  // times defensively in case a scheme needs a second pass.
+  for (int i = 0; i < 4 && sut.outstanding() != 0; ++i) {
+    sut.AdvanceTo(sut.now() + options.max_interval + 2);
+  }
+  if (sut.outstanding() != 0 && report.violation.empty()) {
+    report.ok = false;
+    report.violation = Format(
+        "service did not quiesce: %zu timers outstanding after drain",
+        sut.outstanding());
+  }
+}
+
+void CheckRaceLogs(const std::vector<ProducerLog>& logs, const FireLog& fire_log,
+                   TortureReport& report) {
+  auto fail = [&report](std::string message) {
+    if (report.ok) {
+      report.ok = false;
+      report.violation = std::move(message);
+    }
+  };
+  if (!fire_log.violation.empty()) {
+    fail(fire_log.violation);
+  }
+  // cookie -> (count, first when)
+  std::unordered_map<RequestId, std::pair<std::size_t, Tick>> fired;
+  fired.reserve(fire_log.fires.size());
+  for (const auto& [cookie, when] : fire_log.fires) {
+    auto [it, inserted] = fired.try_emplace(cookie, 1, when);
+    if (!inserted) {
+      ++it->second.first;
+    }
+  }
+  std::size_t starts = 0;
+  std::size_t cancels = 0;
+  std::size_t cancel_misses = 0;
+  for (std::size_t producer = 0; producer < logs.size(); ++producer) {
+    const ProducerLog& log = logs[producer];
+    report.start_rejects += log.start_rejects;
+    for (std::uint64_t seq = 0; seq < log.ops.size(); ++seq) {
+      const OpRecord& op = log.ops[seq];
+      if (!op.started) {
+        continue;
+      }
+      ++starts;
+      const RequestId cookie = MakeCookie(producer, seq);
+      const auto it = fired.find(cookie);
+      if (op.cancelled_ok) {
+        ++cancels;
+        if (it != fired.end()) {
+          fail(Format("timer %zu/%llu fired at %llu after StopTimer returned "
+                      "kOk (fired %zu times)",
+                      producer, static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(it->second.second),
+                      it->second.first));
+        }
+        continue;
+      }
+      if (op.cancel_missed) {
+        ++cancel_misses;
+      }
+      if (it == fired.end()) {
+        fail(Format("timer %zu/%llu (interval %llu) never fired and was never "
+                    "cancelled",
+                    producer, static_cast<unsigned long long>(seq),
+                    static_cast<unsigned long long>(op.interval)));
+        continue;
+      }
+      if (it->second.first != 1) {
+        fail(Format("timer %zu/%llu fired %zu times", producer,
+                    static_cast<unsigned long long>(seq), it->second.first));
+      }
+      if (it->second.second < op.observed_now + op.interval) {
+        fail(Format("timer %zu/%llu fired early: at %llu, but observed now %llu "
+                    "+ interval %llu = %llu",
+                    producer, static_cast<unsigned long long>(seq),
+                    static_cast<unsigned long long>(it->second.second),
+                    static_cast<unsigned long long>(op.observed_now),
+                    static_cast<unsigned long long>(op.interval),
+                    static_cast<unsigned long long>(op.observed_now +
+                                                    op.interval)));
+      }
+    }
+  }
+  report.starts = starts;
+  report.cancels = cancels;
+  report.cancel_misses = cancel_misses;
+  report.fires = fire_log.fires.size();
+  if (report.ok && starts != cancels + fire_log.fires.size()) {
+    fail(Format("conservation violated: %zu starts != %zu cancels + %zu fires",
+                starts, cancels, fire_log.fires.size()));
+  }
+}
+
+TortureReport RunRace(TimerService& sut, const TortureOptions& options) {
+  TortureReport report;
+  const Tick base = sut.now();
+  FireLog fire_log;
+  sut.set_expiry_handler([&fire_log, &sut](RequestId cookie, Tick when) {
+    fire_log.Record(cookie, when, sut.now());
+  });
+
+  std::vector<ProducerLog> logs(options.producers);
+  std::atomic<std::size_t> running{options.producers};
+  std::vector<std::thread> producers;
+  producers.reserve(options.producers);
+  for (std::size_t p = 0; p < options.producers; ++p) {
+    producers.emplace_back([&, p] {
+      RaceProducer(sut, options, p, options.seed * 0x9e3779b97f4a7c15ULL + p,
+                   logs[p]);
+      running.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  if (options.mode == TortureMode::kTickerRace) {
+    {
+      concurrent::TickerThread ticker(
+          sut, std::chrono::microseconds(options.ticker_period_us));
+      while (running.load(std::memory_order_acquire) != 0) {
+        std::this_thread::yield();
+      }
+      // Stop() joins the ticker; no bookkeeping call runs after it returns, so
+      // the quiesce below is the sole clock driver.
+    }
+  } else {
+    rng::Xoshiro256 rng(options.seed ^ 0xda3e39cb94b95bdbULL);
+    std::size_t delivered = 0;
+    // Keep the clock moving until producers finish (kSpin producers depend on
+    // the drainer), front-loading the configured race_ticks.
+    while (delivered < options.race_ticks ||
+           running.load(std::memory_order_acquire) != 0) {
+      if (rng.NextBool(options.jump_probability)) {
+        const Duration jump = 1 + rng.NextBounded(options.max_jump);
+        sut.AdvanceTo(sut.now() + jump);
+        delivered += jump;
+      } else {
+        sut.PerTickBookkeeping();
+        ++delivered;
+      }
+      std::this_thread::yield();
+    }
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+
+  QuiesceAfterRace(sut, options, report);
+  CheckRaceLogs(logs, fire_log, report);
+  report.ticks_run = sut.now() - base;
+  sut.set_expiry_handler(nullptr);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// kLockstepOracle: exact differential comparison with genuine MPSC contention.
+// The clock is frozen while producers race their enqueues, so every deadline is
+// minted at a known now and the round replays into OracleTimers verbatim.
+// ---------------------------------------------------------------------------
+
+struct LockstepOp {
+  bool is_start = false;
+  RequestId cookie = 0;       // start: new cookie; cancel: target's cookie
+  Duration interval = 0;      // start only
+  TimerError result = TimerError::kOk;
+  bool started = false;       // start only: handle returned
+};
+
+struct LockstepThread {
+  std::vector<LockstepOp> round_ops;  // cleared by the producer each round
+  std::vector<std::pair<RequestId, TimerHandle>> live;
+  std::uint64_t next_seq = 0;
+};
+
+TortureReport RunLockstep(TimerService& sut, const TortureOptions& options) {
+  TortureReport report;
+  const Tick base = sut.now();
+
+  std::vector<std::pair<RequestId, Tick>> sut_fires;
+  std::vector<std::pair<RequestId, Tick>> oracle_fires;
+  sut.set_expiry_handler([&sut_fires](RequestId cookie, Tick when) {
+    sut_fires.emplace_back(cookie, when);
+  });
+  OracleTimers oracle;
+  oracle.set_expiry_handler([&oracle_fires](RequestId cookie, Tick when) {
+    oracle_fires.emplace_back(cookie, when);
+  });
+  std::unordered_map<RequestId, TimerHandle> oracle_handles;
+
+  auto fail = [&report](std::string message) {
+    if (report.ok) {
+      report.ok = false;
+      report.violation = std::move(message);
+    }
+  };
+
+  // Replays one round's producer ops into the oracle (driver thread, after the
+  // enqueue barrier) and cross-checks call results. Results are deterministic
+  // because the clock is frozen during enqueue phases: no timer can change
+  // state between a producer's call and this replay except by *other producer*
+  // calls — and producers only ever stop their own timers.
+  auto replay_round = [&](std::vector<LockstepThread>& threads) {
+    for (std::size_t p = 0; p < threads.size(); ++p) {
+      for (const LockstepOp& op : threads[p].round_ops) {
+        if (op.is_start) {
+          if (!op.started) {
+            fail(Format("lockstep: StartTimer rejected with %s (size the "
+                        "submission capacities above the episode's live set)",
+                        TimerErrorName(op.result)));
+            continue;
+          }
+          StartResult r = oracle.StartTimer(op.interval, op.cookie);
+          TWHEEL_ASSERT_MSG(r.has_value(), "oracle rejected a start");
+          oracle_handles.emplace(op.cookie, r.value());
+        } else {
+          const auto it = oracle_handles.find(op.cookie);
+          TWHEEL_ASSERT_MSG(it != oracle_handles.end(),
+                            "cancel of a cookie the oracle never saw");
+          const TimerError oracle_err = oracle.StopTimer(it->second);
+          if (oracle_err != op.result) {
+            fail(Format("lockstep: StopTimer(%llu) returned %s but oracle says "
+                        "%s",
+                        static_cast<unsigned long long>(op.cookie),
+                        TimerErrorName(op.result), TimerErrorName(oracle_err)));
+          }
+        }
+      }
+    }
+  };
+
+  // Advances both worlds by `delta` and compares the dispatch multisets per
+  // tick, final clocks, and populations. Fire order within a tick is
+  // unspecified on both sides, so compare sorted (when, cookie) sequences.
+  auto advance_and_compare = [&](Duration delta) {
+    sut_fires.clear();
+    oracle_fires.clear();
+    sut.AdvanceTo(sut.now() + delta);
+    oracle.AdvanceTo(oracle.now() + delta);
+    for (auto& [cookie, when] : sut_fires) {
+      when -= base;
+    }
+    std::sort(sut_fires.begin(), sut_fires.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second < b.second
+                                            : a.first < b.first;
+              });
+    std::sort(oracle_fires.begin(), oracle_fires.end(),
+              [](const auto& a, const auto& b) {
+                return a.second != b.second ? a.second < b.second
+                                            : a.first < b.first;
+              });
+    report.fires += sut_fires.size();
+    if (sut_fires != oracle_fires) {
+      const std::size_t n = std::min(sut_fires.size(), oracle_fires.size());
+      std::size_t i = 0;
+      while (i < n && sut_fires[i] == oracle_fires[i]) {
+        ++i;
+      }
+      fail(Format(
+          "lockstep: dispatch divergence at index %zu (sut %zu fires, oracle "
+          "%zu): sut=(%llu@%llu) oracle=(%llu@%llu)",
+          i, sut_fires.size(), oracle_fires.size(),
+          i < sut_fires.size()
+              ? static_cast<unsigned long long>(sut_fires[i].first)
+              : 0ULL,
+          i < sut_fires.size()
+              ? static_cast<unsigned long long>(sut_fires[i].second)
+              : 0ULL,
+          i < oracle_fires.size()
+              ? static_cast<unsigned long long>(oracle_fires[i].first)
+              : 0ULL,
+          i < oracle_fires.size()
+              ? static_cast<unsigned long long>(oracle_fires[i].second)
+              : 0ULL));
+    }
+    if (sut.now() - base != oracle.now()) {
+      fail(Format("lockstep: clock divergence: sut %llu vs oracle %llu",
+                  static_cast<unsigned long long>(sut.now() - base),
+                  static_cast<unsigned long long>(oracle.now())));
+    }
+    if (sut.outstanding() != oracle.outstanding()) {
+      fail(Format("lockstep: population divergence: sut %zu vs oracle %zu",
+                  sut.outstanding(), oracle.outstanding()));
+    }
+  };
+
+  std::vector<LockstepThread> threads(options.producers);
+  // Producers + the driver meet twice per round: after the enqueue phase (the
+  // driver then replays and advances alone) and after the advance phase.
+  std::barrier sync(static_cast<std::ptrdiff_t>(options.producers) + 1);
+  std::atomic<bool> stop_producers{false};
+
+  std::vector<std::thread> producers;
+  producers.reserve(options.producers);
+  for (std::size_t p = 0; p < options.producers; ++p) {
+    producers.emplace_back([&, p] {
+      rng::Xoshiro256 rng(options.seed * 0x2545f4914f6cdd1dULL + p);
+      LockstepThread& me = threads[p];
+      for (;;) {
+        me.round_ops.clear();
+        for (std::size_t i = 0; i < options.ops_per_producer; ++i) {
+          LockstepOp op;
+          if (!me.live.empty() && rng.NextBool(options.stop_probability)) {
+            const std::size_t pick = rng.NextBounded(me.live.size());
+            const auto [cookie, handle] = me.live[pick];
+            me.live[pick] = me.live.back();
+            me.live.pop_back();
+            op.is_start = false;
+            op.cookie = cookie;
+            op.result = sut.StopTimer(handle);
+          } else {
+            op.is_start = true;
+            op.interval = options.min_interval +
+                          rng.NextBounded(options.max_interval -
+                                          options.min_interval + 1);
+            op.cookie = MakeCookie(p, me.next_seq++);
+            StartResult r = sut.StartTimer(op.interval, op.cookie);
+            op.started = r.has_value();
+            op.result = op.started ? TimerError::kOk : r.error();
+            if (op.started) {
+              me.live.emplace_back(op.cookie, r.value());
+            }
+          }
+          me.round_ops.push_back(op);
+        }
+        sync.arrive_and_wait();  // enqueue phase done; driver replays+advances
+        sync.arrive_and_wait();  // advance phase done
+        if (stop_producers.load(std::memory_order_acquire)) {
+          return;
+        }
+      }
+    });
+  }
+
+  rng::Xoshiro256 driver_rng(options.seed ^ 0x6a09e667f3bcc909ULL);
+  for (std::size_t round = 0; round < options.rounds; ++round) {
+    sync.arrive_and_wait();  // producers finished enqueueing, clock frozen
+    replay_round(threads);
+    advance_and_compare(1 + driver_rng.NextBounded(options.max_jump));
+    if (round + 1 == options.rounds) {
+      stop_producers.store(true, std::memory_order_release);
+    }
+    sync.arrive_and_wait();  // release producers into the next round (or exit)
+  }
+  for (std::thread& t : producers) {
+    t.join();
+  }
+
+  // Drain both worlds to empty, still in lockstep.
+  while (oracle.outstanding() != 0 || sut.outstanding() != 0) {
+    advance_and_compare(options.max_interval + 2);
+    if (!report.ok) {
+      break;
+    }
+  }
+
+  report.starts = oracle_handles.size();
+  report.ticks_run = sut.now() - base;
+  sut.set_expiry_handler(nullptr);
+  return report;
+}
+
+}  // namespace
+
+TortureReport RunTorture(TimerService& sut, const TortureOptions& options) {
+  TWHEEL_ASSERT_MSG(options.producers >= 1, "need at least one producer");
+  TWHEEL_ASSERT_MSG(options.min_interval >= 1 &&
+                        options.min_interval <= options.max_interval,
+                    "invalid interval range");
+  if (options.mode == TortureMode::kLockstepOracle) {
+    return RunLockstep(sut, options);
+  }
+  return RunRace(sut, options);
+}
+
+}  // namespace twheel::verify

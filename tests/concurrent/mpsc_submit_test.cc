@@ -1,0 +1,270 @@
+// Deferred-registration (MPSC) mode of ShardedWheel, driven single-threaded:
+// visibility point, exact deadlines, pending-cancel reconciliation, backpressure
+// policies, generation-checked handles, the new OpCounts fields, and the
+// NextExpiryHint/AdvanceTo ordering fix (a start enqueued before AdvanceTo is
+// drained before the batch advances, so the hint can never cause it to be
+// skipped).
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "src/concurrent/sharded_wheel.h"
+
+namespace twheel::concurrent {
+namespace {
+
+SubmitOptions Generous() {
+  SubmitOptions submit;
+  submit.ring_capacity = 1024;
+  submit.registration_capacity = 1024;
+  submit.on_full = SubmitPolicy::kReject;
+  return submit;
+}
+
+using FireLog = std::vector<std::pair<RequestId, Tick>>;
+
+void Capture(ShardedWheel& wheel, FireLog& log) {
+  wheel.set_expiry_handler(
+      [&log](RequestId id, Tick when) { log.emplace_back(id, when); });
+}
+
+TEST(MpscSubmitTest, DeferredStartFiresAtExactDeadline) {
+  ShardedWheel wheel(1, 64, Generous());
+  EXPECT_EQ(wheel.name(), "scheme6-sharded-mpsc");
+  FireLog log;
+  Capture(wheel, log);
+
+  auto handle = wheel.StartTimer(5, 42);
+  ASSERT_TRUE(handle.has_value());
+  EXPECT_EQ(wheel.outstanding(), 1u) << "pending timers count as outstanding";
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(wheel.PerTickBookkeeping(), 0u);
+  }
+  EXPECT_EQ(wheel.PerTickBookkeeping(), 1u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], (std::pair<RequestId, Tick>{42, 5}));
+  EXPECT_EQ(wheel.outstanding(), 0u);
+}
+
+TEST(MpscSubmitTest, ZeroIntervalRejected) {
+  ShardedWheel wheel(1, 64, Generous());
+  auto result = wheel.StartTimer(0, 1);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error(), TimerError::kZeroInterval);
+  EXPECT_EQ(wheel.outstanding(), 0u);
+}
+
+TEST(MpscSubmitTest, CancelBeforeDrainNeverRegisters) {
+  ShardedWheel wheel(1, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+
+  auto handle = wheel.StartTimer(3, 7);
+  ASSERT_TRUE(handle.has_value());
+  // The start command has NOT drained yet; the cancel must still win
+  // synchronously (pending-cancel reconciliation).
+  EXPECT_EQ(wheel.StopTimer(handle.value()), TimerError::kOk);
+  EXPECT_EQ(wheel.outstanding(), 0u);
+  for (int i = 0; i < 8; ++i) {
+    wheel.PerTickBookkeeping();
+  }
+  EXPECT_TRUE(log.empty()) << "cancelled-before-drain timer fired";
+  // Both commands were still consumed from the ring.
+  EXPECT_GE(wheel.counts().drained_commands, 2u);
+}
+
+TEST(MpscSubmitTest, CancelAfterDrainRemoves) {
+  ShardedWheel wheel(1, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+
+  auto handle = wheel.StartTimer(10, 7);
+  ASSERT_TRUE(handle.has_value());
+  wheel.PerTickBookkeeping();  // drains: the timer is now in the inner wheel
+  EXPECT_EQ(wheel.StopTimer(handle.value()), TimerError::kOk);
+  EXPECT_EQ(wheel.outstanding(), 0u);
+  for (int i = 0; i < 16; ++i) {
+    wheel.PerTickBookkeeping();
+  }
+  EXPECT_TRUE(log.empty());
+}
+
+TEST(MpscSubmitTest, StaleHandlesAlwaysRefused) {
+  ShardedWheel wheel(1, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+
+  auto fired = wheel.StartTimer(2, 1);
+  ASSERT_TRUE(fired.has_value());
+  wheel.PerTickBookkeeping();
+  wheel.PerTickBookkeeping();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(wheel.StopTimer(fired.value()), TimerError::kNoSuchTimer);
+
+  auto cancelled = wheel.StartTimer(5, 2);
+  ASSERT_TRUE(cancelled.has_value());
+  EXPECT_EQ(wheel.StopTimer(cancelled.value()), TimerError::kOk);
+  EXPECT_EQ(wheel.StopTimer(cancelled.value()), TimerError::kNoSuchTimer);
+
+  EXPECT_EQ(wheel.StopTimer(kInvalidHandle), TimerError::kNoSuchTimer);
+}
+
+TEST(MpscSubmitTest, RecycledEntryBumpsGeneration) {
+  ShardedWheel wheel(1, 64, Generous());
+  auto first = wheel.StartTimer(5, 1);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(wheel.StopTimer(first.value()), TimerError::kOk);
+  wheel.PerTickBookkeeping();  // reclaim the entry
+  // The freed entry is reused; the old handle must stay dead even if the slot
+  // coincides.
+  auto second = wheel.StartTimer(50, 2);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(wheel.StopTimer(first.value()), TimerError::kNoSuchTimer);
+  EXPECT_EQ(wheel.StopTimer(second.value()), TimerError::kOk);
+}
+
+TEST(MpscSubmitTest, RejectPolicySurfacesNoCapacityAndRecovers) {
+  SubmitOptions submit;
+  submit.ring_capacity = 2;
+  submit.registration_capacity = 8;
+  submit.on_full = SubmitPolicy::kReject;
+  ShardedWheel wheel(1, 64, submit);
+
+  auto a = wheel.StartTimer(10, 1);
+  auto b = wheel.StartTimer(10, 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  // Ring full (2 undrained start commands): reject, with full rollback.
+  auto c = wheel.StartTimer(10, 3);
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error(), TimerError::kNoCapacity);
+  EXPECT_EQ(wheel.outstanding(), 2u);
+  wheel.PerTickBookkeeping();  // drain frees the ring
+  EXPECT_TRUE(wheel.StartTimer(10, 4).has_value());
+}
+
+TEST(MpscSubmitTest, RegistrationTableExhaustionRejects) {
+  SubmitOptions submit;
+  submit.ring_capacity = 16;
+  submit.registration_capacity = 2;
+  submit.on_full = SubmitPolicy::kReject;
+  ShardedWheel wheel(1, 64, submit);
+
+  auto a = wheel.StartTimer(10, 1);
+  auto b = wheel.StartTimer(10, 2);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  auto c = wheel.StartTimer(10, 3);
+  ASSERT_FALSE(c.has_value());
+  EXPECT_EQ(c.error(), TimerError::kNoCapacity);
+  // Cancelling one start (still pending) frees its entry at the next drain.
+  EXPECT_EQ(wheel.StopTimer(a.value()), TimerError::kOk);
+  wheel.PerTickBookkeeping();
+  EXPECT_TRUE(wheel.StartTimer(10, 4).has_value());
+}
+
+TEST(MpscSubmitTest, CountsExposeSubmissionTraffic) {
+  ShardedWheel wheel(1, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(wheel.StartTimer(3, i).has_value());
+  }
+  auto counts = wheel.counts();
+  EXPECT_EQ(counts.enqueued_starts, 5u);
+  EXPECT_EQ(counts.drained_commands, 0u) << "nothing drained yet";
+  for (int i = 0; i < 3; ++i) {
+    wheel.PerTickBookkeeping();
+  }
+  counts = wheel.counts();
+  EXPECT_EQ(counts.enqueued_starts, 5u);
+  EXPECT_EQ(counts.drained_commands, 5u);
+  EXPECT_EQ(counts.submit_retries, 0u) << "single-threaded: wait-free";
+  EXPECT_EQ(log.size(), 5u);
+}
+
+TEST(MpscSubmitTest, RoundRobinAcrossShardsStillExact) {
+  ShardedWheel wheel(4, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+  for (RequestId id = 0; id < 8; ++id) {
+    ASSERT_TRUE(wheel.StartTimer(3, id).has_value());
+  }
+  EXPECT_EQ(wheel.outstanding(), 8u);
+  EXPECT_EQ(wheel.AdvanceTo(3), 8u);
+  EXPECT_EQ(log.size(), 8u);
+  for (const auto& [id, when] : log) {
+    EXPECT_EQ(when, 3u);
+  }
+}
+
+// --- The NextExpiryHint / AdvanceTo ordering fix -----------------------------
+
+TEST(MpscSubmitTest, HintCoversPendingSubmissions) {
+  ShardedWheel wheel(4, 64, Generous());
+  EXPECT_FALSE(wheel.NextExpiryHint().has_value());
+  auto handle = wheel.StartTimer(7, 1);
+  ASSERT_TRUE(handle.has_value());
+  // The command has not drained — no inner wheel knows about the timer — yet
+  // the hint must already cover it.
+  auto hint = wheel.NextExpiryHint();
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_LE(*hint, 7u);
+}
+
+TEST(MpscSubmitTest, StartEnqueuedBeforeAdvanceIsNeverSkipped) {
+  ShardedWheel wheel(4, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+  // Enqueue, then immediately batch-advance far past the deadline in one call.
+  // The batch path must drain first, register the timer at its exact deadline,
+  // and dispatch it inside the batch — not discover the slot after crossing it.
+  ASSERT_TRUE(wheel.StartTimer(7, 99).has_value());
+  EXPECT_EQ(wheel.AdvanceTo(40), 1u);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], (std::pair<RequestId, Tick>{99, 7}));
+}
+
+TEST(MpscSubmitTest, FastForwardToHintDispatchesThePendingTimer) {
+  ShardedWheel wheel(4, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+  ASSERT_TRUE(wheel.StartTimer(7, 5).has_value());
+  const auto hint = wheel.NextExpiryHint();
+  ASSERT_TRUE(hint.has_value());
+  // A driver sleeping until the hint then fast-forwarding must not lose the
+  // still-queued start: FastForward delegates to the draining batch path.
+  EXPECT_TRUE(wheel.FastForward(*hint));
+  wheel.PerTickBookkeeping();  // cross the deadline tick itself if hint < 7
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].second, 7u);
+  EXPECT_EQ(wheel.outstanding(), 0u);
+}
+
+TEST(MpscSubmitTest, HintFallsBackToInnerWheelAfterDrain) {
+  ShardedWheel wheel(1, 64, Generous());
+  FireLog log;
+  Capture(wheel, log);
+  ASSERT_TRUE(wheel.StartTimer(5, 1).has_value());
+  wheel.PerTickBookkeeping();  // drained: now the inner wheel owns the deadline
+  auto hint = wheel.NextExpiryHint();
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(*hint, 5u);
+  wheel.AdvanceTo(5);
+  ASSERT_EQ(log.size(), 1u);
+  // Everything fired and the pending hint was reset by the drain: no hint.
+  EXPECT_FALSE(wheel.NextExpiryHint().has_value());
+}
+
+TEST(MpscSubmitTest, SpaceIncludesSubmissionStructures) {
+  ShardedWheel locked(2, 64);
+  ShardedWheel deferred(2, 64, Generous());
+  EXPECT_GT(deferred.Space().fixed_bytes, locked.Space().fixed_bytes)
+      << "rings and registration tables must be accounted";
+}
+
+}  // namespace
+}  // namespace twheel::concurrent

@@ -72,6 +72,30 @@ inline std::vector<ServiceCase> AllServiceCases() {
   cases.push_back(
       {"sharded_8x32",
        [] { return std::make_unique<concurrent::ShardedWheel>(8, 32); }, true});
+  // Deferred-registration (MPSC) mode. Driven single-threaded it must be
+  // observationally equivalent to the locked mode — every command drains before
+  // the clock moves — so it joins the full matrix, re-entrancy included.
+  // Capacities are generous: the oracle models no capacity limit, so a
+  // kNoCapacity reject on one side only would (correctly) read as divergence.
+  const auto verify_submit = [] {
+    concurrent::SubmitOptions submit;
+    submit.ring_capacity = 8192;
+    submit.registration_capacity = 8192;
+    submit.on_full = concurrent::SubmitPolicy::kReject;
+    return submit;
+  };
+  cases.push_back({"sharded_mpsc_1x64",
+                   [verify_submit] {
+                     return std::make_unique<concurrent::ShardedWheel>(
+                         1, 64, verify_submit());
+                   },
+                   true});
+  cases.push_back({"sharded_mpsc_4x64",
+                   [verify_submit] {
+                     return std::make_unique<concurrent::ShardedWheel>(
+                         4, 64, verify_submit());
+                   },
+                   true});
   return cases;
 }
 
