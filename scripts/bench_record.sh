@@ -9,6 +9,10 @@
 #   mpsc_submit   BENCH_mpsc_submit.json — locked vs. deferred (MPSC ring)
 #                 start/stop submission throughput at 1/2/4/8 producer threads
 #                 against a driver thread sweeping a 4Mi-timer wheel.
+#   restart       BENCH_restart.json — in-place RestartTimer vs the
+#                 StopTimer+StartTimer fallback: tight relink loop and
+#                 TCP-retransmission replay per scheme single-threaded, plus
+#                 multi-producer relinks against the deferred ShardedWheel.
 #
 # Usage:
 #   scripts/bench_record.sh                         # record every experiment
@@ -26,7 +30,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 TARGET="all"
 case "${1:-}" in
-  sparse_tick|mpsc_submit|all)
+  sparse_tick|mpsc_submit|restart|all)
     TARGET="$1"
     shift ;;
 esac
@@ -114,5 +118,65 @@ for threads in sorted({t for (_, t) in rows}):
         continue
     print(f"{threads:<12}{locked:>16,.0f}{deferred:>18,.0f}"
           f"{deferred / locked:>9.1f}x")
+PYEOF
+fi
+
+if [ "$TARGET" = "restart" ] || [ "$TARGET" = "all" ]; then
+  record bench_restart BENCH_restart.json "$@"
+  summarize BENCH_restart.json <<'PYEOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# rows[name] = items_per_second; prefer *_mean rows when repetitions add
+# aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    base = name[: -len("_mean")] if name.endswith("_mean") else name
+    if "items_per_second" not in b:
+        continue
+    if name.endswith("_mean") or base not in rows:
+        rows[base] = b["items_per_second"]
+
+for family in ("restart_micro", "restart_tcp"):
+    print(f"{family}:")
+    print(f"  {'scheme':<26}{'stopstart/s':>14}{'inplace/s':>14}{'speedup':>10}")
+    schemes = sorted({
+        m.group(1)
+        for n in rows
+        if (m := re.match(rf"{family}/([^/]+)/(inplace|stopstart)(?:/|$)", n))
+    })
+    for scheme in schemes:
+        inplace = next((v for n, v in rows.items()
+                        if n.startswith(f"{family}/{scheme}/inplace")), None)
+        stopstart = next((v for n, v in rows.items()
+                          if n.startswith(f"{family}/{scheme}/stopstart")), None)
+        if inplace is None or stopstart is None:
+            continue
+        print(f"  {scheme:<26}{stopstart:>14,.0f}{inplace:>14,.0f}"
+              f"{inplace / stopstart:>9.2f}x")
+    print()
+
+mpsc = {}
+for name, ips in rows.items():
+    m = re.match(r"restart_mpsc/(inplace|stopstart)/real_time/threads:(\d+)", name)
+    if m:
+        mpsc[(m.group(1), int(m.group(2)))] = ips
+if mpsc:
+    print("restart_mpsc (deferred ShardedWheel):")
+    print(f"  {'producers':<12}{'stopstart/s':>14}{'inplace/s':>14}{'speedup':>10}")
+    for threads in sorted({t for (_, t) in mpsc}):
+        inplace = mpsc.get(("inplace", threads))
+        stopstart = mpsc.get(("stopstart", threads))
+        if inplace is None or stopstart is None:
+            continue
+        print(f"  {threads:<12}{stopstart:>14,.0f}{inplace:>14,.0f}"
+              f"{inplace / stopstart:>9.2f}x")
 PYEOF
 fi

@@ -30,6 +30,20 @@ TimerError AvlTimers::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError AvlTimers::RestartTimer(TimerHandle handle, Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  // O(lg n) re-key: balanced delete + balanced re-insert of the same node; the
+  // record is never released, so the handle's generation survives.
+  Remove(rec);
+  StampRestart(rec, new_interval);
+  Insert(rec);
+  return TimerError::kOk;
+}
+
 std::size_t AvlTimers::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

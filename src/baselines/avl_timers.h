@@ -29,6 +29,9 @@ class AvlTimers final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // O(lg n) in-place reschedule: balanced delete + re-insert of the same node
+  // with the new key; no record release, handle stays valid.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::string_view name() const override { return "scheme3-avl"; }
 

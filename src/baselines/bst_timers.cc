@@ -13,6 +13,12 @@ StartResult BstTimers::StartTimer(Duration interval, RequestId request_id) {
   if (rec == nullptr) {
     return TimerError::kNoCapacity;
   }
+  InsertNode(rec);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
+
+void BstTimers::InsertNode(TimerRecord* rec) {
   rec->left = rec->right = rec->parent = nullptr;
 
   TimerRecord* parent = nullptr;
@@ -32,8 +38,21 @@ StartResult BstTimers::StartTimer(Duration interval, RequestId request_id) {
   } else {
     parent->right = rec;
   }
-  ++counts_.insert_link_ops;
-  return rec->self;
+}
+
+TimerError BstTimers::RestartTimer(TimerHandle handle, Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  // Standard BST re-key: detach the node (successor transplant), re-stamp, and
+  // re-descend with the new key. The record is never released, so the handle's
+  // generation survives.
+  Remove(rec);
+  StampRestart(rec, new_interval);
+  InsertNode(rec);
+  return TimerError::kOk;
 }
 
 TimerError BstTimers::StopTimer(TimerHandle handle) {

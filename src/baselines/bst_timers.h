@@ -31,6 +31,9 @@ class BstTimers final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // O(height) in-place reschedule: standard delete + re-insert of the same
+  // node with the new key; no record release, handle stays valid.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::string_view name() const override { return "scheme3-bst"; }
 
@@ -68,6 +71,9 @@ class BstTimers final : public TimerServiceBase {
     return a->seq < b->seq;
   }
 
+  // Descend from the root and attach `rec` (key already set); shared by
+  // StartTimer and RestartTimer.
+  void InsertNode(TimerRecord* rec);
   TimerRecord* Minimum(TimerRecord* node) const;
   static const TimerRecord* MinimumConst(const TimerRecord* node) {
     while (node->left != nullptr) {

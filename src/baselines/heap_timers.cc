@@ -30,6 +30,20 @@ TimerError HeapTimers::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError HeapTimers::RestartTimer(TimerHandle handle, Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  StampRestart(rec, new_interval);
+  // The classic decrease/increase-key: the record keeps its array slot until
+  // one sift settles it (only one of the two can move it).
+  SiftDown(rec->heap_index);
+  SiftUp(rec->heap_index);
+  return TimerError::kOk;
+}
+
 std::size_t HeapTimers::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

@@ -31,6 +31,10 @@ class HeapTimers final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // O(log n) in-place reschedule: re-key the record at its current heap
+  // position via the stored heap_index and sift in whichever direction the new
+  // key demands — no removal, no reallocation, handle stays valid.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::string_view name() const override { return "scheme3-heap"; }
 

@@ -16,12 +16,30 @@ StartResult LeftistHeapTimers::StartTimer(Duration interval, RequestId request_i
   if (rec == nullptr) {
     return TimerError::kNoCapacity;
   }
-  rec->left = rec->right = nullptr;
+  rec->left = rec->right = rec->parent = nullptr;
   rec->rank = 0;
   rec->cancelled = false;
   root_ = Merge(root_, rec);
+  root_->parent = nullptr;
   ++counts_.insert_link_ops;
   return rec->self;
+}
+
+TimerError LeftistHeapTimers::RestartTimer(TimerHandle handle,
+                                           Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  if (rec->cancelled) {
+    return TimerError::kNoSuchTimer;
+  }
+  Detach(rec);
+  StampRestart(rec, new_interval);
+  root_ = Merge(root_, rec);
+  root_->parent = nullptr;
+  return TimerError::kOk;
 }
 
 TimerError LeftistHeapTimers::StopTimer(TimerHandle handle) {
@@ -79,6 +97,7 @@ TimerRecord* LeftistHeapTimers::Merge(TimerRecord* a, TimerRecord* b) {
     b = tmp;
   }
   a->right = Merge(a->right, b);
+  a->right->parent = a;
   std::int32_t left_rank = a->left ? a->left->rank : -1;
   std::int32_t right_rank = a->right ? a->right->rank : -1;
   if (left_rank < right_rank) {
@@ -96,8 +115,53 @@ TimerRecord* LeftistHeapTimers::Merge(TimerRecord* a, TimerRecord* b) {
 void LeftistHeapTimers::PopRoot() {
   TimerRecord* old = root_;
   root_ = Merge(old->left, old->right);
-  old->left = old->right = nullptr;
+  if (root_ != nullptr) {
+    root_->parent = nullptr;
+  }
+  old->left = old->right = old->parent = nullptr;
   old->rank = 0;
+}
+
+void LeftistHeapTimers::Detach(TimerRecord* x) {
+  TimerRecord* sub = Merge(x->left, x->right);
+  TimerRecord* p = x->parent;
+  if (sub != nullptr) {
+    sub->parent = p;
+  }
+  if (p == nullptr) {
+    root_ = sub;
+  } else {
+    if (p->left == x) {
+      p->left = sub;
+    } else {
+      p->right = sub;
+    }
+    FixUpFrom(p);
+  }
+  x->left = x->right = x->parent = nullptr;
+  x->rank = 0;
+}
+
+void LeftistHeapTimers::FixUpFrom(TimerRecord* node) {
+  while (node != nullptr) {
+    std::int32_t left_rank = node->left ? node->left->rank : -1;
+    std::int32_t right_rank = node->right ? node->right->rank : -1;
+    if (left_rank < right_rank) {
+      TimerRecord* tmp = node->left;
+      node->left = node->right;
+      node->right = tmp;
+      const std::int32_t t = left_rank;
+      left_rank = right_rank;
+      right_rank = t;
+    }
+    const std::int32_t new_rank = right_rank + 1;
+    if (node->rank == new_rank) {
+      // Rank unchanged: every ancestor's shape constraint still holds.
+      break;
+    }
+    node->rank = new_rank;
+    node = node->parent;
+  }
 }
 
 std::int64_t LeftistHeapTimers::CheckSubtree(const TimerRecord* node) {
@@ -113,6 +177,12 @@ std::int64_t LeftistHeapTimers::CheckSubtree(const TimerRecord* node) {
     return -2;  // heap order
   }
   if (node->right != nullptr && Less(node->right, node)) {
+    return -2;
+  }
+  if (node->left != nullptr && node->left->parent != node) {
+    return -2;  // parent links (RestartTimer's detach relies on them)
+  }
+  if (node->right != nullptr && node->right->parent != node) {
     return -2;
   }
   if (node->rank != r + 1) {

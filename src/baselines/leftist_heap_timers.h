@@ -31,6 +31,13 @@ class LeftistHeapTimers final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // In-place reschedule. Lazy cancellation cannot express a restart (an
+  // earlier deadline would surface too late), so this is the eager path: the
+  // node's subtree is cut out via its parent pointer, its children merge into
+  // its old position, ranks re-settle up the parent chain (stopping at the
+  // first unchanged rank — the standard O(log n) arbitrary-delete), and the
+  // re-stamped node merges back at the root. The record is never released.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::string_view name() const override { return "scheme3-leftist"; }
 
@@ -62,8 +69,14 @@ class LeftistHeapTimers final : public TimerServiceBase {
     return a->seq < b->seq;
   }
 
+  // Merge maintains child->parent links (RestartTimer's detach needs them);
+  // the caller owns the returned root's parent pointer.
   TimerRecord* Merge(TimerRecord* a, TimerRecord* b);
   void PopRoot();
+  // Cut `x`'s subtree out of the tree, splicing Merge(x->left, x->right) into
+  // its place, and restore ranks/leftist shape up the parent chain.
+  void Detach(TimerRecord* x);
+  void FixUpFrom(TimerRecord* node);
   // Returns the subtree's null-path length, or -2 on invariant violation.
   static std::int64_t CheckSubtree(const TimerRecord* node);
 

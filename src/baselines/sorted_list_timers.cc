@@ -11,7 +11,12 @@ StartResult SortedListTimers::StartTimer(Duration interval, RequestId request_id
   if (rec == nullptr) {
     return TimerError::kNoCapacity;
   }
+  InsertSorted(rec);
+  ++counts_.insert_link_ops;
+  return rec->self;
+}
 
+void SortedListTimers::InsertSorted(TimerRecord* rec) {
   if (direction_ == SearchDirection::kFromFront) {
     // First record strictly later than the new one; insert before it. Equal keys are
     // passed over, preserving FIFO among equals.
@@ -50,8 +55,21 @@ StartResult SortedListTimers::StartTimer(Duration interval, RequestId request_id
       }
     }
   }
-  ++counts_.insert_link_ops;
-  return rec->self;
+}
+
+TimerError SortedListTimers::RestartTimer(TimerHandle handle,
+                                          Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  rec->Unlink();
+  StampRestart(rec, new_interval);
+  // Re-run the configured insertion scan with the fresh key; the record keeps
+  // its identity (and links storage), so no allocation or generation bump.
+  InsertSorted(rec);
+  return TimerError::kOk;
 }
 
 TimerError SortedListTimers::StopTimer(TimerHandle handle) {

@@ -51,6 +51,10 @@ class SortedListTimers final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // In-place reschedule: O(1) unlink plus the configured O(n) insertion scan
+  // with the new absolute expiry. The record — and the caller's handle — stay
+  // valid throughout.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::string_view name() const override {
     return direction_ == SearchDirection::kFromFront ? "scheme2-sorted-front"
@@ -88,6 +92,10 @@ class SortedListTimers final : public TimerServiceBase {
   }
 
  private:
+  // Link `rec` (expiry_tick already set) at its sorted position, scanning in the
+  // configured direction; shared by StartTimer and RestartTimer.
+  void InsertSorted(TimerRecord* rec);
+
   SearchDirection direction_;
   IntrusiveList<TimerRecord> list_;
 };

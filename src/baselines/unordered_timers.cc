@@ -29,6 +29,20 @@ TimerError UnorderedTimers::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError UnorderedTimers::RestartTimer(TimerHandle handle,
+                                         Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  rec->Unlink();
+  StampRestart(rec, new_interval);
+  rec->remaining = new_interval;
+  records_.PushFront(rec);
+  return TimerError::kOk;
+}
+
 std::size_t UnorderedTimers::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

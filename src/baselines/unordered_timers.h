@@ -51,6 +51,11 @@ class UnorderedTimers final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // O(1) in-place reschedule: reset the count (or absolute expiry) and move the
+  // record to the live list's head — the same position a fresh start takes, so
+  // a restart from inside an expiry handler is not decremented on the tick that
+  // restarted it.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::string_view name() const override {
     return mode_ == Scheme1Mode::kDecrement ? "scheme1-unordered"

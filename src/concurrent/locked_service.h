@@ -42,6 +42,11 @@ class LockedService final : public TimerService {
     return inner_->StopTimer(handle);
   }
 
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->RestartTimer(handle, new_interval);
+  }
+
   std::size_t PerTickBookkeeping() override {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->PerTickBookkeeping();

@@ -97,6 +97,35 @@ TimerError ShardedWheel::StopTimer(TimerHandle handle) {
   return shard.wheel->StopTimer(TimerHandle{handle.slot & kSlotMask, handle.generation});
 }
 
+TimerError ShardedWheel::RestartTimer(TimerHandle handle, Duration new_interval) {
+  if (!handle.valid()) {
+    return TimerError::kNoSuchTimer;
+  }
+  const std::uint32_t index = handle.slot >> kShardShift;
+  if (index >= shards_.size()) {
+    return TimerError::kNoSuchTimer;
+  }
+  Shard& shard = *shards_[index];
+  if (shard.submit != nullptr) {
+    if (new_interval == 0) {
+      return TimerError::kZeroInterval;  // match the inner wheel's policy
+    }
+    // Lock-free path: capture the new absolute deadline and commit via the
+    // entry word (publish-then-commit, see SubmitRestart). A restart is
+    // neither a start nor a cancel, so live_ is untouched either way.
+    const Tick deadline = now_.load(std::memory_order_acquire) + new_interval;
+    const TimerError err = shard.submit->SubmitRestart(
+        handle.slot & kSlotMask, handle.generation, deadline);
+    if (err == TimerError::kOk) {
+      client_restarts_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return err;
+  }
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.wheel->RestartTimer(
+      TimerHandle{handle.slot & kSlotMask, handle.generation}, new_interval);
+}
+
 std::size_t ShardedWheel::DrainSubmissions() {
   std::size_t total = 0;
   for (auto& shard_ptr : shards_) {
@@ -276,6 +305,7 @@ metrics::OpCounts ShardedWheel::counts() const {
       merged.enqueued_starts += shard_ptr->submit->enqueued_starts();
       merged.drained_commands += shard_ptr->submit->drained_commands();
       merged.submit_retries += shard_ptr->submit->submit_retries();
+      merged.restart_coalesced += shard_ptr->submit->coalesced_restarts();
     }
     std::lock_guard<std::mutex> lock(shard_ptr->mutex);
     merged += shard_ptr->wheel->counts();
@@ -286,6 +316,10 @@ metrics::OpCounts ShardedWheel::counts() const {
     // Report the client's view of START_TIMER: the inner wheels only see the
     // drained registrations (and never see cancelled-before-drain starts).
     merged.start_calls = client_starts_.load(std::memory_order_relaxed);
+    // Same for restarts: one committed client restart may surface in the inner
+    // wheels as a relink, a relink-after-suppressed-fire (a fresh inner
+    // start), or nothing at all (cancelled before its command drained).
+    merged.restart_calls = client_restarts_.load(std::memory_order_relaxed);
   }
   return merged;
 }

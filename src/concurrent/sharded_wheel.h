@@ -63,6 +63,15 @@ class ShardedWheel final : public TimerService {
   // the cancel with one CAS (the result is authoritative: kOk means the timer
   // will never fire) and enqueues a best-effort prompt-removal command.
   TimerError StopTimer(TimerHandle handle) override;
+  // Locked mode: in-place relink under the shard mutex (the inner Scheme 6
+  // wheel's O(1) RestartTimer). MPSC mode: lock-free — publishes a kRestart
+  // command carrying `now() + new_interval`, then commits with one CAS on the
+  // entry word (see ShardSubmitQueue::SubmitRestart). kOk is authoritative:
+  // the timer cannot fire at its old deadline and the handle stays valid; a
+  // restart losing the word to a fire or cancel gets kNoSuchTimer, so
+  // restart-vs-fire resolves exactly once. A restart whose start command has
+  // not drained yet coalesces onto the same registration entry.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   // Batched tick advancement: one lock acquisition per shard per *batch* instead
   // of per tick, with each shard's inner wheel jumping its dead slots via the
@@ -150,6 +159,9 @@ class ShardedWheel final : public TimerService {
   // inner wheels count start_calls only at drain, and a cancelled-before-drain
   // start never reaches them, so counts() reports this instead.
   std::atomic<std::uint64_t> client_starts_{0};
+  // MPSC mode: committed (kOk) RestartTimer calls; the client-level analogue
+  // of restart_calls (inner wheels only see the drained relinks).
+  std::atomic<std::uint64_t> client_restarts_{0};
 
   std::mutex handler_mutex_;
   ExpiryHandler handler_;

@@ -14,8 +14,8 @@
 //
 // Handles are minted at enqueue time from a per-shard registration table: a
 // fixed slab of entries with a lock-free (tagged Treiber) free list and a
-// packed atomic {generation, state} word per entry. The word is the single
-// linearization point for every race in the system:
+// packed atomic {restarts, state, generation} word per entry. The word is the
+// single linearization point for every race in the system:
 //
 //             StartTimer            drain(start cmd)        inner expiry
 //   kFree ──────────────► kPending ───────────────► kRegistered ─────► kFree
@@ -26,6 +26,30 @@
 //                            │ drain(start cmd)         │ drain(cancel cmd)
 //                            ▼                          ▼  or suppressed expiry
 //                     kFree (gen+1)               kFree (gen+1)
+//
+// RestartTimer adds no state — it rides a saturating in-flight counter packed
+// into the word's high bits. SubmitRestart publishes a kRestart command (the
+// new absolute deadline travels in the command, never through shared entry
+// fields) and then *commits* with one CAS that increments the counter while
+// the state is still kPending or kRegistered. The commit CAS is the
+// restart-vs-fire-vs-cancel referee:
+//
+//   * Fire claims the word only when the counter is zero; a nonzero counter
+//     suppresses the dispatch WITHOUT reclaiming (the queued restart command
+//     re-registers the timer at its new deadline, minting a fresh inner record
+//     if the old one was consumed by the suppressed expiry). So a committed
+//     restart can never fire at the old deadline.
+//   * If the fire's claim CAS wins first, the restarter's commit CAS observes
+//     the bumped generation and returns kNoSuchTimer — exactly one of
+//     {old-deadline fire, restart} happens, never both.
+//   * A cancel zeroes the counter as it commits; in-flight restart commands
+//     then observe the cancelled state at drain and help reclaim instead of
+//     relinking (covering a dropped cancel command after a suppressed fire).
+//   * A restart that finds the start command still pending commits the same
+//     way (counter bump on kPending); it coalesces onto the SAME registration
+//     entry — one handle, one table slot, no second allocation — and the
+//     relink command drains right behind the start in FIFO order. These are
+//     counted restart_coalesced.
 //
 //   * A cancel is *committed* by one CAS on the word (StopTimer returns kOk
 //     synchronously); the cancel command in the ring only makes the inner-wheel
@@ -167,6 +191,8 @@ class ShardSubmitQueue {
         default:
           return TimerError::kNoSuchTimer;  // already cancelled
       }
+      // Pack() zeroes the restart counter: committed-but-undrained restart
+      // commands observe the cancelled state at drain and help reclaim.
       if (entry.word.compare_exchange_weak(word, Pack(generation, desired),
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
@@ -179,6 +205,79 @@ class ShardSubmitQueue {
     (void)Push(Command{Command::Kind::kCancel, index, generation}, &retries);
     FlushRetries(retries);
     return TimerError::kOk;
+  }
+
+  // Commit an in-place restart to `new_deadline`. Publish-then-commit: the
+  // kRestart command is pushed FIRST (if the ring is full under kReject the
+  // call returns kNoCapacity with no state changed and the timer unmoved at
+  // its old deadline), then one CAS increments the word's restart counter
+  // while the entry is still kPending/kRegistered. kOk is authoritative: the
+  // timer will not fire at its old deadline (a nonzero counter suppresses the
+  // claim in ClaimFire) and the handle stays valid. If a fire or cancel wins
+  // the word first, the already-queued command no-ops on the generation/state
+  // check at drain and the caller gets kNoSuchTimer — exactly-once either way.
+  TimerError SubmitRestart(std::uint32_t index, std::uint32_t generation,
+                           Tick new_deadline) {
+    if (index >= capacity_) {
+      return TimerError::kNoSuchTimer;
+    }
+    Entry& entry = entries_[index];
+    std::uint64_t word = entry.word.load(std::memory_order_acquire);
+    if (GenerationOf(word) != generation) {
+      return TimerError::kNoSuchTimer;  // fired, reclaimed, or fabricated
+    }
+    {
+      const State s = StateOf(word);
+      if (s != State::kPending && s != State::kRegistered) {
+        return TimerError::kNoSuchTimer;  // already cancelled
+      }
+      if (RestartsOf(word) == kMaxRestarts) {
+        return TimerError::kNoCapacity;  // drainer stalled; nothing changed
+      }
+    }
+    // Record the (possibly earlier) deadline for NextExpiryHint before the
+    // command becomes drainable — same protocol as SubmitStart. A failed
+    // commit leaves the hint stale-early, which the contract allows.
+    UpdateEarliest(new_deadline);
+    std::uint64_t retries = 0;
+    if (!Push(Command{Command::Kind::kRestart, index, generation, new_deadline},
+              &retries)) {
+      FlushRetries(retries);
+      return TimerError::kNoCapacity;  // nothing changed; old deadline stands
+    }
+    for (;;) {
+      if (GenerationOf(word) != generation) {
+        FlushRetries(retries);
+        return TimerError::kNoSuchTimer;  // the fire won; command will no-op
+      }
+      const State s = StateOf(word);
+      if (s != State::kPending && s != State::kRegistered) {
+        FlushRetries(retries);
+        return TimerError::kNoSuchTimer;  // a cancel won; command will no-op
+      }
+      const std::uint64_t restarts = RestartsOf(word);
+      if (restarts == kMaxRestarts) {
+        // The command is already in the ring, so rejecting here would let it
+        // drain uncommitted (and steal a committed restart's decrement). This
+        // needs 255 OTHER commits to land between the pre-push check and this
+        // CAS; wait for the drainer like kSpin does.
+        std::this_thread::yield();
+        word = entry.word.load(std::memory_order_acquire);
+        ++retries;
+        continue;
+      }
+      if (entry.word.compare_exchange_weak(
+              word, PackFull(generation, s, restarts + 1),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
+        if (s == State::kPending) {
+          coalesced_restarts_.fetch_add(1, std::memory_order_relaxed);
+        }
+        enqueued_restarts_.fetch_add(1, std::memory_order_relaxed);
+        FlushRetries(retries);
+        return TimerError::kOk;
+      }
+      ++retries;
+    }
   }
 
   // Conservative earliest deadline among commands that may still be awaiting a
@@ -237,6 +336,13 @@ class ShardSubmitQueue {
       }
       switch (StateOf(word)) {
         case State::kRegistered: {
+          if (RestartsOf(word) != 0) {
+            // A committed restart is awaiting its drain: suppress this
+            // (old-deadline) dispatch but do NOT reclaim — the restart command
+            // re-registers the entry at its new deadline, minting a fresh
+            // inner record since this expiry consumed the old one.
+            return false;
+          }
           // Relaxed read ordered by the word acquire; a stale value (the entry
           // recycled between the load above and here) dies with the failed CAS.
           const RequestId id = entry.client_id.load(std::memory_order_relaxed);
@@ -247,7 +353,7 @@ class ShardSubmitQueue {
             FreeEntry(index);
             return true;
           }
-          continue;  // a canceller intervened between load and CAS
+          continue;  // a canceller or restarter intervened between load and CAS
         }
         case State::kCancelledRegistered:
           // Cancel won after the inner record was collected. Reclaim (the
@@ -266,6 +372,12 @@ class ShardSubmitQueue {
 
   std::uint64_t enqueued_starts() const {
     return enqueued_starts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t enqueued_restarts() const {
+    return enqueued_restarts_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t coalesced_restarts() const {
+    return coalesced_restarts_.load(std::memory_order_relaxed);
   }
   std::uint64_t drained_commands() const {
     return drained_commands_.load(std::memory_order_relaxed);
@@ -289,10 +401,14 @@ class ShardSubmitQueue {
   };
 
   struct Command {
-    enum class Kind : std::uint8_t { kStart, kCancel };
+    enum class Kind : std::uint8_t { kStart, kCancel, kRestart };
     Kind kind;
     std::uint32_t index;
     std::uint32_t generation;
+    // kRestart only: the new absolute deadline. Carried in the command (not an
+    // entry field) so a racing producer can never scribble a stale deadline
+    // over a recycled entry — the command's generation check gates its use.
+    Tick deadline = 0;
   };
 
   struct Entry {
@@ -311,15 +427,28 @@ class ShardSubmitQueue {
   static constexpr std::uint32_t kNilIndex =
       std::numeric_limits<std::uint32_t>::max();
   static constexpr Tick kNoPending = std::numeric_limits<Tick>::max();
+  // In-flight (committed, not yet drained) restarts per entry saturate here;
+  // 255 undrained restarts of one timer means the drainer has stalled and the
+  // producer gets kNoCapacity, same as a full ring.
+  static constexpr std::uint64_t kMaxRestarts = 0xff;
 
+  // Word layout: {restarts:8 | state:8 | generation:32}.
   static constexpr std::uint64_t Pack(std::uint32_t generation, State state) {
     return (static_cast<std::uint64_t>(state) << 32) | generation;
+  }
+  static constexpr std::uint64_t PackFull(std::uint32_t generation, State state,
+                                          std::uint64_t restarts) {
+    return (restarts << 40) | (static_cast<std::uint64_t>(state) << 32) |
+           generation;
   }
   static constexpr std::uint32_t GenerationOf(std::uint64_t word) {
     return static_cast<std::uint32_t>(word);
   }
   static constexpr State StateOf(std::uint64_t word) {
-    return static_cast<State>(word >> 32);
+    return static_cast<State>((word >> 32) & 0xff);
+  }
+  static constexpr std::uint64_t RestartsOf(std::uint64_t word) {
+    return (word >> 40) & 0xff;
   }
   static constexpr std::uint64_t PackHead(std::uint32_t tag, std::uint32_t index) {
     return (static_cast<std::uint64_t>(tag) << 32) | index;
@@ -414,29 +543,76 @@ class ShardSubmitQueue {
       return;  // a previous incarnation's command; the entry moved on
     }
     if (cmd.kind == Command::Kind::kStart) {
-      if (StateOf(word) == State::kPending) {
-        if (!entry.word.compare_exchange_strong(
-                word, Pack(cmd.generation, State::kRegistered),
+      while (StateOf(word) == State::kPending) {
+        // Preserve the restart counter: a restart committed against the
+        // pending entry (coalesced) carries across the registration, and its
+        // relink command drains right behind this one.
+        if (entry.word.compare_exchange_weak(
+                word,
+                PackFull(cmd.generation, State::kRegistered, RestartsOf(word)),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
-          // Lost to a canceller: the start never becomes visible.
-          (void)TryReclaim(cmd.index, cmd.generation, State::kCancelledPending);
+          const Tick now = wheel.now();
+          const Duration remaining =
+              entry.deadline > now ? entry.deadline - now : 1;
+          StartResult result = wheel.StartTimer(
+              remaining, PackInnerId(cmd.index, cmd.generation));
+          TWHEEL_ASSERT_MSG(result.has_value(),
+                            "inner wheel rejected a drained registration");
+          entry.inner = result.value();
           return;
         }
-        const Tick now = wheel.now();
-        const Duration remaining =
-            entry.deadline > now ? entry.deadline - now : 1;
-        StartResult result = wheel.StartTimer(
-            remaining, PackInnerId(cmd.index, cmd.generation));
-        TWHEEL_ASSERT_MSG(result.has_value(),
-                          "inner wheel rejected a drained registration");
-        entry.inner = result.value();
-      } else if (StateOf(word) == State::kCancelledPending) {
+        if (GenerationOf(word) != cmd.generation) {
+          return;
+        }
+        // CAS lost to a canceller (terminal) or a coalescing restarter
+        // (counter bump — retry the registration with the new counter).
+      }
+      if (StateOf(word) == State::kCancelledPending) {
         // The pending-cancel reconciliation: cancel committed before this start
         // drained, so the timer is never registered at all.
         (void)TryReclaim(cmd.index, cmd.generation, State::kCancelledPending);
       }
       // kRegistered/kCancelledRegistered with a matching generation would mean
       // a double drain of the same start; the FIFO ring makes that impossible.
+    } else if (cmd.kind == Command::Kind::kRestart) {
+      // A drained restart command with a matching generation and a live state
+      // was necessarily committed (an uncommitted push only fails on a
+      // generation bump or a cancel, both terminal for this generation), so a
+      // nonzero counter is guaranteed here; the relink happens exactly once
+      // per commit, in ring FIFO order — the last-drained deadline wins.
+      if (StateOf(word) == State::kRegistered && RestartsOf(word) != 0) {
+        const Tick now = wheel.now();
+        const Duration remaining =
+            cmd.deadline > now ? cmd.deadline - now : 1;
+        if (wheel.RestartTimer(entry.inner, remaining) != TimerError::kOk) {
+          // The old inner record was consumed by a suppressed (counter > 0)
+          // expiry; re-register under the same entry identity.
+          StartResult result = wheel.StartTimer(
+              remaining, PackInnerId(cmd.index, cmd.generation));
+          TWHEEL_ASSERT_MSG(result.has_value(),
+                            "inner wheel rejected a restart re-registration");
+          entry.inner = result.value();
+        }
+        entry.deadline = cmd.deadline;
+        // Release this commit's suppression ticket. Stop if a cancel slips in
+        // concurrently — it zeroes the counter itself.
+        while (!entry.word.compare_exchange_weak(
+            word,
+            PackFull(cmd.generation, State::kRegistered, RestartsOf(word) - 1),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+          if (GenerationOf(word) != cmd.generation ||
+              StateOf(word) != State::kRegistered) {
+            break;
+          }
+        }
+      } else if (StateOf(word) == State::kCancelledRegistered) {
+        // A cancel won after this restart committed; help reclaim (covers a
+        // dropped cancel command when the suppressed expiry already passed).
+        (void)wheel.StopTimer(entry.inner);
+        (void)TryReclaim(cmd.index, cmd.generation, State::kCancelledRegistered);
+      }
+      // kPending is unreachable (this entry's start precedes every restart in
+      // the FIFO ring); kCancelledPending means the start never registered.
     } else {  // kCancel
       if (StateOf(word) == State::kCancelledRegistered) {
         // Prompt removal. May return kNoSuchTimer when the inner record was
@@ -476,6 +652,8 @@ class ShardSubmitQueue {
   MpscRing<Command> ring_;
 
   std::atomic<std::uint64_t> enqueued_starts_{0};
+  std::atomic<std::uint64_t> enqueued_restarts_{0};
+  std::atomic<std::uint64_t> coalesced_restarts_{0};
   std::atomic<std::uint64_t> drained_commands_{0};
   std::atomic<std::uint64_t> submit_retries_{0};
 };

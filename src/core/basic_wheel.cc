@@ -60,6 +60,30 @@ TimerError BasicWheel::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError BasicWheel::RestartTimer(TimerHandle handle, Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  if (new_interval >= slots_.size()) {
+    if (policy_ == OverflowPolicy::kReject) {
+      return TimerError::kIntervalOutOfRange;
+    }
+    new_interval = slots_.size() - 1;
+  }
+  rec->Unlink();
+  if (slots_[rec->home_slot].empty()) {
+    occupancy_.Clear(rec->home_slot);
+  }
+  StampRestart(rec, new_interval);
+  const std::size_t index = (cursor_ + new_interval) % slots_.size();
+  rec->home_slot = static_cast<std::uint32_t>(index);
+  slots_[index].PushBack(rec);
+  occupancy_.Set(index);
+  return TimerError::kOk;
+}
+
 std::size_t BasicWheel::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

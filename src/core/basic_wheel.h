@@ -52,6 +52,10 @@ class BasicWheel final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // O(1) in-place reschedule: unlink from the current slot, relink at
+  // cursor + new_interval, maintaining both slots' occupancy bits. The handle
+  // stays valid; on kIntervalOutOfRange the timer keeps its old deadline.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::size_t AdvanceTo(Tick target) override;
   // Exact: cursor-to-next-set-bit distance (intervals < wheel size, so the slot

@@ -71,6 +71,44 @@ TimerError HashedWheelSorted::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError HashedWheelSorted::RestartTimer(TimerHandle handle,
+                                           Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  rec->Unlink();
+  if (slots_[rec->home_slot].empty()) {
+    occupancy_.Clear(rec->home_slot);
+  }
+  StampRestart(rec, new_interval);
+  // Re-file exactly as StartTimer would, keyed by the fresh absolute expiry.
+  // The record keeps its original seq, so among same-revolution entries it
+  // re-enters the bucket at its start-order position — the same canonical FIFO
+  // the oracle reproduces.
+  const std::uint64_t slot_index = rec->expiry_tick & mask();
+  rec->rounds = rec->expiry_tick >> shift_;
+  rec->home_slot = static_cast<std::uint32_t>(slot_index);
+  IntrusiveList<TimerRecord>& bucket = slots_[slot_index];
+  TimerRecord* cur = bucket.front();
+  while (cur != nullptr) {
+    ++counts_.comparisons;
+    if (cur->rounds > rec->rounds ||
+        (cur->rounds == rec->rounds && cur->seq > rec->seq)) {
+      break;
+    }
+    cur = bucket.Next(cur);
+  }
+  if (cur == nullptr) {
+    bucket.PushBack(rec);
+  } else {
+    bucket.InsertBefore(rec, cur);
+  }
+  occupancy_.Set(slot_index);
+  return TimerError::kOk;
+}
+
 std::size_t HashedWheelSorted::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

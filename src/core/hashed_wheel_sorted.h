@@ -48,6 +48,9 @@ class HashedWheelSorted final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // In-place reschedule: O(1) unlink plus the Scheme 2 sorted re-insert into
+  // the new bucket (O(bucket) comparisons), occupancy bits maintained.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::size_t AdvanceTo(Tick target) override;
   // Exact, O(occupied buckets): each occupied bucket's head is its minimum (the

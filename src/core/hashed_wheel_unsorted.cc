@@ -60,6 +60,31 @@ TimerError HashedWheelUnsorted::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError HashedWheelUnsorted::RestartTimer(TimerHandle handle,
+                                             Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  rec->Unlink();
+  if (slots_[rec->home_slot].empty()) {
+    occupancy_.Clear(rec->home_slot);
+  }
+  StampRestart(rec, new_interval);
+  // Same placement arithmetic as StartTimer, relative to the current cursor. A
+  // restart from inside an expiry handler whose new interval is a multiple of
+  // TableSize relinks into the bucket being swept — safe, because the sweep
+  // walks the spliced-out pending list, so the next visit is a revolution away,
+  // which is exactly what rounds = (I - 1) >> shift counts on.
+  const std::uint64_t slot_index = rec->expiry_tick & mask();
+  rec->rounds = (new_interval - 1) >> shift_;
+  rec->home_slot = static_cast<std::uint32_t>(slot_index);
+  slots_[slot_index].PushBack(rec);
+  occupancy_.Set(slot_index);
+  return TimerError::kOk;
+}
+
 std::size_t HashedWheelUnsorted::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

@@ -49,6 +49,9 @@ class HashedWheelUnsorted final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // O(1) in-place reschedule: unlink, recompute (slot, rounds) for the new
+  // interval, relink — both buckets' occupancy bits maintained.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::size_t AdvanceTo(Tick target) override;
   // Exact, but O(n) in outstanding timers: the bitmap confines the scan to live

@@ -1,5 +1,7 @@
 #include "src/core/hierarchical_wheel.h"
 
+#include <bit>
+
 #include "src/base/assert.h"
 
 namespace twheel {
@@ -17,6 +19,15 @@ HierarchicalWheel::HierarchicalWheel(std::span<const std::size_t> level_sizes,
     Level level;
     level.size = size;
     level.granularity = span_;
+    if (std::has_single_bit(static_cast<std::uint64_t>(span_))) {
+      level.pow2_granularity = true;
+      level.unit_shift = static_cast<std::uint8_t>(
+          std::countr_zero(static_cast<std::uint64_t>(span_)));
+    }
+    if (std::has_single_bit(static_cast<std::uint64_t>(size))) {
+      level.pow2_size = true;
+      level.slot_mask = static_cast<std::uint64_t>(size) - 1;
+    }
     level.slots = std::vector<IntrusiveList<TimerRecord>>(size);
     level.occupancy = OccupancyBitmap(size);
     TWHEEL_ASSERT_MSG(span_ <= ~Duration{0} / size, "hierarchy span overflows 64 bits");
@@ -78,6 +89,37 @@ TimerError HierarchicalWheel::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError HierarchicalWheel::RestartTimer(TimerHandle handle,
+                                           Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  if (new_interval > max_interval()) {
+    if (overflow_ == OverflowPolicy::kReject) {
+      return TimerError::kIntervalOutOfRange;
+    }
+    new_interval = max_interval();
+  }
+  rec->Unlink();
+  Level& old_level = levels_[rec->level];
+  if (old_level.slots[rec->home_slot].empty()) {
+    old_level.occupancy.Clear(rec->home_slot);
+  }
+  StampRestart(rec, new_interval);
+  // A restarted timer is a fresh placement: the digit rule (or no-migration
+  // rounding) runs against the current time, and its migration allowance
+  // resets with it.
+  rec->migrations_done = 0;
+  if (migration_ == MigrationPolicy::kNone) {
+    InsertNoMigration(rec);
+  } else {
+    Insert(rec);
+  }
+  return TimerError::kOk;
+}
+
 std::size_t HierarchicalWheel::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;
@@ -85,16 +127,16 @@ std::size_t HierarchicalWheel::PerTickBookkeeping() {
 }
 
 std::size_t HierarchicalWheel::RunVisitsAtNow() {
-  std::size_t expired = VisitSlot(0, now_ % levels_[0].size);
+  std::size_t expired = VisitSlot(0, levels_[0].SlotOf(now_));
   // Advance the coarser arrays whenever a full revolution of the next-finer one
   // completes — the work the paper's built-in "60 second timer" does. Granularities
   // divide each other, so the first misaligned level ends the cascade.
   for (std::size_t level = 1; level < levels_.size(); ++level) {
     const Level& lv = levels_[level];
-    if (now_ % lv.granularity != 0) {
+    if (lv.OffsetInUnit(now_) != 0) {
       break;
     }
-    expired += VisitSlot(level, (now_ / lv.granularity) % lv.size);
+    expired += VisitSlot(level, lv.SlotOf(lv.UnitOf(now_)));
   }
   return expired;
 }
@@ -108,7 +150,8 @@ std::size_t HierarchicalWheel::FindLevel(Tick expiry) {
   // coarser digits agree, confining expiry and now to one unit of the level above.
   for (std::size_t level = levels_.size(); level-- > 1;) {
     ++counts_.comparisons;
-    if (expiry / levels_[level].granularity != now_ / levels_[level].granularity) {
+    const Level& lv = levels_[level];
+    if (lv.UnitOf(expiry) != lv.UnitOf(now_)) {
       return level;
     }
   }
@@ -127,7 +170,7 @@ void HierarchicalWheel::FileAt(std::size_t level, std::size_t slot_index,
 void HierarchicalWheel::Insert(TimerRecord* rec) {
   const std::size_t level = FindLevel(rec->expiry_tick);
   const Level& lv = levels_[level];
-  FileAt(level, (rec->expiry_tick / lv.granularity) % lv.size, rec);
+  FileAt(level, lv.SlotOf(lv.UnitOf(rec->expiry_tick)), rec);
 }
 
 void HierarchicalWheel::InsertNoMigration(TimerRecord* rec) {
@@ -150,10 +193,10 @@ void HierarchicalWheel::InsertNoMigration(TimerRecord* rec) {
     const Level& lv = levels_[level];
     ++counts_.comparisons;
     const std::uint64_t target_unit =
-        (rec->expiry_tick + lv.granularity / 2) / lv.granularity;
-    const std::uint64_t distance = target_unit - now_ / lv.granularity;
+        lv.UnitOf(rec->expiry_tick + lv.granularity / 2);
+    const std::uint64_t distance = target_unit - lv.UnitOf(now_);
     if (distance >= 1 && distance <= lv.size) {
-      FileAt(level, target_unit % lv.size, rec);
+      FileAt(level, lv.SlotOf(target_unit), rec);
       return;
     }
   }
@@ -206,7 +249,7 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
       ++counts_.migrations;
       ++rec->migrations_done;
       const Level& below = levels_[level - 1];
-      FileAt(level - 1, (rec->expiry_tick / below.granularity) % below.size, rec);
+      FileAt(level - 1, below.SlotOf(below.UnitOf(rec->expiry_tick)), rec);
     } else {
       // Full migration: re-file by expiry; lands at a strictly finer level because
       // this level's unit boundary has been reached.
@@ -221,9 +264,9 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
 std::optional<Tick> HierarchicalWheel::NextOccupiedVisitTick() const {
   std::optional<Tick> best;
   for (const Level& lv : levels_) {
-    const std::uint64_t unit = now_ / lv.granularity;
+    const std::uint64_t unit = lv.UnitOf(now_);
     const std::optional<std::size_t> dist =
-        lv.occupancy.NextSetDistance(unit % lv.size);
+        lv.occupancy.NextSetDistance(lv.SlotOf(unit));
     if (dist.has_value()) {
       const Tick visit = (unit + *dist) * lv.granularity;
       if (!best.has_value() || visit < *best) {
@@ -250,7 +293,7 @@ std::size_t HierarchicalWheel::BatchAdvance(Tick target, bool count_ticks) {
     // cursor moves, all provably landing on empty slots.
     const Tick probe_limit = (next.has_value() && *next == stop) ? stop - 1 : stop;
     for (const Level& lv : levels_) {
-      counts_.slots_skipped += probe_limit / lv.granularity - now_ / lv.granularity;
+      counts_.slots_skipped += lv.UnitOf(probe_limit) - lv.UnitOf(now_);
     }
     if (count_ticks) {
       counts_.ticks += stop - now_;

@@ -75,6 +75,10 @@ class HierarchicalWheel final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // In-place reschedule: O(1) unlink from the current (level, slot), then the
+  // O(m) digit-rule re-file, with both occupancy bitmaps maintained and the
+  // migration allowance reset. kIntervalOutOfRange leaves the old deadline.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::size_t AdvanceTo(Tick target) override;
   // kFull: exact — earliest absolute expiry among residents (bitmap-confined O(n)
@@ -114,8 +118,33 @@ class HierarchicalWheel final : public TimerServiceBase {
   struct Level {
     std::size_t size = 0;
     Duration granularity = 0;
+    // Power-of-two fast path for the digit arithmetic on the start/restart and
+    // advance hot paths: the common configurations use power-of-two level
+    // sizes, making every granularity (a product of finer sizes) a power of
+    // two as well, so unit extraction and slot reduction become a shift and a
+    // mask instead of two 64-bit divisions. unit_shift is meaningful only when
+    // pow2_granularity, slot_mask only when pow2_size; odd-sized hierarchies
+    // (60/60/24/100) keep the division path.
+    std::uint8_t unit_shift = 0;
+    bool pow2_granularity = false;
+    std::uint64_t slot_mask = 0;
+    bool pow2_size = false;
     std::vector<IntrusiveList<TimerRecord>> slots;
     OccupancyBitmap occupancy{1};  // re-sized in the constructor
+
+    // The level-L unit digit of an absolute tick (t / granularity).
+    std::uint64_t UnitOf(Tick t) const {
+      return pow2_granularity ? t >> unit_shift : t / granularity;
+    }
+    // t mod granularity: zero exactly at this level's cursor-advance ticks.
+    Tick OffsetInUnit(Tick t) const {
+      return pow2_granularity ? (t & (granularity - 1)) : t % granularity;
+    }
+    // unit mod size: the slot a unit digit files into.
+    std::size_t SlotOf(std::uint64_t unit) const {
+      return static_cast<std::size_t>(pow2_size ? (unit & slot_mask)
+                                                : unit % size);
+    }
   };
 
   // Highest level whose unit digit of `expiry` differs from the current time's

@@ -74,6 +74,44 @@ TimerError HybridWheel::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError HybridWheel::RestartTimer(TimerHandle handle, Duration new_interval) {
+  TimerError error = TimerError::kOk;
+  TimerRecord* rec = ResolveForRestart(handle, new_interval, &error);
+  if (rec == nullptr) {
+    return error;
+  }
+  rec->Unlink();  // O(1) regardless of residence
+  if (rec->home_slot != TimerRecord::kNoIndex && slots_[rec->home_slot].empty()) {
+    occupancy_.Clear(rec->home_slot);
+  }
+  StampRestart(rec, new_interval);
+  // Residence is re-decided from scratch, so all four transitions
+  // (wheel<->wheel, wheel<->annex) fall out of the same two branches
+  // StartTimer uses.
+  if (new_interval < slots_.size()) {
+    const std::size_t index = (cursor_ + new_interval) % slots_.size();
+    rec->home_slot = static_cast<std::uint32_t>(index);
+    slots_[index].PushBack(rec);
+    occupancy_.Set(index);
+  } else {
+    rec->home_slot = TimerRecord::kNoIndex;
+    TimerRecord* cur = overflow_.front();
+    while (cur != nullptr) {
+      ++counts_.comparisons;
+      if (cur->expiry_tick > rec->expiry_tick) {
+        break;
+      }
+      cur = overflow_.Next(cur);
+    }
+    if (cur == nullptr) {
+      overflow_.PushBack(rec);
+    } else {
+      overflow_.InsertBefore(rec, cur);
+    }
+  }
+  return TimerError::kOk;
+}
+
 std::size_t HybridWheel::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

@@ -38,6 +38,10 @@ class HybridWheel final : public TimerServiceBase {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // In-place reschedule across all four residence transitions (wheel<->wheel,
+  // wheel<->annex): O(1) unlink, then the same placement decision as
+  // StartTimer (O(1) wheel relink or sorted annex insert).
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
   std::size_t AdvanceTo(Tick target) override;
   // Exact: min(wheel's cursor-to-next-set-bit distance, overflow list head). Both

@@ -63,6 +63,35 @@ class TimerService {
   // kNoSuchTimer if the handle is stale (already expired, already stopped, invalid).
   virtual TimerError StopTimer(TimerHandle handle) = 0;
 
+  // RESTART_TIMER — reschedule an outstanding timer to expire `new_interval`
+  // ticks from now, keeping its cookie. This is the hot operation of the
+  // paper's motivating clients (Section 2's TCP retransmission and keepalive
+  // timers restart on every ACK; they almost never expire). Returns kOk on
+  // success, kZeroInterval for new_interval == 0, kNoSuchTimer for a stale
+  // handle, and kIntervalOutOfRange from bounded-range schemes under
+  // OverflowPolicy::kReject — in which case the timer is left untouched at its
+  // old deadline.
+  //
+  // Contract on success: the handle (and its generation) REMAINS VALID — the
+  // caller keeps using the same handle for later stops and restarts. Every
+  // scheme in this repository honors that with an in-place override (unlink /
+  // relink, sift, or rotate — never freeing the record). This base default is
+  // the semantic definition only — stop + start through the public interface —
+  // and cannot recover the cookie or keep the handle, so any service that is
+  // differentially verified must override it (TimerServiceBase provides the
+  // cookie-preserving arena-aware fallback).
+  virtual TimerError RestartTimer(TimerHandle handle, Duration new_interval) {
+    if (new_interval == 0) {
+      return TimerError::kZeroInterval;
+    }
+    const TimerError stopped = StopTimer(handle);
+    if (stopped != TimerError::kOk) {
+      return stopped;
+    }
+    StartResult restarted = StartTimer(new_interval, RequestId{0});
+    return restarted.has_value() ? TimerError::kOk : restarted.error();
+  }
+
   // PER_TICK_BOOKKEEPING. Advances the clock by one tick and dispatches
   // EXPIRY_PROCESSING for every timer due at the new time. Returns the number of
   // timers that expired on this tick.
@@ -162,6 +191,29 @@ class TimerServiceBase : public TimerService {
   metrics::OpCounts counts() const final { return counts_; }
   void set_expiry_handler(ExpiryHandler handler) final { handler_ = std::move(handler); }
 
+  // Cookie-preserving stop+start fallback: recovers the client's RequestId from
+  // the arena before the stop, so the rescheduled timer keeps its cookie — but
+  // the arena recycles the slot, so the caller's handle is burned. Every scheme
+  // in this repository overrides this with an in-place relink that keeps the
+  // handle valid; the fallback remains for derived services outside the
+  // differential matrix (sim::TegasWheel, hw::ChipAssistedWheel).
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override {
+    if (new_interval == 0) {
+      return TimerError::kZeroInterval;
+    }
+    TimerRecord* rec = Resolve(handle);
+    if (rec == nullptr) {
+      return TimerError::kNoSuchTimer;
+    }
+    const RequestId request_id = rec->request_id;
+    const TimerError stopped = StopTimer(handle);
+    if (stopped != TimerError::kOk) {
+      return stopped;
+    }
+    StartResult restarted = StartTimer(new_interval, request_id);
+    return restarted.has_value() ? TimerError::kOk : restarted.error();
+  }
+
  protected:
   // Allocate and pre-fill a record; nullptr when the arena is full.
   TimerRecord* AllocateRecord(Duration interval, RequestId request_id) {
@@ -185,6 +237,35 @@ class TimerServiceBase : public TimerService {
   // Return a record's storage to the arena (after unlinking it from any structure).
   void ReleaseRecord(TimerRecord* rec) {
     arena_.Free(SlabRef{rec->self.slot, rec->self.generation});
+  }
+
+  // Shared prologue for the in-place RestartTimer overrides: validate the new
+  // interval and resolve the handle. On failure returns nullptr with *error
+  // set; the scheme's structures are untouched.
+  TimerRecord* ResolveForRestart(TimerHandle handle, Duration new_interval,
+                                 TimerError* error) const {
+    if (new_interval == 0) {
+      *error = TimerError::kZeroInterval;
+      return nullptr;
+    }
+    TimerRecord* rec = Resolve(handle);
+    if (rec == nullptr) {
+      *error = TimerError::kNoSuchTimer;
+      return nullptr;
+    }
+    return rec;
+  }
+
+  // Shared epilogue: re-stamp the record's schedule fields (the caller then
+  // re-files it by the fresh expiry_tick) and account the restart. A restart is
+  // deliberately neither a start nor a stop in OpCounts: the conservation law
+  // stays start_calls == expiries + cancels + outstanding.
+  void StampRestart(TimerRecord* rec, Duration new_interval) {
+    rec->start_tick = now_;
+    rec->interval = new_interval;
+    rec->expiry_tick = now_ + new_interval;
+    ++counts_.restart_calls;
+    ++counts_.restart_relink_ops;
   }
 
   // Dispatch EXPIRY_PROCESSING for `rec` and release it. The record must already be

@@ -61,6 +61,19 @@ struct OpCounts {
   // spirit as the paper's elementary-operation accounting. Zero under no
   // contention (the enqueue is then wait-free: one CAS, one store).
   std::uint64_t submit_retries = 0;
+  // RestartTimer invocations that found a live timer and rescheduled it. A
+  // restart is neither a start nor a stop: the conservation law is
+  // start_calls == expiries + cancels + outstanding regardless of restarts.
+  std::uint64_t restart_calls = 0;
+  // Elementary relink work done by in-place restarts: one unlink from the old
+  // position plus one link at the new one counts 1 here (the wheels' O(1)
+  // move); sift/rebalance steps in the comparison-based schemes add their
+  // comparisons to `comparisons` as usual.
+  std::uint64_t restart_relink_ops = 0;
+  // Deferred-mode restarts that never became a command because the timer's
+  // start was still pending in the submission ring: the new deadline was
+  // coalesced into the registration entry in place.
+  std::uint64_t restart_coalesced = 0;
 
   OpCounts& operator+=(const OpCounts& o) {
     start_calls += o.start_calls;
@@ -79,6 +92,9 @@ struct OpCounts {
     enqueued_starts += o.enqueued_starts;
     drained_commands += o.drained_commands;
     submit_retries += o.submit_retries;
+    restart_calls += o.restart_calls;
+    restart_relink_ops += o.restart_relink_ops;
+    restart_coalesced += o.restart_coalesced;
     return *this;
   }
 
@@ -99,6 +115,9 @@ struct OpCounts {
     a.enqueued_starts -= b.enqueued_starts;
     a.drained_commands -= b.drained_commands;
     a.submit_retries -= b.submit_retries;
+    a.restart_calls -= b.restart_calls;
+    a.restart_relink_ops -= b.restart_relink_ops;
+    a.restart_coalesced -= b.restart_coalesced;
     return a;
   }
 

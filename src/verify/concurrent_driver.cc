@@ -49,11 +49,21 @@ struct OpRecord {
   bool started = false;       // StartTimer returned a handle
   bool cancelled_ok = false;  // our StopTimer returned kOk
   bool cancel_missed = false; // our StopTimer returned kNoSuchTimer
+  // Last successful in-place restart of this timer: the fire-tick lower bound
+  // becomes restart_observed_now + restart_interval. A restart committed
+  // before the old deadline therefore makes an old-deadline fire a violation.
+  bool restarted = false;
+  Tick restart_observed_now = 0;
+  Duration restart_interval = 0;
+  bool restart_missed = false;  // RestartTimer returned kNoSuchTimer (fire won)
 };
 
 struct ProducerLog {
   std::vector<OpRecord> ops;
   std::size_t start_rejects = 0;
+  std::size_t restarts = 0;
+  std::size_t restart_misses = 0;
+  std::size_t restart_rejects = 0;
 };
 
 // The dispatch stream, appended under `mutex` by whichever single thread is
@@ -93,6 +103,35 @@ void RaceProducer(TimerService& sut, const TortureOptions& options,
   for (std::size_t i = 0; i < options.ops_per_producer; ++i) {
     if ((i & 15) == 0) {
       std::this_thread::yield();  // stretch the episode across more ticks
+    }
+    if (!live.empty() && rng.NextBool(options.restart_probability)) {
+      const std::size_t pick = rng.NextBounded(live.size());
+      const auto [seq, handle] = live[pick];
+      const Duration new_interval =
+          options.min_interval +
+          rng.NextBounded(options.max_interval - options.min_interval + 1);
+      // Read now() BEFORE the call: a lower bound on the now the service mints
+      // the new deadline from, hence on the legal fire tick minus interval.
+      const Tick observed = sut.now();
+      const TimerError err = sut.RestartTimer(handle, new_interval);
+      if (err == TimerError::kOk) {
+        // Handle stays valid in place — the timer remains in `live` and later
+        // stops/restarts reuse the very same handle.
+        log.ops[seq].restarted = true;
+        log.ops[seq].restart_observed_now = observed;
+        log.ops[seq].restart_interval = new_interval;
+        ++log.restarts;
+      } else if (err == TimerError::kNoSuchTimer) {
+        // The fire won the race; exactly-once demands the cookie shows up in
+        // the fire log (checked later) and the handle is dead.
+        log.ops[seq].restart_missed = true;
+        live[pick] = live.back();
+        live.pop_back();
+        ++log.restart_misses;
+      } else {
+        ++log.restart_rejects;  // ring backpressure under kReject; timer unmoved
+      }
+      continue;
     }
     if (!live.empty() && rng.NextBool(options.stop_probability)) {
       const std::size_t pick = rng.NextBounded(live.size());
@@ -171,6 +210,9 @@ void CheckRaceLogs(const std::vector<ProducerLog>& logs, const FireLog& fire_log
   for (std::size_t producer = 0; producer < logs.size(); ++producer) {
     const ProducerLog& log = logs[producer];
     report.start_rejects += log.start_rejects;
+    report.restarts += log.restarts;
+    report.restart_misses += log.restart_misses;
+    report.restart_rejects += log.restart_rejects;
     for (std::uint64_t seq = 0; seq < log.ops.size(); ++seq) {
       const OpRecord& op = log.ops[seq];
       if (!op.started) {
@@ -204,15 +246,24 @@ void CheckRaceLogs(const std::vector<ProducerLog>& logs, const FireLog& fire_log
         fail(Format("timer %zu/%llu fired %zu times", producer,
                     static_cast<unsigned long long>(seq), it->second.first));
       }
-      if (it->second.second < op.observed_now + op.interval) {
+      // A committed restart supersedes the original deadline: the fire must
+      // respect the LAST successful restart's bound, so a restarted timer that
+      // still fires at its old (earlier) deadline is caught right here.
+      const Tick bound = op.restarted
+                             ? op.restart_observed_now + op.restart_interval
+                             : op.observed_now + op.interval;
+      if (it->second.second < bound) {
         fail(Format("timer %zu/%llu fired early: at %llu, but observed now %llu "
-                    "+ interval %llu = %llu",
+                    "+ interval %llu = %llu%s",
                     producer, static_cast<unsigned long long>(seq),
                     static_cast<unsigned long long>(it->second.second),
-                    static_cast<unsigned long long>(op.observed_now),
-                    static_cast<unsigned long long>(op.interval),
-                    static_cast<unsigned long long>(op.observed_now +
-                                                    op.interval)));
+                    static_cast<unsigned long long>(
+                        op.restarted ? op.restart_observed_now
+                                     : op.observed_now),
+                    static_cast<unsigned long long>(
+                        op.restarted ? op.restart_interval : op.interval),
+                    static_cast<unsigned long long>(bound),
+                    op.restarted ? " (after in-place restart)" : ""));
       }
     }
   }
@@ -292,9 +343,10 @@ TortureReport RunRace(TimerService& sut, const TortureOptions& options) {
 // ---------------------------------------------------------------------------
 
 struct LockstepOp {
-  bool is_start = false;
-  RequestId cookie = 0;       // start: new cookie; cancel: target's cookie
-  Duration interval = 0;      // start only
+  enum class Kind : std::uint8_t { kStart, kCancel, kRestart };
+  Kind kind = Kind::kStart;
+  RequestId cookie = 0;       // start: new cookie; cancel/restart: target's
+  Duration interval = 0;      // start and restart
   TimerError result = TimerError::kOk;
   bool started = false;       // start only: handle returned
 };
@@ -335,26 +387,56 @@ TortureReport RunLockstep(TimerService& sut, const TortureOptions& options) {
   auto replay_round = [&](std::vector<LockstepThread>& threads) {
     for (std::size_t p = 0; p < threads.size(); ++p) {
       for (const LockstepOp& op : threads[p].round_ops) {
-        if (op.is_start) {
-          if (!op.started) {
-            fail(Format("lockstep: StartTimer rejected with %s (size the "
-                        "submission capacities above the episode's live set)",
-                        TimerErrorName(op.result)));
-            continue;
+        switch (op.kind) {
+          case LockstepOp::Kind::kStart: {
+            if (!op.started) {
+              fail(Format("lockstep: StartTimer rejected with %s (size the "
+                          "submission capacities above the episode's live set)",
+                          TimerErrorName(op.result)));
+              continue;
+            }
+            StartResult r = oracle.StartTimer(op.interval, op.cookie);
+            TWHEEL_ASSERT_MSG(r.has_value(), "oracle rejected a start");
+            oracle_handles.emplace(op.cookie, r.value());
+            break;
           }
-          StartResult r = oracle.StartTimer(op.interval, op.cookie);
-          TWHEEL_ASSERT_MSG(r.has_value(), "oracle rejected a start");
-          oracle_handles.emplace(op.cookie, r.value());
-        } else {
-          const auto it = oracle_handles.find(op.cookie);
-          TWHEEL_ASSERT_MSG(it != oracle_handles.end(),
-                            "cancel of a cookie the oracle never saw");
-          const TimerError oracle_err = oracle.StopTimer(it->second);
-          if (oracle_err != op.result) {
-            fail(Format("lockstep: StopTimer(%llu) returned %s but oracle says "
-                        "%s",
-                        static_cast<unsigned long long>(op.cookie),
-                        TimerErrorName(op.result), TimerErrorName(oracle_err)));
+          case LockstepOp::Kind::kCancel: {
+            const auto it = oracle_handles.find(op.cookie);
+            TWHEEL_ASSERT_MSG(it != oracle_handles.end(),
+                              "cancel of a cookie the oracle never saw");
+            const TimerError oracle_err = oracle.StopTimer(it->second);
+            if (oracle_err != op.result) {
+              fail(Format("lockstep: StopTimer(%llu) returned %s but oracle "
+                          "says %s",
+                          static_cast<unsigned long long>(op.cookie),
+                          TimerErrorName(op.result),
+                          TimerErrorName(oracle_err)));
+            }
+            break;
+          }
+          case LockstepOp::Kind::kRestart: {
+            // In-place on both sides: the oracle's handle survives a kOk
+            // restart exactly as the SUT's does, so no handle rebinding is
+            // needed — call-for-call result parity is the whole check.
+            const auto it = oracle_handles.find(op.cookie);
+            TWHEEL_ASSERT_MSG(it != oracle_handles.end(),
+                              "restart of a cookie the oracle never saw");
+            const TimerError oracle_err =
+                oracle.RestartTimer(it->second, op.interval);
+            if (op.result == TimerError::kOk) {
+              ++report.restarts;
+            } else if (op.result == TimerError::kNoSuchTimer) {
+              ++report.restart_misses;
+            }
+            if (oracle_err != op.result) {
+              fail(Format("lockstep: RestartTimer(%llu, %llu) returned %s but "
+                          "oracle says %s",
+                          static_cast<unsigned long long>(op.cookie),
+                          static_cast<unsigned long long>(op.interval),
+                          TimerErrorName(op.result),
+                          TimerErrorName(oracle_err)));
+            }
+            break;
           }
         }
       }
@@ -433,16 +515,32 @@ TortureReport RunLockstep(TimerService& sut, const TortureOptions& options) {
         me.round_ops.clear();
         for (std::size_t i = 0; i < options.ops_per_producer; ++i) {
           LockstepOp op;
-          if (!me.live.empty() && rng.NextBool(options.stop_probability)) {
+          if (!me.live.empty() && rng.NextBool(options.restart_probability)) {
+            const std::size_t pick = rng.NextBounded(me.live.size());
+            const auto [cookie, handle] = me.live[pick];
+            op.kind = LockstepOp::Kind::kRestart;
+            op.cookie = cookie;
+            op.interval = options.min_interval +
+                          rng.NextBounded(options.max_interval -
+                                          options.min_interval + 1);
+            op.result = sut.RestartTimer(handle, op.interval);
+            if (op.result == TimerError::kNoSuchTimer) {
+              // Fired in an earlier round; the handle is dead on both sides.
+              me.live[pick] = me.live.back();
+              me.live.pop_back();
+            }
+            // kOk: the handle stays valid in place — keep racing it.
+          } else if (!me.live.empty() &&
+                     rng.NextBool(options.stop_probability)) {
             const std::size_t pick = rng.NextBounded(me.live.size());
             const auto [cookie, handle] = me.live[pick];
             me.live[pick] = me.live.back();
             me.live.pop_back();
-            op.is_start = false;
+            op.kind = LockstepOp::Kind::kCancel;
             op.cookie = cookie;
             op.result = sut.StopTimer(handle);
           } else {
-            op.is_start = true;
+            op.kind = LockstepOp::Kind::kStart;
             op.interval = options.min_interval +
                           rng.NextBounded(options.max_interval -
                                           options.min_interval + 1);

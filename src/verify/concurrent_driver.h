@@ -74,6 +74,15 @@ struct TortureOptions {
   // Probability that a producer stops one of its own live timers instead of
   // starting a new one.
   double stop_probability = 0.4;
+  // Probability that a producer RESTARTS one of its own live timers instead.
+  // kOk commits the restart: the handle stays valid (the producer keeps using
+  // it), and the checker requires the eventual fire tick to be >= the
+  // producer's observed now() at the LAST successful restart + its interval —
+  // so a restarted-before-its-old-deadline timer that fires at the old
+  // deadline is flagged. kNoSuchTimer means a fire (or claim) won the race:
+  // the cookie must then appear in the fire log exactly once — restart-vs-fire
+  // resolves exactly once, never both and never neither.
+  double restart_probability = 0.0;
 
   // kManualRace: ticks the driver thread delivers while producers run, and the
   // probability a delivery is an AdvanceTo batch (uniform in [1, max_jump])
@@ -99,6 +108,9 @@ struct TortureReport {
   std::size_t start_rejects = 0;   // kNoCapacity (counted, not a violation)
   std::size_t cancels = 0;         // StopTimer calls that returned kOk
   std::size_t cancel_misses = 0;   // StopTimer calls that returned kNoSuchTimer
+  std::size_t restarts = 0;        // RestartTimer calls that returned kOk
+  std::size_t restart_misses = 0;  // kNoSuchTimer: the fire won the race
+  std::size_t restart_rejects = 0; // kNoCapacity (counted, not a violation)
   std::size_t fires = 0;           // expiry dispatches observed
   std::size_t ticks_run = 0;       // clock advancement seen by the service
 };

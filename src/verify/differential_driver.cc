@@ -32,6 +32,9 @@ struct TickAction {
   RequestId sibling_id = 0;
   TimerHandle sibling_oracle;
   TimerHandle sibling_sut;
+  RequestId restart_sibling_id = 0;  // in-handler restart of a later-due sibling
+  TimerHandle restart_sibling_oracle;
+  Duration restart_sibling_interval = 0;
 };
 
 class Episode {
@@ -86,11 +89,12 @@ class Episode {
       const metrics::OpCounts a = sut_.counts();
       const metrics::OpCounts b = oracle_.counts();
       if (a.start_calls != b.start_calls || a.ticks != b.ticks ||
-          a.expiries != b.expiries) {
+          a.expiries != b.expiries || a.restart_calls != b.restart_calls) {
         std::ostringstream os;
         os << "routine counters diverge: starts " << a.start_calls << "/"
            << b.start_calls << " ticks " << a.ticks << "/" << b.ticks
-           << " expiries " << a.expiries << "/" << b.expiries;
+           << " expiries " << a.expiries << "/" << b.expiries << " restarts "
+           << a.restart_calls << "/" << b.restart_calls;
         Diverge(now_, os.str());
       }
     }
@@ -138,8 +142,98 @@ class Episode {
       Retire(e.sut, e.oracle);
       ++report_.stops;
     }
+    if (report_.ok && rng_.NextBool(options_.restart_probability) &&
+        !live_ids_.empty()) {
+      RestartLive();
+    }
+    if (report_.ok && rng_.NextBool(options_.restart_zero_probability) &&
+        !live_ids_.empty()) {
+      // A zero-interval restart must be refused on both sides and must leave
+      // the victim untouched: its Entry keeps the old expiry, so the usual
+      // per-tick set comparison verifies it still fires at the old deadline.
+      const RequestId victim = live_ids_[rng_.NextBounded(live_ids_.size())];
+      const Entry& e = live_.find(victim)->second;
+      const TimerError rs = sut_.RestartTimer(e.sut, 0);
+      const TimerError ro = oracle_.RestartTimer(e.oracle, 0);
+      if (rs != TimerError::kZeroInterval || ro != TimerError::kZeroInterval) {
+        std::ostringstream os;
+        os << "zero-interval restart of live id " << victim
+           << " not rejected identically: sut=" << TimerErrorName(rs)
+           << " oracle=" << TimerErrorName(ro);
+        Diverge(now_, os.str());
+        return;
+      }
+      ++report_.zero_restarts;
+    }
+    if (report_.ok && rng_.NextBool(options_.restart_stale_probability)) {
+      RestartStale();
+    }
     if (report_.ok && rng_.NextBool(options_.stale_poke_probability)) {
       PokeStale();
+    }
+  }
+
+  // In-place restart of one random live timer: kOk on both sides, the SAME
+  // handle pair stays valid afterwards (a later stop or second restart reuses
+  // it — the semantic payoff over stop+start), and the driver's expiry
+  // prediction moves to now + interval so every subsequent tick's set
+  // comparison pins the never-fires-at-the-old-deadline half of the contract.
+  void RestartLive() {
+    const RequestId victim = live_ids_[rng_.NextBounded(live_ids_.size())];
+    auto it = live_.find(victim);
+    const Duration interval =
+        options_.restart_interval != 0
+            ? options_.restart_interval
+            : options_.min_interval +
+                  rng_.NextBounded(options_.max_interval -
+                                   options_.min_interval + 1);
+    const TimerError rs = sut_.RestartTimer(it->second.sut, interval);
+    const TimerError ro = oracle_.RestartTimer(it->second.oracle, interval);
+    if (rs != TimerError::kOk || ro != TimerError::kOk) {
+      std::ostringstream os;
+      os << "restart(" << interval << ") of live id " << victim
+         << ": sut=" << TimerErrorName(rs) << " oracle=" << TimerErrorName(ro);
+      Diverge(now_, os.str());
+      return;
+    }
+    it->second.expiry = now_ + interval;
+    ++report_.restarts;
+  }
+
+  // Restart-of-expired, restart-of-cancelled (retired_ holds both), and
+  // fabricated/null handles: kNoSuchTimer on both sides, nothing disturbed.
+  void RestartStale() {
+    ++report_.stale_restarts;
+    TimerHandle sut_h;
+    TimerHandle oracle_h;
+    switch (rng_.NextBounded(3)) {
+      case 0:
+        if (retired_.empty()) {
+          return;
+        }
+        std::tie(sut_h, oracle_h) = retired_[rng_.NextBounded(retired_.size())];
+        break;
+      case 1:
+        sut_h = TimerHandle{static_cast<std::uint32_t>(rng_.NextBounded(1u << 20)),
+                            0xDEADBEEFu};
+        oracle_h = sut_h;
+        break;
+      default:
+        sut_h = kInvalidHandle;
+        oracle_h = kInvalidHandle;
+        break;
+    }
+    const Duration interval =
+        options_.min_interval +
+        rng_.NextBounded(options_.max_interval - options_.min_interval + 1);
+    const TimerError rs = sut_.RestartTimer(sut_h, interval);
+    const TimerError ro = oracle_.RestartTimer(oracle_h, interval);
+    if (rs != TimerError::kNoSuchTimer || ro != TimerError::kNoSuchTimer) {
+      std::ostringstream os;
+      os << "stale restart (slot " << sut_h.slot << " gen " << sut_h.generation
+         << ") not refused: sut=" << TimerErrorName(rs)
+         << " oracle=" << TimerErrorName(ro);
+      Diverge(now_, os.str());
     }
   }
 
@@ -207,6 +301,7 @@ class Episode {
     actions_.clear();
     fired_handles_.clear();
     pending_.clear();
+    claimed_siblings_.clear();
 
     const std::size_t ns = sut_.PerTickBookkeeping();
     const std::size_t no = oracle_.PerTickBookkeeping();
@@ -270,6 +365,29 @@ class Episode {
       std::ostringstream os;
       os << "outstanding mismatch: sut " << sut_.outstanding() << ", oracle "
          << oracle_.outstanding() << ", driver " << live_.size();
+      Diverge(now_, os.str());
+    }
+    if (report_.ok) {
+      CheckConservation();
+    }
+  }
+
+  // Conservation law, checked after every tick and every jump: each accepted
+  // start is resolved by exactly one of {expiry, cancel, still outstanding}.
+  // Restarts are deliberately absent from both sides of the identity — a
+  // restart is neither a start nor a cancel — so any implementation that
+  // double-fires, leaks, or mis-reclaims a restarted record breaks the
+  // equation within one tick of the defect.
+  void CheckConservation() {
+    const std::size_t starts = report_.starts + report_.handler_rearms +
+                               report_.handler_next_tick_starts;
+    const std::size_t cancels = report_.stops + report_.handler_sibling_stops;
+    if (starts != report_.expiries + cancels + live_.size()) {
+      std::ostringstream os;
+      os << "conservation violated: starts " << starts << " != expiries "
+         << report_.expiries << " + cancels " << cancels << " + outstanding "
+         << live_.size() << " (restarts so far: "
+         << report_.restarts + report_.handler_sibling_restarts << ")";
       Diverge(now_, os.str());
     }
   }
@@ -367,6 +485,9 @@ class Episode {
          << ", oracle " << oracle_.outstanding() << ", driver " << live_.size();
       Diverge(now_, os.str());
     }
+    if (report_.ok) {
+      CheckConservation();
+    }
   }
 
   // ---- expiry handlers ------------------------------------------------------
@@ -455,11 +576,14 @@ class Episode {
     if (rng_.NextBool(options_.stop_sibling_probability)) {
       // Only siblings strictly due later are legal victims: a same-tick sibling
       // may or may not have fired yet depending on the scheme's sweep order.
+      // Siblings already restarted by ANOTHER handler this tick are off limits
+      // too: a restarted sibling stays live, and a stop layered on top would
+      // make the call results depend on which handler the oracle replays first.
       for (int probe = 0; probe < 8 && !live_ids_.empty(); ++probe) {
         const RequestId candidate =
             live_ids_[rng_.NextBounded(live_ids_.size())];
         auto sit = live_.find(candidate);
-        if (sit->second.expiry <= current_tick_) {
+        if (sit->second.expiry <= current_tick_ || SiblingClaimed(candidate)) {
           continue;
         }
         const Entry sibling = sit->second;
@@ -475,7 +599,50 @@ class Episode {
         action.sibling_id = candidate;
         action.sibling_oracle = sibling.oracle;
         action.sibling_sut = sibling.sut;
+        claimed_siblings_.push_back(candidate);
         ++report_.handler_sibling_stops;
+        break;
+      }
+    }
+    if (rng_.NextBool(options_.restart_sibling_probability)) {
+      // Same later-due victim rule as stop_sibling. The relink happens while
+      // the scheme is mid-dispatch: with restart_sibling_interval set to the
+      // table size it lands the sibling in the very bucket being swept, where
+      // only the rounds/revolution arithmetic keeps it from firing a whole
+      // wheel revolution early. The sibling STAYS live (same handles, new
+      // expiry prediction) — which is exactly why it must be CLAIMED for the
+      // tick: unlike a stopped sibling it remains a temptation for handlers
+      // that fire later in the sweep, and a second stop/restart layered on it
+      // would replay in a different order on the oracle side (intra-tick
+      // dispatch order is unspecified) with visibly different call results.
+      for (int probe = 0; probe < 8 && !live_ids_.empty(); ++probe) {
+        const RequestId candidate =
+            live_ids_[rng_.NextBounded(live_ids_.size())];
+        auto sit = live_.find(candidate);
+        if (sit->second.expiry <= current_tick_ ||
+            candidate == action.sibling_id || SiblingClaimed(candidate)) {
+          continue;
+        }
+        const Duration d =
+            options_.restart_sibling_interval != 0
+                ? options_.restart_sibling_interval
+                : options_.min_interval +
+                      rng_.NextBounded(options_.max_interval -
+                                       options_.min_interval + 1);
+        const TimerError r = sut_.RestartTimer(sit->second.sut, d);
+        if (r != TimerError::kOk) {
+          std::ostringstream os;
+          os << "sut refused in-handler restart of future sibling " << candidate
+             << ": " << TimerErrorName(r);
+          Diverge(current_tick_, os.str());
+          return;
+        }
+        sit->second.expiry = current_tick_ + d;
+        action.restart_sibling_id = candidate;
+        action.restart_sibling_oracle = sit->second.oracle;
+        action.restart_sibling_interval = d;
+        claimed_siblings_.push_back(candidate);
+        ++report_.handler_sibling_restarts;
         break;
       }
     }
@@ -556,6 +723,17 @@ class Episode {
       }
       Retire(a.sibling_sut, a.sibling_oracle);
     }
+    if (a.restart_sibling_id != 0) {
+      const TimerError r = oracle_.RestartTimer(a.restart_sibling_oracle,
+                                                a.restart_sibling_interval);
+      if (r != TimerError::kOk) {
+        std::ostringstream os;
+        os << "oracle refused replayed sibling restart of id "
+           << a.restart_sibling_id << ": " << TimerErrorName(r);
+        Diverge(current_tick_, os.str());
+        return;
+      }
+    }
   }
 
   void ReplayStart(Duration interval, RequestId id) {
@@ -603,6 +781,11 @@ class Episode {
     }
   }
 
+  bool SiblingClaimed(RequestId id) const {
+    return std::find(claimed_siblings_.begin(), claimed_siblings_.end(), id) !=
+           claimed_siblings_.end();
+  }
+
   void Diverge(Tick tick, const std::string& what) {
     if (!report_.ok) {
       return;
@@ -644,6 +827,11 @@ class Episode {
   std::vector<RequestId> sut_fired_;
   std::vector<RequestId> oracle_fired_;
   std::unordered_map<RequestId, TickAction> actions_;
+  // Siblings stopped or restarted from inside a handler this tick. Each may be
+  // targeted by at most ONE in-handler action: a restarted sibling stays live,
+  // so two handlers hitting it in SUT dispatch order could see call results the
+  // oracle's replay order cannot reproduce.
+  std::vector<RequestId> claimed_siblings_;
   std::vector<std::pair<TimerHandle, TimerHandle>> fired_handles_;
   std::vector<Pending> pending_;
   // Per-jump scratch: (tick, id) so set comparison covers *which tick inside the

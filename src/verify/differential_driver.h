@@ -8,8 +8,13 @@
 //     order within a tick is deliberately NOT compared (Section 4.2);
 //   * both sides report the same expiry count, the same outstanding() population,
 //     and the same now();
-//   * StartTimer/StopTimer return identical results call-for-call, including the
-//     rejects (zero interval, stale handle);
+//   * StartTimer/StopTimer/RestartTimer return identical results call-for-call,
+//     including the rejects (zero interval, stale handle, restart-of-expired,
+//     restart-of-cancelled);
+//   * a restarted timer fires at exactly now + new_interval — never the old
+//     deadline — through the SAME handle pair, and the conservation law
+//     starts == expiries + cancels + outstanding holds after every tick
+//     (restarts are neither starts nor cancels);
 //   * stale handles — from expiry, from cancellation, or fabricated — are always
 //     refused with kNoSuchTimer, on both sides, even after the underlying slots
 //     have been recycled many times.
@@ -65,11 +70,38 @@ struct DriverOptions {
   double stale_poke_probability = 0.5;   // StopTimer on a retired/garbage handle
   double zero_interval_probability = 0.1;  // StartTimer(0): both must reject
 
+  // RestartTimer coverage. A restart relinks one random live timer in place:
+  // both sides must return kOk, the driver's handle pair stays valid (later
+  // stops reuse it — the handle-stability half of the contract), and the timer
+  // must fire at exactly now + the new interval, never the old deadline.
+  double restart_probability = 0.0;
+  // 0 = restart with a random interval in [min_interval, max_interval];
+  // nonzero = exactly this interval (tests pass the table size to land the
+  // relink in the bucket being swept next, or a span-crossing pivot to force
+  // wheel rollover).
+  Duration restart_interval = 0;
+  // RestartTimer on a retired handle — expired OR cancelled (retired_ holds
+  // both) — plus fabricated and null handles: kNoSuchTimer on both sides, and
+  // no live timer may be disturbed.
+  double restart_stale_probability = 0.0;
+  // RestartTimer(live, 0): both sides must reject with kZeroInterval and leave
+  // the timer untouched at its old deadline (verified when it later fires).
+  double restart_zero_probability = 0.0;
+
   // Per-expiry probabilities for the in-handler re-entrancy alphabet.
   double rearm_probability = 0.0;
   // 0 = re-arm with a random interval; nonzero = exactly this interval (set it to
   // the wheel's table size to land the re-arm back in the bucket being swept).
   Duration rearm_interval = 0;
+  // In-handler restart of a sibling due on a *later* tick (same victim rule as
+  // stop_sibling: intra-tick order is unspecified, so same-tick siblings are
+  // off limits — and a restart's new expiry is >= current_tick + 1, so the
+  // restarted sibling never joins the tick's committed expiry set).
+  double restart_sibling_probability = 0.0;
+  // 0 = random interval; nonzero = exact (table size lands the relink in the
+  // bucket currently being dispatched).
+  Duration restart_sibling_interval = 0;
+
   double stop_sibling_probability = 0.0;
   double start_next_tick_probability = 0.0;
   // StopTimer on the fired timer's own now-stale handle, from inside its handler.
@@ -98,6 +130,7 @@ struct DriverOptions {
   DriverOptions WithoutReentrancy() const {
     DriverOptions o = *this;
     o.rearm_probability = 0.0;
+    o.restart_sibling_probability = 0.0;
     o.stop_sibling_probability = 0.0;
     o.start_next_tick_probability = 0.0;
     o.self_poke_probability = 0.0;
@@ -115,8 +148,12 @@ struct DriverReport {
   std::size_t stops = 0;
   std::size_t expiries = 0;
   std::size_t stale_pokes = 0;
+  std::size_t restarts = 0;             // successful in-place relinks
+  std::size_t stale_restarts = 0;       // refused restart-of-expired/cancelled
+  std::size_t zero_restarts = 0;        // refused RestartTimer(live, 0)
   std::size_t handler_rearms = 0;
   std::size_t handler_sibling_stops = 0;
+  std::size_t handler_sibling_restarts = 0;
   std::size_t handler_next_tick_starts = 0;
   std::size_t jumps = 0;       // AdvanceTo batches executed
   std::size_t jump_ticks = 0;  // ticks covered by those batches (included in ticks_run)

@@ -34,6 +34,30 @@ TimerError OracleTimers::StopTimer(TimerHandle handle) {
   return TimerError::kOk;
 }
 
+TimerError OracleTimers::RestartTimer(TimerHandle handle,
+                                      Duration new_interval) {
+  if (new_interval == 0) {
+    return TimerError::kZeroInterval;
+  }
+  if (!handle.valid() || handle.generation != 1) {
+    return TimerError::kNoSuchTimer;
+  }
+  auto it = live_.find(handle.slot);
+  if (it == live_.end()) {
+    return TimerError::kNoSuchTimer;
+  }
+  // In-place by construction: the slot number — the handle — survives; only the
+  // multimap position moves. Mirrors the schemes' contract exactly: a restart
+  // is neither a start nor a stop, and the handle stays usable afterwards.
+  const RequestId request_id = it->second->second.request_id;
+  by_expiry_.erase(it->second);
+  it->second = by_expiry_.emplace(now_ + new_interval,
+                                  Pending{request_id, handle.slot});
+  ++counts_.restart_calls;
+  ++counts_.restart_relink_ops;
+  return TimerError::kOk;
+}
+
 std::size_t OracleTimers::PerTickBookkeeping() {
   ++counts_.ticks;
   ++now_;

@@ -41,6 +41,10 @@ class OracleTimers final : public TimerService {
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   TimerError StopTimer(TimerHandle handle) override;
+  // In-place restart: the multimap entry moves to now + new_interval but the
+  // slot — and therefore the caller's handle — survives, stating the
+  // handle-stability half of the RestartTimer contract by construction.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
   std::size_t PerTickBookkeeping() override;
 
   Tick now() const override { return now_; }

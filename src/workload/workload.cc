@@ -194,6 +194,73 @@ WorkloadResult Run(TimerService& service, const WorkloadSpec& spec) {
   return result;
 }
 
+RetransmitResult RunRetransmit(TimerService& service, const RetransmitSpec& spec) {
+  TWHEEL_ASSERT_MSG(spec.rto > 0, "RetransmitSpec::rto must be positive");
+  rng::Xoshiro256 gen(spec.seed);
+
+  RetransmitResult result;
+  result.scheme_name = std::string(service.name());
+
+  // Expiries are only *recorded* inside the handler and re-armed after the
+  // bookkeeping call returns: no in-handler mutation, so the workload runs on
+  // every scheme including LockedService.
+  std::vector<RequestId> expired;
+  service.set_expiry_handler([&expired](RequestId id, Tick /*when*/) {
+    expired.push_back(id);
+  });
+
+  std::vector<TimerHandle> handles(spec.connections, kInvalidHandle);
+  for (std::size_t c = 0; c < spec.connections; ++c) {
+    StartResult sr = service.StartTimer(spec.rto, c);
+    TWHEEL_ASSERT_MSG(sr.has_value(), "retransmit preload rejected");
+    handles[c] = sr.value();
+  }
+
+  const metrics::OpCounts baseline = service.counts();
+  auto wall_start = std::chrono::steady_clock::now();
+
+  for (Tick t = 0; t < spec.ticks; ++t) {
+    // ACK arrivals for this tick. The draw is unconditional — one bool per
+    // connection — so the RNG stream is identical across schemes even when
+    // their expiry timing differs.
+    for (std::size_t c = 0; c < spec.connections; ++c) {
+      if (!gen.NextBool(spec.ack_probability)) {
+        continue;
+      }
+      ++result.acks;
+      if (spec.use_restart) {
+        TimerError err = service.RestartTimer(handles[c], spec.rto);
+        TWHEEL_ASSERT_MSG(err == TimerError::kOk, "ACK restart hit a dead timer");
+        ++result.restarts_issued;
+      } else {
+        TimerError err = service.StopTimer(handles[c]);
+        TWHEEL_ASSERT_MSG(err == TimerError::kOk, "ACK stop hit a dead timer");
+        StartResult sr = service.StartTimer(spec.rto, c);
+        TWHEEL_ASSERT_MSG(sr.has_value(), "ACK re-start rejected");
+        handles[c] = sr.value();
+        ++result.stop_start_pairs;
+      }
+    }
+
+    service.PerTickBookkeeping();
+    ++result.ticks_run;
+
+    // Retransmit: a quiet connection's RTO fired; arm the next attempt.
+    for (RequestId id : expired) {
+      ++result.retransmissions;
+      StartResult sr = service.StartTimer(spec.rto, id);
+      TWHEEL_ASSERT_MSG(sr.has_value(), "retransmission re-arm rejected");
+      handles[static_cast<std::size_t>(id)] = sr.value();
+    }
+    expired.clear();
+  }
+
+  auto wall_end = std::chrono::steady_clock::now();
+  result.wall_seconds = std::chrono::duration<double>(wall_end - wall_start).count();
+  result.ops = service.counts() - baseline;
+  return result;
+}
+
 std::vector<ExpiryEvent> NormalizedTrace(const std::vector<ExpiryEvent>& trace) {
   std::vector<ExpiryEvent> sorted = trace;
   std::sort(sorted.begin(), sorted.end());

@@ -115,6 +115,57 @@ struct WorkloadResult {
 // Pre-draws the request stream for `spec` and replays it against `service`.
 WorkloadResult Run(TimerService& service, const WorkloadSpec& spec);
 
+// --- Restart-heavy TCP-retransmission workload ------------------------------
+//
+// Section 2's motivating client: a transport keeps one retransmission timer per
+// connection, restarts it on every ACK, and almost never lets it expire ("if
+// failures are infrequent these timers rarely expire"). This generator models
+// exactly that shape — `connections` live timers, each restarted to a fresh RTO
+// whenever a simulated ACK arrives, expiring (a "retransmission") only when the
+// ACK stream goes quiet for a full RTO — so the dominant operation is
+// RestartTimer, not StartTimer/StopTimer.
+//
+// Each tick, each connection independently receives an ACK with probability
+// `ack_probability`; a connection's loss (= expiry) probability per RTO window
+// is therefore (1 - ack_probability)^rto, which makes the ACK/loss ratio
+// directly tunable: ack_probability 1/8 with rto 64 loses ~0.02% of windows,
+// 1/32 loses ~13%. The ACK draw consumes exactly one RNG bool per
+// (tick, connection) pair regardless of timer state, so the request stream
+// depends only on the spec and two exact-expiry schemes given the same spec see
+// byte-identical call sequences.
+struct RetransmitSpec {
+  std::uint64_t seed = 1;
+
+  std::size_t connections = 1024;  // one retransmission timer each
+  Duration rto = 64;               // retransmission timeout, in ticks
+  double ack_probability = 0.125;  // per connection, per tick
+  Tick ticks = 4096;               // simulated clock horizon
+
+  // true: ACKs relink in place via RestartTimer (the handle survives).
+  // false: ACKs run the pre-RestartTimer fallback, StopTimer + StartTimer
+  // (fresh handle every ACK) — the baseline bench_restart compares against.
+  bool use_restart = true;
+};
+
+struct RetransmitResult {
+  std::string scheme_name;
+
+  std::size_t acks = 0;             // ACK events processed (one relink each)
+  std::size_t restarts_issued = 0;  // in-place RestartTimer calls (use_restart)
+  std::size_t stop_start_pairs = 0; // fallback relinks (use_restart == false)
+  std::size_t retransmissions = 0;  // expiries: the ACK stream went quiet
+  Tick ticks_run = 0;
+
+  double wall_seconds = 0.0;
+  metrics::OpCounts ops;  // op-count delta over the whole run
+};
+
+// Replays the retransmission workload against `service`. Every connection's
+// timer is live for the entire run (expiry immediately re-arms it after the
+// tick), so outstanding() stays pinned at `connections`. Requires a service
+// whose span covers `rto`.
+RetransmitResult RunRetransmit(TimerService& service, const RetransmitSpec& spec);
+
 // Normalizes a trace for cross-scheme equality: sorted by (tick, request_id).
 std::vector<ExpiryEvent> NormalizedTrace(const std::vector<ExpiryEvent>& trace);
 

@@ -1,0 +1,175 @@
+// Restart-aware differential model checking: every TimerService implementation
+// against the sorted-multimap oracle, with RestartTimer mixed into the seeded
+// decide-then-replay stream. The driver (src/verify/differential_driver.h)
+// checks after every tick that restarts agree call-for-call on BOTH sides:
+//
+//   * a kOk restart relinks in place — the handle pair stays valid, the timer
+//     fires at exactly now + new_interval and never at the old deadline;
+//   * restart-of-expired and restart-of-cancelled (the retired-handle pool
+//     holds both) and fabricated/null handles get kNoSuchTimer on both sides;
+//   * RestartTimer(live, 0) gets kZeroInterval on both sides and the timer
+//     still fires at its untouched old deadline;
+//   * in-handler restarts of later-due siblings land while the victim's bucket
+//     may be mid-dispatch (restart_sibling_interval pins the relink to the
+//     bucket currently being swept);
+//   * the conservation law starts == expiries + cancels + outstanding holds
+//     after every tick and jump (restarts are neither starts nor cancels) —
+//     CheckConservation inside the driver diverges the episode otherwise;
+//   * both sides report identical restart_calls in counts().
+
+#include <gtest/gtest.h>
+
+#include "src/verify/differential_driver.h"
+#include "tests/verify/all_services.h"
+
+namespace twheel::verify {
+namespace {
+
+using verify_tests::AllServiceCases;
+using verify_tests::ServiceCase;
+
+class RestartDifferentialTest : public ::testing::TestWithParam<ServiceCase> {};
+
+// The acceptance matrix: 100 independently seeded episodes per implementation
+// with the full restart alphabet — live relinks, restart-of-expired,
+// restart-of-cancelled, fabricated handles, and zero-interval rejects — woven
+// through the usual start/stop/stale-poke churn. Conservation is asserted by
+// the driver after every tick.
+TEST_P(RestartDifferentialTest, HundredRestartEpisodesMatchOracle) {
+  const ServiceCase& c = GetParam();
+  std::size_t stale = 0;
+  std::size_t zero = 0;
+  for (std::uint64_t seed = 5000; seed < 5100; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 96;
+    options.max_interval = 200;
+    options.stop_probability = 0.25;
+    options.restart_probability = 0.35;
+    options.restart_stale_probability = 0.5;
+    options.restart_zero_probability = 0.2;
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    ASSERT_GT(report.restarts, 0u) << c.label << " seed " << seed << ": vacuous";
+    stale += report.stale_restarts;
+    zero += report.zero_restarts;
+  }
+  // The reject legs must actually have been exercised across the suite.
+  EXPECT_GT(stale, 0u) << c.label;
+  EXPECT_GT(zero, 0u) << c.label;
+}
+
+// Restarts pinned to structure-sensitive intervals: exactly one table size (64
+// — the hashed wheels relink into the bucket the cursor sweeps next; for the
+// hierarchy it is the level-1 granularity, forcing a level hop) and one
+// rollover pivot (256 — the hierarchical level-2 unit; past the 64-slot hashed
+// lap, so the relinked timer needs a full extra round).
+TEST_P(RestartDifferentialTest, RestartAtWheelBoundariesMatchesOracle) {
+  const ServiceCase& c = GetParam();
+  for (Duration pivot : {Duration{64}, Duration{256}}) {
+    for (std::uint64_t seed = 6000; seed < 6025; ++seed) {
+      DriverOptions options;
+      options.seed = seed + pivot;
+      options.ticks = 96;
+      options.max_interval = 300;
+      options.restart_probability = 0.4;
+      options.restart_interval = pivot;
+      auto service = c.make();
+      const DriverReport report = RunDifferential(*service, options);
+      ASSERT_TRUE(report.ok) << c.label << " pivot " << pivot << " seed "
+                             << seed << ": " << report.divergence;
+      ASSERT_GT(report.restarts, 0u) << c.label << " pivot " << pivot;
+    }
+  }
+}
+
+// Restarts interleaved with AdvanceTo jumps across wheel-size and hierarchy
+// rollover boundaries: a relinked timer must survive the batched
+// occupancy-bitmap advance exactly like the oracle's tick loop — same (tick,
+// id) multiset, no fire at the pre-restart deadline inside the jumped window.
+TEST_P(RestartDifferentialTest, RestartAcrossRolloverJumpsMatchesOracle) {
+  const ServiceCase& c = GetParam();
+  std::size_t total_jumps = 0;
+  for (std::uint64_t seed = 7000; seed < 7030; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 64;
+    options.max_interval = 300;
+    options.restart_probability = 0.35;
+    options.restart_stale_probability = 0.3;
+    options.jump_probability = 0.25;
+    options.max_jump = 300;
+    options.jump_pivots = {63, 64, 65, 255, 256, 257, 511, 512, 513};
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    ASSERT_GT(report.restarts, 0u) << c.label << " seed " << seed;
+    total_jumps += report.jumps;
+  }
+  EXPECT_GT(total_jumps, 0u) << c.label;
+}
+
+// In-handler restarts of not-yet-visited siblings during dispatch, half the
+// episodes with the relink pinned to the table size — the restarted sibling's
+// new deadline hashes into the bucket the cursor is dispatching RIGHT NOW, and
+// must still not fire until a full lap later.
+TEST_P(RestartDifferentialTest, HandlerRestartsSiblingOnDispatchingTick) {
+  const ServiceCase& c = GetParam();
+  if (!c.handlers_may_reenter) {
+    GTEST_SKIP() << c.label << " runs handlers under its lock (by design)";
+  }
+  std::size_t sibling_restarts = 0;
+  for (std::uint64_t seed = 8000; seed < 8040; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 96;
+    options.max_interval = 200;
+    options.restart_probability = 0.2;
+    options.restart_sibling_probability = 0.5;
+    options.restart_sibling_interval = (seed % 2 == 0) ? 64 : 0;
+    options.rearm_probability = 0.2;
+    options.stop_sibling_probability = 0.2;
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    sibling_restarts += report.handler_sibling_restarts;
+  }
+  EXPECT_GT(sibling_restarts, 0u) << c.label;
+}
+
+// High-churn slot recycling with the restart alphabet saturated: short fuses
+// and aggressive cancellation recycle arena slots rapidly, so every stale
+// restart targets a recently reused slot — the generation counters must refuse
+// them all while live restarts keep relinking in place.
+TEST_P(RestartDifferentialTest, ChurnEpisodesKeepRestartHandlesSafe) {
+  const ServiceCase& c = GetParam();
+  for (std::uint64_t seed = 9000; seed < 9020; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 128;
+    options.starts_per_tick = 4.0;
+    options.max_interval = 24;  // short fuses: constant expiry + recycling
+    options.stop_probability = 0.6;
+    options.restart_probability = 0.4;
+    options.restart_stale_probability = 1.0;
+    options.restart_zero_probability = 0.3;
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    EXPECT_GT(report.stale_restarts, 0u) << c.label << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, RestartDifferentialTest,
+                         ::testing::ValuesIn(AllServiceCases()),
+                         [](const ::testing::TestParamInfo<ServiceCase>& param) {
+                           return param.param.label;
+                         });
+
+}  // namespace
+}  // namespace twheel::verify

@@ -1,0 +1,202 @@
+// Concurrent restart torture: producer threads race RestartTimer against
+// fires, cancels, and each other on the ShardedWheel (locked and MPSC
+// deferred modes). The driver (src/verify/concurrent_driver.h) checks the
+// restart-specific invariants on top of the usual exactly-once/no-early-fire
+// set:
+//
+//   * a timer restarted before its old deadline never fires at that old
+//     deadline — the fire-tick lower bound advances to (observed now at the
+//     LAST successful restart) + its new interval;
+//   * restart racing a fire resolves exactly once: kOk means the timer fires
+//     only at the relinked deadline, kNoSuchTimer means the fire (or a cancel)
+//     won and the cookie is accounted exactly once — never both, never
+//     neither;
+//   * in lockstep mode every RestartTimer call (result included) is replayed
+//     call-for-call into OracleTimers and the per-tick expiry multisets must
+//     stay identical through the relinks.
+//
+// Episode count honors TWHEEL_TORTURE_EPISODES like the rest of the torture
+// suite; scripts/verify.sh reduces it under sanitizers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "src/concurrent/sharded_wheel.h"
+#include "src/verify/concurrent_driver.h"
+
+namespace twheel::verify {
+namespace {
+
+std::size_t Episodes(std::size_t scale_down = 1) {
+  std::size_t episodes = 50;
+  if (const char* env = std::getenv("TWHEEL_TORTURE_EPISODES")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) {
+      episodes = static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, episodes / scale_down);
+}
+
+concurrent::SubmitOptions Submit(std::size_t ring, std::size_t table,
+                                 concurrent::SubmitPolicy policy) {
+  concurrent::SubmitOptions submit;
+  submit.ring_capacity = ring;
+  submit.registration_capacity = table;
+  submit.on_full = policy;
+  return submit;
+}
+
+constexpr std::size_t kProducerCounts[] = {1, 2, 4};
+
+TortureOptions RestartOptions(std::uint64_t seed, std::size_t producers) {
+  TortureOptions options;
+  options.seed = seed;
+  options.producers = producers;
+  options.ops_per_producer = 256;
+  options.max_interval = 64;
+  options.race_ticks = 128;
+  options.stop_probability = 0.2;
+  options.restart_probability = 0.35;
+  return options;
+}
+
+TEST(RestartTortureTest, ManualRaceMpscWithRestarts) {
+  const std::size_t episodes = Episodes();
+  std::size_t restarts = 0;
+  for (std::size_t producers : kProducerCounts) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      concurrent::ShardedWheel wheel(
+          4, 64, Submit(8192, 8192, concurrent::SubmitPolicy::kReject));
+      TortureOptions options = RestartOptions(10000 + ep, producers);
+      options.mode = TortureMode::kManualRace;
+      const TortureReport report = RunTorture(wheel, options);
+      ASSERT_TRUE(report.ok) << "producers=" << producers << " episode=" << ep
+                             << ": " << report.violation;
+      ASSERT_EQ(report.restart_rejects, 0u) << "generous capacity rejected";
+      restarts += report.restarts;
+    }
+  }
+  EXPECT_GT(restarts, 0u) << "restart alphabet never exercised";
+}
+
+TEST(RestartTortureTest, ManualRaceMpscRestartFireRaces) {
+  // Short fuses and a hot restart mix: most restarts land close to (or racing)
+  // the old deadline, so the kOk-vs-kNoSuchTimer referee is exercised
+  // constantly. restart_misses counts the fires that won.
+  const std::size_t episodes = Episodes(2);
+  std::size_t misses = 0;
+  for (std::size_t producers : kProducerCounts) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      concurrent::ShardedWheel wheel(
+          2, 32, Submit(8192, 8192, concurrent::SubmitPolicy::kReject));
+      TortureOptions options = RestartOptions(11000 + ep, producers);
+      options.mode = TortureMode::kManualRace;
+      options.max_interval = 8;  // fires chase the relinks
+      options.restart_probability = 0.5;
+      options.stop_probability = 0.1;
+      const TortureReport report = RunTorture(wheel, options);
+      ASSERT_TRUE(report.ok) << "producers=" << producers << " episode=" << ep
+                             << ": " << report.violation;
+      misses += report.restart_misses;
+    }
+  }
+  EXPECT_GT(misses, 0u) << "no restart ever raced a fire";
+}
+
+TEST(RestartTortureTest, ManualRaceMpscSpinBackpressureWithRestarts) {
+  // Tiny ring under kSpin: restart commands block on the drainer alongside
+  // starts and cancels; every accepted relink must still resolve exactly once.
+  const std::size_t episodes = Episodes(2);
+  for (std::size_t producers : kProducerCounts) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      concurrent::ShardedWheel wheel(
+          1, 64, Submit(64, 4096, concurrent::SubmitPolicy::kSpin));
+      TortureOptions options = RestartOptions(12000 + ep, producers);
+      options.mode = TortureMode::kManualRace;
+      const TortureReport report = RunTorture(wheel, options);
+      ASSERT_TRUE(report.ok) << "producers=" << producers << " episode=" << ep
+                             << ": " << report.violation;
+      ASSERT_EQ(report.restart_rejects, 0u) << "kSpin must never reject";
+    }
+  }
+}
+
+TEST(RestartTortureTest, ManualRaceLockedShardedWithRestarts) {
+  // Immediate-visibility cross-check: the same invariants hold for the locked
+  // wheel, validating the checker's restart bound against a simpler service.
+  const std::size_t episodes = Episodes(2);
+  for (std::size_t producers : kProducerCounts) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      concurrent::ShardedWheel wheel(4, 64);
+      TortureOptions options = RestartOptions(13000 + ep, producers);
+      options.mode = TortureMode::kManualRace;
+      const TortureReport report = RunTorture(wheel, options);
+      ASSERT_TRUE(report.ok) << "producers=" << producers << " episode=" << ep
+                             << ": " << report.violation;
+    }
+  }
+}
+
+TEST(RestartTortureTest, TickerRaceMpscWithRestarts) {
+  const std::size_t episodes = std::min<std::size_t>(Episodes(5), 10);
+  for (std::size_t producers : kProducerCounts) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      concurrent::ShardedWheel wheel(
+          4, 64, Submit(8192, 8192, concurrent::SubmitPolicy::kSpin));
+      TortureOptions options = RestartOptions(14000 + ep, producers);
+      options.mode = TortureMode::kTickerRace;
+      options.ticker_period_us = 20;
+      options.ops_per_producer = 2048;
+      const TortureReport report = RunTorture(wheel, options);
+      ASSERT_TRUE(report.ok) << "producers=" << producers << " episode=" << ep
+                             << ": " << report.violation;
+    }
+  }
+}
+
+TEST(RestartTortureTest, LockstepOracleMpscReplaysRestarts) {
+  // Call-for-call restart replay into OracleTimers under genuine MPSC
+  // contention inside each frozen enqueue phase: results, per-tick expiry
+  // multisets, clocks, and outstanding() must match exactly through relinks.
+  const std::size_t episodes = Episodes(2);
+  std::size_t restarts = 0;
+  for (std::size_t producers : kProducerCounts) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      concurrent::ShardedWheel wheel(
+          2, 64, Submit(8192, 8192, concurrent::SubmitPolicy::kReject));
+      TortureOptions options = RestartOptions(15000 + ep, producers);
+      options.mode = TortureMode::kLockstepOracle;
+      options.ops_per_producer = 48;
+      options.rounds = 12;
+      const TortureReport report = RunTorture(wheel, options);
+      ASSERT_TRUE(report.ok) << "producers=" << producers << " episode=" << ep
+                             << ": " << report.violation;
+      restarts += report.restarts;
+    }
+  }
+  EXPECT_GT(restarts, 0u) << "lockstep never replayed a restart";
+}
+
+TEST(RestartTortureTest, LockstepOracleLockedShardedReplaysRestarts) {
+  const std::size_t episodes = Episodes(4);
+  for (std::size_t producers : kProducerCounts) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      concurrent::ShardedWheel wheel(2, 64);
+      TortureOptions options = RestartOptions(16000 + ep, producers);
+      options.mode = TortureMode::kLockstepOracle;
+      options.ops_per_producer = 48;
+      options.rounds = 12;
+      const TortureReport report = RunTorture(wheel, options);
+      ASSERT_TRUE(report.ok) << "producers=" << producers << " episode=" << ep
+                             << ": " << report.violation;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace twheel::verify

@@ -121,5 +121,69 @@ TEST(WorkloadTest, IntervalCapHonored) {
   EXPECT_LE(result.ticks_run, 2000 * 2 + 50u);
 }
 
+// --- TCP-retransmission (restart-heavy) generator ---------------------------
+
+RetransmitSpec SmallRetransmit() {
+  RetransmitSpec spec;
+  spec.seed = 11;
+  spec.connections = 64;
+  spec.rto = 16;
+  spec.ack_probability = 0.25;
+  spec.ticks = 512;
+  return spec;
+}
+
+TEST(RetransmitWorkloadTest, RestartAndStopStartSeeIdenticalEvents) {
+  // The two relink modes replay the SAME pre-drawn ACK stream: identical ACK
+  // counts and identical retransmission (expiry) counts, differing only in
+  // which relink operation carried each ACK.
+  auto spec = SmallRetransmit();
+  HashedWheelUnsorted a(64), b(64);
+  spec.use_restart = true;
+  auto inplace = RunRetransmit(a, spec);
+  spec.use_restart = false;
+  auto fallback = RunRetransmit(b, spec);
+  EXPECT_EQ(inplace.acks, fallback.acks);
+  EXPECT_EQ(inplace.retransmissions, fallback.retransmissions);
+  EXPECT_EQ(inplace.restarts_issued, inplace.acks);
+  EXPECT_EQ(inplace.stop_start_pairs, 0u);
+  EXPECT_EQ(fallback.stop_start_pairs, fallback.acks);
+  EXPECT_EQ(fallback.restarts_issued, 0u);
+}
+
+TEST(RetransmitWorkloadTest, SchemesAgreeOnTheAckStream) {
+  auto spec = SmallRetransmit();
+  HashedWheelUnsorted wheel(64);
+  SortedListTimers list;
+  auto rw = RunRetransmit(wheel, spec);
+  auto rl = RunRetransmit(list, spec);
+  EXPECT_EQ(rw.acks, rl.acks);
+  EXPECT_EQ(rw.retransmissions, rl.retransmissions);
+  EXPECT_EQ(rw.ticks_run, rl.ticks_run);
+}
+
+TEST(RetransmitWorkloadTest, RestartsDominateWhenAcksAreFrequent) {
+  // The Section 2 claim this generator models: with ACKs frequent relative to
+  // the RTO, relinks vastly outnumber expiries. (1 - 0.25)^16 ≈ 1% of windows
+  // go quiet, so ACKs should outnumber retransmissions by ~two orders.
+  auto spec = SmallRetransmit();
+  HashedWheelUnsorted wheel(64);
+  auto result = RunRetransmit(wheel, spec);
+  EXPECT_GT(result.acks, 0u);
+  EXPECT_GT(result.acks, 20 * result.retransmissions);
+  EXPECT_EQ(result.ops.restart_calls, result.restarts_issued);
+  // Conservation: restarts are neither starts nor cancels, so every start is
+  // still live (the run re-arms every expiry).
+  EXPECT_EQ(wheel.outstanding(), spec.connections);
+}
+
+TEST(RetransmitWorkloadTest, LossyAckStreamForcesRetransmissions) {
+  auto spec = SmallRetransmit();
+  spec.ack_probability = 0.02;  // (1 - 0.02)^16 ≈ 72% of windows go quiet
+  HashedWheelUnsorted wheel(64);
+  auto result = RunRetransmit(wheel, spec);
+  EXPECT_GT(result.retransmissions, result.acks);
+}
+
 }  // namespace
 }  // namespace twheel::workload
