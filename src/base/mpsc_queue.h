@@ -62,17 +62,35 @@ class MpscRing {
   // `retries` is non-null it is *incremented* by the number of CAS attempts
   // that lost to another producer.
   bool TryPush(const T& value, std::uint64_t* retries = nullptr) {
+    std::uint64_t ticket;
+    if (!TryReserve(&ticket, retries)) {
+      return false;
+    }
+    Publish(ticket, value);
+    return true;
+  }
+
+  // First half of a two-phase push: claim a ticket (and its cell) without
+  // publishing a value. The consumer stops at the first unpublished cell, so
+  // nothing at or after the reserved ticket can drain until Publish — which
+  // lets a producer interpose a commit action between the two halves and be
+  // certain the consumer cannot observe the command before the commit's
+  // outcome is decided (see ShardSubmitQueue::SubmitRestart). A reserved
+  // ticket MUST be published eventually (there is no unreserve); publish a
+  // caller-defined no-op value to abandon the slot. Full-detection and retry
+  // accounting match TryPush.
+  bool TryReserve(std::uint64_t* ticket, std::uint64_t* retries = nullptr) {
     std::uint64_t pos = enqueue_pos_.load(std::memory_order_relaxed);
-    Cell* cell;
     for (;;) {
-      cell = &cells_[pos & mask_];
+      Cell* cell = &cells_[pos & mask_];
       const std::uint64_t seq = cell->sequence.load(std::memory_order_acquire);
       const auto dif =
           static_cast<std::int64_t>(seq) - static_cast<std::int64_t>(pos);
       if (dif == 0) {
         if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
                                                std::memory_order_relaxed)) {
-          break;
+          *ticket = pos;
+          return true;
         }
         if (retries != nullptr) {
           ++*retries;
@@ -86,9 +104,14 @@ class MpscRing {
         pos = enqueue_pos_.load(std::memory_order_relaxed);
       }
     }
-    cell->value = value;
-    cell->sequence.store(pos + 1, std::memory_order_release);
-    return true;
+  }
+
+  // Second half of a two-phase push: store the value into the reserved cell
+  // and make it visible to the consumer.
+  void Publish(std::uint64_t ticket, const T& value) {
+    Cell& cell = cells_[ticket & mask_];
+    cell.value = value;
+    cell.sequence.store(ticket + 1, std::memory_order_release);
   }
 
   // Single-consumer drain, in ticket order, of at most `limit` published

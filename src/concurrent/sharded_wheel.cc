@@ -111,7 +111,7 @@ TimerError ShardedWheel::RestartTimer(TimerHandle handle, Duration new_interval)
       return TimerError::kZeroInterval;  // match the inner wheel's policy
     }
     // Lock-free path: capture the new absolute deadline and commit via the
-    // entry word (publish-then-commit, see SubmitRestart). A restart is
+    // entry word (reserve-commit-publish, see SubmitRestart). A restart is
     // neither a start nor a cancel, so live_ is untouched either way.
     const Tick deadline = now_.load(std::memory_order_acquire) + new_interval;
     const TimerError err = shard.submit->SubmitRestart(

@@ -64,9 +64,10 @@ class ShardedWheel final : public TimerService {
   // will never fire) and enqueues a best-effort prompt-removal command.
   TimerError StopTimer(TimerHandle handle) override;
   // Locked mode: in-place relink under the shard mutex (the inner Scheme 6
-  // wheel's O(1) RestartTimer). MPSC mode: lock-free — publishes a kRestart
-  // command carrying `now() + new_interval`, then commits with one CAS on the
-  // entry word (see ShardSubmitQueue::SubmitRestart). kOk is authoritative:
+  // wheel's O(1) RestartTimer). MPSC mode: lock-free — reserves a ring cell,
+  // commits with one CAS on the entry word, then publishes a kRestart command
+  // carrying `now() + new_interval` into the reserved cell (see
+  // ShardSubmitQueue::SubmitRestart). kOk is authoritative:
   // the timer cannot fire at its old deadline and the handle stays valid; a
   // restart losing the word to a fire or cancel gets kNoSuchTimer, so
   // restart-vs-fire resolves exactly once. A restart whose start command has

@@ -28,11 +28,17 @@
 //                     kFree (gen+1)               kFree (gen+1)
 //
 // RestartTimer adds no state — it rides a saturating in-flight counter packed
-// into the word's high bits. SubmitRestart publishes a kRestart command (the
-// new absolute deadline travels in the command, never through shared entry
-// fields) and then *commits* with one CAS that increments the counter while
-// the state is still kPending or kRegistered. The commit CAS is the
-// restart-vs-fire-vs-cancel referee:
+// into the word's high bits. SubmitRestart is reserve-commit-publish: it
+// reserves a ring ticket (unpublished, so the drainer parks before it), then
+// *commits* with one CAS that increments the counter while the state is still
+// kPending or kRegistered, and only then publishes the kRestart command into
+// the reserved cell (the new absolute deadline travels in the command, never
+// through shared entry fields; a failed commit publishes an inert kNoop
+// instead). Committing strictly before the command becomes drainable is what
+// makes Apply's counter accounting sound: a drained live-state kRestart
+// command always finds its own commit's increment still pending (counter>0),
+// so it can never be dropped with an orphaned suppression ticket left behind.
+// The commit CAS is the restart-vs-fire-vs-cancel referee:
 //
 //   * Fire claims the word only when the counter is zero; a nonzero counter
 //     suppresses the dispatch WITHOUT reclaiming (the queued restart command
@@ -207,76 +213,113 @@ class ShardSubmitQueue {
     return TimerError::kOk;
   }
 
-  // Commit an in-place restart to `new_deadline`. Publish-then-commit: the
-  // kRestart command is pushed FIRST (if the ring is full under kReject the
-  // call returns kNoCapacity with no state changed and the timer unmoved at
-  // its old deadline), then one CAS increments the word's restart counter
-  // while the entry is still kPending/kRegistered. kOk is authoritative: the
-  // timer will not fire at its old deadline (a nonzero counter suppresses the
-  // claim in ClaimFire) and the handle stays valid. If a fire or cancel wins
-  // the word first, the already-queued command no-ops on the generation/state
-  // check at drain and the caller gets kNoSuchTimer — exactly-once either way.
+  // Commit an in-place restart to `new_deadline`. Reserve-commit-publish: a
+  // ring ticket is reserved FIRST (if the ring is full under kReject the call
+  // returns kNoCapacity with no state changed and the timer unmoved at its old
+  // deadline), then one CAS increments the word's restart counter while the
+  // entry is still kPending/kRegistered, and only then is the kRestart command
+  // published into the reserved cell. The drainer parks at the unpublished
+  // cell, so it can never observe the command before the commit's outcome is
+  // decided — a drained live-state kRestart command is therefore always
+  // committed (counter > 0 at its drain), and a committed restart always has
+  // its relink command in the ring. kOk is authoritative: the timer will not
+  // fire at its old deadline (a nonzero counter suppresses the claim in
+  // ClaimFire) and the handle stays valid. If a fire or cancel wins the word
+  // first, the reserved cell is published as an inert kNoop and the caller
+  // gets kNoSuchTimer — exactly-once either way.
   TimerError SubmitRestart(std::uint32_t index, std::uint32_t generation,
                            Tick new_deadline) {
     if (index >= capacity_) {
       return TimerError::kNoSuchTimer;
     }
     Entry& entry = entries_[index];
-    std::uint64_t word = entry.word.load(std::memory_order_acquire);
-    if (GenerationOf(word) != generation) {
-      return TimerError::kNoSuchTimer;  // fired, reclaimed, or fabricated
-    }
-    {
-      const State s = StateOf(word);
-      if (s != State::kPending && s != State::kRegistered) {
-        return TimerError::kNoSuchTimer;  // already cancelled
-      }
-      if (RestartsOf(word) == kMaxRestarts) {
-        return TimerError::kNoCapacity;  // drainer stalled; nothing changed
-      }
-    }
-    // Record the (possibly earlier) deadline for NextExpiryHint before the
-    // command becomes drainable — same protocol as SubmitStart. A failed
-    // commit leaves the hint stale-early, which the contract allows.
-    UpdateEarliest(new_deadline);
     std::uint64_t retries = 0;
-    if (!Push(Command{Command::Kind::kRestart, index, generation, new_deadline},
-              &retries)) {
-      FlushRetries(retries);
-      return TimerError::kNoCapacity;  // nothing changed; old deadline stands
-    }
     for (;;) {
+      std::uint64_t word = entry.word.load(std::memory_order_acquire);
       if (GenerationOf(word) != generation) {
         FlushRetries(retries);
-        return TimerError::kNoSuchTimer;  // the fire won; command will no-op
+        return TimerError::kNoSuchTimer;  // fired, reclaimed, or fabricated
       }
-      const State s = StateOf(word);
-      if (s != State::kPending && s != State::kRegistered) {
+      {
+        const State s = StateOf(word);
+        if (s != State::kPending && s != State::kRegistered) {
+          FlushRetries(retries);
+          return TimerError::kNoSuchTimer;  // already cancelled
+        }
+        if (RestartsOf(word) == kMaxRestarts) {
+          if (policy_ == SubmitPolicy::kReject) {
+            FlushRetries(retries);
+            return TimerError::kNoCapacity;  // drainer stalled; nothing changed
+          }
+          // kSpin: wait for the drainer to retire in-flight restarts. Safe to
+          // wait here — no ring ticket is held, so the drainer is not parked
+          // behind this producer.
+          std::this_thread::yield();
+          ++retries;
+          continue;
+        }
+      }
+      // Record the (possibly earlier) deadline for NextExpiryHint before the
+      // command can become drainable — same protocol as SubmitStart. A failed
+      // commit leaves the hint stale-early, which the contract allows.
+      UpdateEarliest(new_deadline);
+      std::uint64_t ticket;
+      if (!Reserve(&ticket, &retries)) {
         FlushRetries(retries);
-        return TimerError::kNoSuchTimer;  // a cancel won; command will no-op
+        return TimerError::kNoCapacity;  // nothing changed; old deadline stands
       }
-      const std::uint64_t restarts = RestartsOf(word);
-      if (restarts == kMaxRestarts) {
-        // The command is already in the ring, so rejecting here would let it
-        // drain uncommitted (and steal a committed restart's decrement). This
-        // needs 255 OTHER commits to land between the pre-push check and this
-        // CAS; wait for the drainer like kSpin does.
+      TimerError result;
+      bool saturated = false;
+      for (;;) {
+        if (GenerationOf(word) != generation) {
+          result = TimerError::kNoSuchTimer;  // the fire won
+          break;
+        }
+        const State s = StateOf(word);
+        if (s != State::kPending && s != State::kRegistered) {
+          result = TimerError::kNoSuchTimer;  // a cancel won
+          break;
+        }
+        if (RestartsOf(word) == kMaxRestarts) {
+          // 255 OTHER commits landed between the pre-reserve check and this
+          // CAS. Waiting for a decrement here would deadlock: the commands
+          // that decrement may hold tickets parked behind our unpublished
+          // cell. Abandon the ticket and (under kSpin) retry from the top.
+          saturated = true;
+          break;
+        }
+        if (entry.word.compare_exchange_weak(
+                word, PackFull(generation, s, RestartsOf(word) + 1),
+                std::memory_order_acq_rel, std::memory_order_acquire)) {
+          if (s == State::kPending) {
+            coalesced_restarts_.fetch_add(1, std::memory_order_relaxed);
+          }
+          enqueued_restarts_.fetch_add(1, std::memory_order_relaxed);
+          result = TimerError::kOk;
+          break;
+        }
+        ++retries;
+      }
+      if (saturated) {
+        ring_.Publish(ticket, Command{Command::Kind::kNoop, 0, 0});
+        if (policy_ == SubmitPolicy::kReject) {
+          FlushRetries(retries);
+          return TimerError::kNoCapacity;
+        }
         std::this_thread::yield();
-        word = entry.word.load(std::memory_order_acquire);
         ++retries;
         continue;
       }
-      if (entry.word.compare_exchange_weak(
-              word, PackFull(generation, s, restarts + 1),
-              std::memory_order_acq_rel, std::memory_order_acquire)) {
-        if (s == State::kPending) {
-          coalesced_restarts_.fetch_add(1, std::memory_order_relaxed);
-        }
-        enqueued_restarts_.fetch_add(1, std::memory_order_relaxed);
-        FlushRetries(retries);
-        return TimerError::kOk;
-      }
-      ++retries;
+      // Publish the reserved cell regardless of the commit's outcome — the
+      // drainer (and every later ticket) is parked behind it. A failed commit
+      // must not publish the kRestart command: a matching-generation live-state
+      // drain would steal a committed restart's decrement. kNoop is inert.
+      ring_.Publish(ticket, result == TimerError::kOk
+                                ? Command{Command::Kind::kRestart, index,
+                                          generation, new_deadline}
+                                : Command{Command::Kind::kNoop, 0, 0});
+      FlushRetries(retries);
+      return result;
     }
   }
 
@@ -401,7 +444,9 @@ class ShardSubmitQueue {
   };
 
   struct Command {
-    enum class Kind : std::uint8_t { kStart, kCancel, kRestart };
+    // kNoop fills a reserved-then-abandoned cell (a restart whose commit CAS
+    // lost to a fire/cancel, or hit counter saturation); Apply ignores it.
+    enum class Kind : std::uint8_t { kStart, kCancel, kRestart, kNoop };
     Kind kind;
     std::uint32_t index;
     std::uint32_t generation;
@@ -526,6 +571,21 @@ class ShardSubmitQueue {
     }
   }
 
+  // Policy-aware ticket reservation (first half of a two-phase push — the
+  // caller MUST Publish the ticket, a kNoop if the operation is abandoned).
+  bool Reserve(std::uint64_t* ticket, std::uint64_t* retries) {
+    for (;;) {
+      if (ring_.TryReserve(ticket, retries)) {
+        return true;
+      }
+      if (policy_ == SubmitPolicy::kReject) {
+        return false;
+      }
+      std::this_thread::yield();  // kSpin: bounded by the drainer's progress
+      ++*retries;
+    }
+  }
+
   void UpdateEarliest(Tick deadline) {
     Tick current = earliest_pending_.load(std::memory_order_relaxed);
     while (deadline < current &&
@@ -537,6 +597,9 @@ class ShardSubmitQueue {
 
   // Applies one drained command. Runs under the shard mutex.
   void Apply(const Command& cmd, TimerService& wheel) {
+    if (cmd.kind == Command::Kind::kNoop) {
+      return;  // an abandoned reservation; carries no entry identity
+    }
     Entry& entry = entries_[cmd.index];
     std::uint64_t word = entry.word.load(std::memory_order_acquire);
     if (GenerationOf(word) != cmd.generation) {
@@ -575,11 +638,14 @@ class ShardSubmitQueue {
       // kRegistered/kCancelledRegistered with a matching generation would mean
       // a double drain of the same start; the FIFO ring makes that impossible.
     } else if (cmd.kind == Command::Kind::kRestart) {
-      // A drained restart command with a matching generation and a live state
-      // was necessarily committed (an uncommitted push only fails on a
-      // generation bump or a cancel, both terminal for this generation), so a
-      // nonzero counter is guaranteed here; the relink happens exactly once
-      // per commit, in ring FIFO order — the last-drained deadline wins.
+      // A kRestart command is published only AFTER its commit CAS succeeded
+      // (reserve-commit-publish; an uncommitted reservation is published as
+      // kNoop), and the publish happens-before this drain observes the cell.
+      // So a drained restart command with a matching generation and a live
+      // state carries a commit whose counter increment has not yet been
+      // consumed — a nonzero counter is guaranteed here, and the relink
+      // happens exactly once per commit, in ring FIFO order — the
+      // last-drained deadline wins.
       if (StateOf(word) == State::kRegistered && RestartsOf(word) != 0) {
         const Tick now = wheel.now();
         const Duration remaining =

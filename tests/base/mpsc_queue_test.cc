@@ -84,6 +84,47 @@ TEST(MpscRingTest, DrainHonorsLimit) {
   EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3, 4, 5}));
 }
 
+TEST(MpscRingTest, ReservedTicketParksDrainUntilPublish) {
+  // Two-phase push: a reserved-but-unpublished cell is a hard FIFO cut — the
+  // consumer must not drain it or anything behind it. ShardSubmitQueue's
+  // restart protocol leans on this to interpose a commit CAS between the
+  // reserve and the publish.
+  MpscRing<int> ring(8);
+  ASSERT_TRUE(ring.TryPush(1));
+  std::uint64_t ticket;
+  ASSERT_TRUE(ring.TryReserve(&ticket));
+  ASSERT_TRUE(ring.TryPush(3));  // later ticket, parked behind the reservation
+  std::vector<int> out;
+  bool emptied = false;
+  EXPECT_EQ(ring.Drain(8, [&](const int& v) { out.push_back(v); }, &emptied),
+            1u)
+      << "drain must stop at the unpublished cell";
+  EXPECT_TRUE(emptied) << "the cut ends the drain, not the limit";
+  EXPECT_EQ(out, (std::vector<int>{1}));
+  ring.Publish(ticket, 2);
+  EXPECT_EQ(ring.Drain(8, [&](const int& v) { out.push_back(v); }), 2u);
+  EXPECT_EQ(out, (std::vector<int>{1, 2, 3})) << "ticket order preserved";
+  EXPECT_TRUE(ring.EmptyFromConsumer());
+}
+
+TEST(MpscRingTest, ReserveDetectsFullWithoutPerturbing) {
+  MpscRing<int> ring(4);
+  std::uint64_t tickets[4];
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.TryReserve(&tickets[i]));
+  }
+  std::uint64_t overflow;
+  EXPECT_FALSE(ring.TryReserve(&overflow)) << "all cells reserved: full";
+  EXPECT_FALSE(ring.TryPush(99));
+  for (int i = 3; i >= 0; --i) {
+    ring.Publish(tickets[i], i);  // publish order need not match ticket order
+  }
+  std::vector<int> out;
+  EXPECT_EQ(ring.Drain(8, [&](const int& v) { out.push_back(v); }), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3})) << "drain is in ticket order";
+  EXPECT_TRUE(ring.TryPush(7)) << "ring immediately reusable";
+}
+
 TEST(MpscRingTest, UncontendedPushReportsNoRetries) {
   MpscRing<int> ring(8);
   std::uint64_t retries = 0;

@@ -21,9 +21,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "src/concurrent/sharded_wheel.h"
 #include "src/verify/concurrent_driver.h"
@@ -123,6 +126,60 @@ TEST(RestartTortureTest, ManualRaceMpscSpinBackpressureWithRestarts) {
                              << ": " << report.violation;
       ASSERT_EQ(report.restart_rejects, 0u) << "kSpin must never reject";
     }
+  }
+}
+
+TEST(RestartTortureTest, RestartCommitVsDrainNeverWedges) {
+  // Regression for the reserve-commit-publish ordering in SubmitRestart. The
+  // earlier publish-then-commit protocol let the drainer consume a kRestart
+  // command before its commit CAS landed: Apply saw counter==0, dropped the
+  // relink, and the commit then succeeded anyway — an orphaned suppression
+  // ticket with no relink command left in the ring, so ClaimFire suppressed
+  // every subsequent expiry and the timer never fired again. Hammer exactly
+  // that window: producers restart one timer in a tight loop while this
+  // thread drains/ticks as fast as it can, then quiesce and require the timer
+  // to fire exactly once within a bounded number of ticks.
+  const std::size_t rounds = std::max<std::size_t>(Episodes(2), 10);
+  constexpr Duration kInterval = 32;
+  constexpr std::size_t kProducers = 3;
+  for (std::size_t round = 0; round < rounds; ++round) {
+    // Tiny ring under kReject: reservations hit the full path constantly, so
+    // drains overlap the reserve/commit/publish window at high frequency.
+    concurrent::ShardedWheel wheel(
+        1, 64, Submit(16, 64, concurrent::SubmitPolicy::kReject));
+    std::atomic<int> fires{0};
+    wheel.set_expiry_handler(
+        [&fires](RequestId, Tick) { fires.fetch_add(1); });
+    auto handle = wheel.StartTimer(kInterval, 7);
+    ASSERT_TRUE(handle.has_value());
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> producers;
+    for (std::size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&wheel, &stop, handle] {
+        while (!stop.load(std::memory_order_acquire)) {
+          const TimerError err = wheel.RestartTimer(handle.value(), kInterval);
+          if (err == TimerError::kNoSuchTimer) {
+            return;  // the fire won; nothing left to restart
+          }
+          // kOk relinked; kNoCapacity (full ring) just retries.
+        }
+      });
+    }
+    for (int i = 0; i < 1500; ++i) {
+      wheel.PerTickBookkeeping();
+    }
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : producers) {
+      t.join();
+    }
+    // Quiesced: the timer either fired mid-hammer or sits relinked at most
+    // kInterval ticks out (plus one drain for a still-pending command). A
+    // wedged suppression ticket would keep it from ever firing.
+    for (Duration i = 0; i < 2 * kInterval && fires.load() == 0; ++i) {
+      wheel.PerTickBookkeeping();
+    }
+    ASSERT_EQ(fires.load(), 1) << "round " << round
+                               << ": restarted timer wedged or double-fired";
   }
 }
 
