@@ -13,6 +13,10 @@
 #                 StopTimer+StartTimer fallback: tight relink loop and
 #                 TCP-retransmission replay per scheme single-threaded, plus
 #                 multi-producer relinks against the deferred ShardedWheel.
+#   periodic      BENCH_periodic.json — expiry-path periodic re-arm: relink vs
+#                 the stop+start round trip (micro + whole-lap families per
+#                 scheme), and the networked timer server's end-to-end callback
+#                 throughput at up to millions of concurrent sessions.
 #
 # Usage:
 #   scripts/bench_record.sh                         # record every experiment
@@ -30,7 +34,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 TARGET="all"
 case "${1:-}" in
-  sparse_tick|mpsc_submit|restart|all)
+  sparse_tick|mpsc_submit|restart|periodic|all)
     TARGET="$1"
     shift ;;
 esac
@@ -178,5 +182,60 @@ if mpsc:
             continue
         print(f"  {threads:<12}{stopstart:>14,.0f}{inplace:>14,.0f}"
               f"{inplace / stopstart:>9.2f}x")
+PYEOF
+fi
+
+if [ "$TARGET" = "periodic" ] || [ "$TARGET" = "all" ]; then
+  record bench_periodic BENCH_periodic.json "$@"
+  summarize BENCH_periodic.json <<'PYEOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# rows[name] = items_per_second; prefer *_mean rows when repetitions add
+# aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    base = name[: -len("_mean")] if name.endswith("_mean") else name
+    if "items_per_second" not in b:
+        continue
+    if name.endswith("_mean") or base not in rows:
+        rows[base] = b["items_per_second"]
+
+for family in ("periodic_rearm_micro", "periodic_lap"):
+    print(f"{family}:")
+    print(f"  {'scheme':<26}{'stopstart/s':>14}{'relink/s':>14}{'speedup':>10}")
+    schemes = sorted({
+        m.group(1)
+        for n in rows
+        if (m := re.match(rf"{family}/([^/]+)/(relink|stopstart)(?:/|$)", n))
+    })
+    for scheme in schemes:
+        relink = next((v for n, v in rows.items()
+                       if n.startswith(f"{family}/{scheme}/relink")), None)
+        stopstart = next((v for n, v in rows.items()
+                          if n.startswith(f"{family}/{scheme}/stopstart")), None)
+        if relink is None or stopstart is None:
+            continue
+        print(f"  {scheme:<26}{stopstart:>14,.0f}{relink:>14,.0f}"
+              f"{relink / stopstart:>9.2f}x")
+    print()
+
+server = {
+    (m.group(1), int(m.group(3))): ips
+    for name, ips in rows.items()
+    if (m := re.match(r"periodic_server/([^/]+)/(\d+)/(\d+)", name))
+}
+if server:
+    print("periodic_server (end-to-end callbacks/s):")
+    print(f"  {'scheme':<26}{'sessions':>12}{'callbacks/s':>14}")
+    for (scheme, sessions) in sorted(server):
+        print(f"  {scheme:<26}{sessions:>12,}{server[(scheme, sessions)]:>14,.0f}")
 PYEOF
 fi

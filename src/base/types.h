@@ -53,6 +53,10 @@ enum class TimerError : std::uint8_t {
   // StopTimer: the handle does not name a live timer (already expired, already
   // stopped, or never valid).
   kNoSuchTimer,
+  // The service does not implement the requested optional operation (periodic
+  // registration or in-place restart on a facade that derives directly from
+  // TimerService without arena support).
+  kNotSupported,
 };
 
 // Human-readable name for a TimerError, for logs and test failure messages.
@@ -68,6 +72,8 @@ constexpr const char* TimerErrorName(TimerError e) {
       return "kNoCapacity";
     case TimerError::kNoSuchTimer:
       return "kNoSuchTimer";
+    case TimerError::kNotSupported:
+      return "kNotSupported";
   }
   return "unknown";
 }

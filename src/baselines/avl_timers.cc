@@ -54,6 +54,12 @@ std::size_t AvlTimers::PerTickBookkeeping() {
     if (min->expiry_tick > now_) {
       break;
     }
+    // A re-armed minimum re-inserts with key now + period (> now), so the
+    // loop terminates.
+    if (TryFirePeriodic(min)) {
+      ++expired;
+      continue;
+    }
     Remove(min);
     Expire(min);
     ++expired;

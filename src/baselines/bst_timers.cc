@@ -77,6 +77,12 @@ std::size_t BstTimers::PerTickBookkeeping() {
     if (min->expiry_tick > now_) {
       break;
     }
+    // A re-armed minimum re-descends with key now + period (> now), so the
+    // loop terminates.
+    if (TryFirePeriodic(min)) {
+      ++expired;
+      continue;
+    }
     Remove(min);
     Expire(min);
     ++expired;

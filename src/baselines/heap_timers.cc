@@ -54,6 +54,12 @@ std::size_t HeapTimers::PerTickBookkeeping() {
     if (root->expiry_tick > now_) {
       break;
     }
+    // A re-armed root sifts to its new position (expiry > now), so the loop
+    // terminates.
+    if (TryFirePeriodic(root)) {
+      ++expired;
+      continue;
+    }
     RemoveAt(0);
     Expire(root);
     ++expired;

@@ -72,6 +72,12 @@ std::size_t LeftistHeapTimers::PerTickBookkeeping() {
     if (root_->expiry_tick > now_) {
       break;
     }
+    // A re-armed root detaches and re-merges with key now + period (> now), so
+    // the loop terminates.
+    if (TryFirePeriodic(root_)) {
+      ++expired;
+      continue;
+    }
     TimerRecord* due = root_;
     PopRoot();
     Expire(due);

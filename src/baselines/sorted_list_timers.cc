@@ -100,6 +100,12 @@ std::size_t SortedListTimers::PerTickBookkeeping() {
     if (head->expiry_tick > now_) {
       break;
     }
+    // A re-armed head re-inserts at now + period (> now), so the loop
+    // terminates.
+    if (TryFirePeriodic(head)) {
+      ++expired;
+      continue;
+    }
     head->Unlink();
     Expire(head);
     ++expired;

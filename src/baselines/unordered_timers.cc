@@ -58,14 +58,22 @@ std::size_t UnorderedTimers::PerTickBookkeeping() {
   IntrusiveList<TimerRecord> pending;
   pending.SpliceAll(records_);
   while (TimerRecord* rec = pending.front()) {
-    rec->Unlink();
     ++counts_.decrement_visits;
     const bool due = mode_ == Scheme1Mode::kDecrement ? (--rec->remaining == 0)
                                                       : rec->expiry_tick <= now_;
     if (due) {
+      // Non-final periodic fire: RestartTimer moves the record from `pending`
+      // back to the live list (resetting `remaining`), skipping this tick's
+      // remaining decrements as a fresh start would.
+      if (TryFirePeriodic(rec)) {
+        ++expired;
+        continue;
+      }
+      rec->Unlink();
       Expire(rec);
       ++expired;
     } else {
+      rec->Unlink();
       records_.PushBack(rec);
     }
   }

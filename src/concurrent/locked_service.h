@@ -37,6 +37,12 @@ class LockedService final : public TimerService {
     return inner_->StartTimer(interval, request_id);
   }
 
+  StartResult StartPeriodic(Duration interval, RequestId request_id,
+                            std::uint64_t repeat_for = kRepeatForever) override {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return inner_->StartPeriodic(interval, request_id, repeat_for);
+  }
+
   TimerError StopTimer(TimerHandle handle) override {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->StopTimer(handle);

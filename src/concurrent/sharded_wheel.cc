@@ -73,6 +73,40 @@ StartResult ShardedWheel::StartTimer(Duration interval, RequestId request_id) {
   return TimerHandle{(index << kShardShift) | inner.slot, inner.generation};
 }
 
+StartResult ShardedWheel::StartPeriodic(Duration interval, RequestId request_id,
+                                        std::uint64_t repeat_for) {
+  const std::uint32_t index = static_cast<std::uint32_t>(
+      next_shard_.fetch_add(1, std::memory_order_relaxed) & (shards_.size() - 1));
+  Shard& shard = *shards_[index];
+  if (shard.submit != nullptr) {
+    client_starts_.fetch_add(1, std::memory_order_relaxed);
+    if (interval == 0) {
+      return TimerError::kZeroInterval;  // match the inner wheel's policy
+    }
+    // Same lock-free path as StartTimer; the cadence and repeat budget travel
+    // in the registration entry, and the word carries the sticky periodic bit
+    // (see ShardSubmitQueue::SubmitStartPeriodic).
+    const Tick deadline = now_.load(std::memory_order_acquire) + interval;
+    StartResult result = shard.submit->SubmitStartPeriodic(
+        request_id, deadline, interval, repeat_for);
+    if (!result.has_value()) {
+      return result;
+    }
+    live_.fetch_add(1, std::memory_order_relaxed);
+    client_periodic_starts_.fetch_add(1, std::memory_order_relaxed);
+    const TimerHandle local = result.value();
+    return TimerHandle{(index << kShardShift) | local.slot, local.generation};
+  }
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  StartResult result = shard.wheel->StartPeriodic(interval, request_id, repeat_for);
+  if (!result.has_value()) {
+    return result;
+  }
+  TimerHandle inner = result.value();
+  TWHEEL_ASSERT_MSG(inner.slot <= kSlotMask, "shard exceeded 2^24 concurrent timers");
+  return TimerHandle{(index << kShardShift) | inner.slot, inner.generation};
+}
+
 TimerError ShardedWheel::StopTimer(TimerHandle handle) {
   if (!handle.valid()) {
     return TimerError::kNoSuchTimer;
@@ -223,19 +257,44 @@ std::size_t ShardedWheel::AdvanceTo(Tick target) {
 
 void ShardedWheel::ClaimFires(const std::vector<PendingExpiry>& expired,
                               std::vector<std::pair<RequestId, Tick>>& fires) {
-  // Two-pass commit: claim every collected expiry (bumping its entry's
-  // generation, so StopTimer on it now returns kNoSuchTimer) before the caller
-  // dispatches any handler. Entries whose cancel won the race are suppressed
-  // and reclaimed inside ClaimFire.
+  // Two-pass commit: claim every collected expiry (one-shots and final
+  // periodic fires bump their entry's generation, so StopTimer on them now
+  // returns kNoSuchTimer; non-final periodic fires bump the word's fire epoch,
+  // keeping the handle live) before the caller dispatches any handler. Entries
+  // whose cancel won the race are suppressed and reclaimed inside ClaimFire —
+  // except cancelled periodic entries whose re-armed inner record is still
+  // live, which need the shard mutex and are resolved in a third pass below.
   fires.reserve(fires.size() + expired.size());
+  std::vector<PendingExpiry> stop_inner;
   for (const PendingExpiry& e : expired) {
     RequestId client_id = 0;
-    if (shards_[e.shard]->submit->ClaimFire(
-            ShardSubmitQueue::InnerIdIndex(e.id),
-            ShardSubmitQueue::InnerIdGeneration(e.id), &client_id)) {
-      fires.emplace_back(client_id, e.when);
-      live_.fetch_sub(1, std::memory_order_relaxed);
+    switch (shards_[e.shard]->submit->ClaimFire(
+        ShardSubmitQueue::InnerIdIndex(e.id),
+        ShardSubmitQueue::InnerIdGeneration(e.id), &client_id)) {
+      case ShardSubmitQueue::FireResolution::kDeliver:
+        fires.emplace_back(client_id, e.when);
+        break;
+      case ShardSubmitQueue::FireResolution::kDeliverFinal:
+        fires.emplace_back(client_id, e.when);
+        live_.fetch_sub(1, std::memory_order_relaxed);
+        break;
+      case ShardSubmitQueue::FireResolution::kStopInner:
+        stop_inner.push_back(e);
+        break;
+      case ShardSubmitQueue::FireResolution::kSuppress:
+        break;
     }
+  }
+  // Rare path (a cancel whose prompt-removal command was dropped, caught here
+  // at the cancelled periodic's next fire): stop the ghost inner record under
+  // its shard's mutex and reclaim the entry. live_ was already decremented by
+  // the cancel's commit.
+  for (const PendingExpiry& e : stop_inner) {
+    Shard& shard = *shards_[e.shard];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.submit->ReclaimCancelledPeriodic(
+        ShardSubmitQueue::InnerIdIndex(e.id),
+        ShardSubmitQueue::InnerIdGeneration(e.id), *shard.wheel);
   }
 }
 
@@ -320,6 +379,10 @@ metrics::OpCounts ShardedWheel::counts() const {
     // wheels as a relink, a relink-after-suppressed-fire (a fresh inner
     // start), or nothing at all (cancelled before its command drained).
     merged.restart_calls = client_restarts_.load(std::memory_order_relaxed);
+    // And for periodic registrations (the off-cadence first-fire relink at
+    // drain is bookkeeping, not a client restart — it is already excluded by
+    // the restart_calls override above).
+    merged.periodic_starts = client_periodic_starts_.load(std::memory_order_relaxed);
   }
   return merged;
 }

@@ -59,6 +59,16 @@ class ShardedWheel final : public TimerService {
   // deadline, and enqueues a start command; kNoCapacity under
   // SubmitPolicy::kReject when the shard's ring or table is full.
   StartResult StartTimer(Duration interval, RequestId request_id) override;
+  // Periodic registration. Locked mode: forwards to the inner wheel under the
+  // shard mutex (the inner record re-arms itself in place on every non-final
+  // fire, so the handle survives between fires). MPSC mode: lock-free — the
+  // registration entry carries a sticky periodic bit plus the cadence, the
+  // inner wheel is registered with the true repeat budget at drain, and each
+  // collected fire resolves against the entry word: non-final fires claim by
+  // bumping the word's fire-epoch bits (handle and generation preserved),
+  // the final fire claims and reclaims like a one-shot expiry.
+  StartResult StartPeriodic(Duration interval, RequestId request_id,
+                            std::uint64_t repeat_for = kRepeatForever) override;
   // Locked mode: removes under the shard mutex. MPSC mode: lock-free — commits
   // the cancel with one CAS (the result is authoritative: kOk means the timer
   // will never fire) and enqueues a best-effort prompt-removal command.
@@ -163,6 +173,9 @@ class ShardedWheel final : public TimerService {
   // MPSC mode: committed (kOk) RestartTimer calls; the client-level analogue
   // of restart_calls (inner wheels only see the drained relinks).
   std::atomic<std::uint64_t> client_restarts_{0};
+  // MPSC mode: successful client StartPeriodic calls (the inner wheels count
+  // periodic_starts only at drain).
+  std::atomic<std::uint64_t> client_periodic_starts_{0};
 
   std::mutex handler_mutex_;
   ExpiryHandler handler_;

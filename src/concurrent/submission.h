@@ -75,6 +75,25 @@
 // kNoCapacity from StartTimer (and drops cancel commands, falling back to lazy
 // reclamation); kSpin waits for the drainer, trading wait-freedom for
 // lossless submission.
+//
+// Periodic timers ride the same word. A periodic registration sets a sticky
+// periodic bit (bit 48) at publish; the inner wheel is registered with the true
+// cadence and repeat budget, so its own expiry path re-arms the inner record in
+// place and every fire — final and non-final — surfaces through ClaimFire. A
+// non-final fire must NOT retire the entry (the client handle survives between
+// fires), so its claim is an *epoch bump*: a CAS that increments the word's
+// fire-epoch bits (49..63) while generation, state, and the restart counter
+// stay put. The bump is a real write, so it serializes against the cancel and
+// restart CASes exactly like the one-shot claim does — a cancel that commits
+// first suppresses the dispatch; a cancel that commits after only stops future
+// fires. The final fire of a finite periodic claims kRegistered -> kFree like a
+// one-shot. A committed restart re-phases the NEXT lap: the in-flight restart
+// counter suppresses (defers to the moved deadline) only a one-shot's fire or
+// the final lap, whose inner record the expiry consumed — a non-final lap has
+// already consumed budget via the inner re-arm and is delivered at the old
+// cadence, so the series never under-delivers its budget. Bits 48..63 are
+// "sticky": every live-state transition preserves them, and only reclaim
+// (generation bump to kFree) clears them.
 
 #ifndef TWHEEL_SRC_CONCURRENT_SUBMISSION_H_
 #define TWHEEL_SRC_CONCURRENT_SUBMISSION_H_
@@ -136,6 +155,21 @@ class ShardSubmitQueue {
   // expiry tick captured by the caller (now + interval). The returned handle's
   // slot is the *local* entry index; the wheel ORs in its shard bits.
   StartResult SubmitStart(RequestId client_id, Tick deadline) {
+    return StartCommon(client_id, deadline, /*period=*/0, /*repeats=*/0);
+  }
+
+  // Periodic variant: the first fire is at `deadline`, subsequent fires every
+  // `period` ticks, `repeats` times in total (0 = forever). The entry's word
+  // carries the sticky periodic bit from publish on; the cadence and budget
+  // travel in entry fields written before the publish.
+  StartResult SubmitStartPeriodic(RequestId client_id, Tick deadline,
+                                  Duration period, std::uint64_t repeats) {
+    return StartCommon(client_id, deadline, period, repeats);
+  }
+
+ private:
+  StartResult StartCommon(RequestId client_id, Tick deadline, Duration period,
+                          std::uint64_t repeats) {
     std::uint64_t retries = 0;
     std::uint32_t index;
     while (!AllocEntry(&index, &retries)) {
@@ -152,7 +186,10 @@ class ShardSubmitQueue {
     entry.client_id.store(client_id, std::memory_order_relaxed);
     entry.deadline = deadline;
     entry.inner = kInvalidHandle;
-    entry.word.store(Pack(generation, State::kPending),
+    entry.period.store(period, std::memory_order_relaxed);
+    entry.repeats.store(repeats, std::memory_order_relaxed);
+    entry.word.store(Pack(generation, State::kPending) |
+                         (period != 0 ? kPeriodicBit : 0),
                      std::memory_order_release);
     // Record the deadline for NextExpiryHint *before* publishing the command,
     // so a hint computed after a completed submission is never later than this
@@ -172,6 +209,7 @@ class ShardSubmitQueue {
     return TimerHandle{index, generation};
   }
 
+ public:
   // Commit a cancel (one CAS on the word) and enqueue the removal command.
   // Returns kOk iff this call won the timer — i.e. the timer can no longer
   // fire. The command enqueue is best-effort under kReject (lazy reclamation
@@ -197,11 +235,13 @@ class ShardSubmitQueue {
         default:
           return TimerError::kNoSuchTimer;  // already cancelled
       }
-      // Pack() zeroes the restart counter: committed-but-undrained restart
-      // commands observe the cancelled state at drain and help reclaim.
-      if (entry.word.compare_exchange_weak(word, Pack(generation, desired),
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_acquire)) {
+      // Zeroing the restart counter is deliberate: committed-but-undrained
+      // restart commands observe the cancelled state at drain and help
+      // reclaim. The sticky bits (periodic flag, fire epoch) survive — the
+      // suppression passes still need to know the entry was periodic.
+      if (entry.word.compare_exchange_weak(
+              word, (word & kStickyMask) | Pack(generation, desired),
+              std::memory_order_acq_rel, std::memory_order_acquire)) {
         break;
       }
       submit_retries_.fetch_add(1, std::memory_order_relaxed);
@@ -289,7 +329,9 @@ class ShardSubmitQueue {
           break;
         }
         if (entry.word.compare_exchange_weak(
-                word, PackFull(generation, s, RestartsOf(word) + 1),
+                word,
+                (word & kStickyMask) |
+                    PackFull(generation, s, RestartsOf(word) + 1),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           if (s == State::kPending) {
             coalesced_restarts_.fetch_add(1, std::memory_order_relaxed);
@@ -362,53 +404,116 @@ class ShardSubmitQueue {
     return drained;
   }
 
-  // Resolve an inner-wheel expiry for entry (index, generation): returns true
-  // and fills `client_id` iff the dispatch should happen (this call claimed the
-  // fire); false when a cancel won the race (the entry is reclaimed here if the
-  // cancel command was dropped or has not drained yet). Thread-safe against
-  // producers; the wheel calls it for every collected expiry *before*
-  // dispatching any client handler, which is what commits a tick's expiry set
-  // at the start of the tick.
-  bool ClaimFire(std::uint32_t index, std::uint32_t generation,
-                 RequestId* client_id) {
+  // How one collected inner-wheel expiry resolved against the entry word.
+  enum class FireResolution : std::uint8_t {
+    kSuppress,      // nothing to dispatch; any reclaim already happened here
+    kDeliver,       // dispatch; the entry stays live (non-final periodic fire)
+    kDeliverFinal,  // dispatch; the entry was claimed and reclaimed
+    kStopInner,     // a cancel won, but the periodic's re-armed inner record is
+                    // still live — the caller must resolve it under the shard
+                    // mutex via ReclaimCancelledPeriodic
+  };
+
+  // Resolve an inner-wheel expiry for entry (index, generation); fills
+  // `client_id` on the kDeliver* outcomes. One-shots and final periodic fires
+  // claim the word (generation bump, entry reclaimed); non-final periodic fires
+  // claim by bumping the sticky fire-epoch bits so the handle survives — either
+  // way the claim is a CAS, so a racing cancel or restart resolves exactly
+  // once. Thread-safe against producers; the wheel calls it for every collected
+  // expiry *before* dispatching any client handler, which is what commits a
+  // tick's expiry set at the start of the tick.
+  FireResolution ClaimFire(std::uint32_t index, std::uint32_t generation,
+                           RequestId* client_id) {
     Entry& entry = entries_[index];
     std::uint64_t word = entry.word.load(std::memory_order_acquire);
     for (;;) {
       if (GenerationOf(word) != generation) {
-        return false;  // a drained cancel command already reclaimed the entry
+        // A drained cancel command already reclaimed the entry.
+        return FireResolution::kSuppress;
       }
+      const bool periodic = (word & kPeriodicBit) != 0;
+      // Mirrors the inner record's remaining-fire budget (see
+      // DecrementRepeats); 1 means the fire being resolved was the final one.
+      const std::uint64_t repeats =
+          periodic ? entry.repeats.load(std::memory_order_relaxed) : 1;
       switch (StateOf(word)) {
         case State::kRegistered: {
-          if (RestartsOf(word) != 0) {
+          if (RestartsOf(word) != 0 && !(periodic && repeats != 1)) {
             // A committed restart is awaiting its drain: suppress this
-            // (old-deadline) dispatch but do NOT reclaim — the restart command
-            // re-registers the entry at its new deadline, minting a fresh
-            // inner record since this expiry consumed the old one.
-            return false;
+            // (old-deadline) dispatch but do NOT reclaim — the inner record
+            // was consumed by this expiry (a one-shot's only fire or a
+            // periodic's final lap), so the restart command re-registers it
+            // at the moved deadline and the deferred fire still arrives:
+            // the budget is conserved, just re-phased.
+            //
+            // A non-final periodic lap is NOT suppressed: the inner wheel's
+            // re-arm already consumed one lap of the budget, so swallowing
+            // the dispatch here would under-deliver the series (the client
+            // was promised exactly `repeats` laps). The lap is delivered at
+            // the old cadence and the pending restart re-phases the NEXT lap
+            // when its command drains and relinks the live inner record.
+            return FireResolution::kSuppress;
           }
           // Relaxed read ordered by the word acquire; a stale value (the entry
           // recycled between the load above and here) dies with the failed CAS.
           const RequestId id = entry.client_id.load(std::memory_order_relaxed);
+          if (periodic && repeats != 1) {
+            // Non-final periodic fire: the claim is an epoch bump. The word
+            // changes — so the cancel/restart CASes serialize against it — but
+            // generation, state, and the client's handle all survive.
+            if (entry.word.compare_exchange_weak(
+                    word, word + kEpochIncrement, std::memory_order_acq_rel,
+                    std::memory_order_acquire)) {
+              DecrementRepeats(entry);
+              *client_id = id;
+              return FireResolution::kDeliver;
+            }
+            continue;  // a canceller or restarter intervened; re-resolve
+          }
           if (entry.word.compare_exchange_weak(
                   word, Pack(generation + 1, State::kFree),
                   std::memory_order_acq_rel, std::memory_order_acquire)) {
             *client_id = id;
             FreeEntry(index);
-            return true;
+            return FireResolution::kDeliverFinal;
           }
           continue;  // a canceller or restarter intervened between load and CAS
         }
         case State::kCancelledRegistered:
-          // Cancel won after the inner record was collected. Reclaim (the
-          // cancel command, if any, will see the bumped generation and no-op).
+          if (periodic && repeats != 1) {
+            // Cancel won, but this non-final fire already re-armed the inner
+            // record — it must be stopped under the shard mutex before the
+            // entry can be reclaimed, or it would fire as a ghost forever.
+            return FireResolution::kStopInner;
+          }
+          // Cancel won after the inner record was consumed by this expiry.
+          // Reclaim (the cancel command, if any, sees the bumped generation
+          // and no-ops).
           (void)TryReclaim(index, generation, State::kCancelledRegistered);
-          return false;
+          return FireResolution::kSuppress;
         default:
           // kPending/kCancelledPending cannot reach the inner wheel; kFree with
           // a matching generation cannot exist (reclaim bumps it). Defensive:
-          return false;
+          return FireResolution::kSuppress;
       }
     }
+  }
+
+  // Driver-side, MUST run under the shard mutex: stop the still-armed inner
+  // record of a cancelled periodic entry and reclaim the entry. The mutex
+  // serializes this against the cancel command's own drain (Apply), so exactly
+  // one of them stops the inner record and wins the reclaim CAS.
+  void ReclaimCancelledPeriodic(std::uint32_t index, std::uint32_t generation,
+                                TimerService& wheel) {
+    Entry& entry = entries_[index];
+    const std::uint64_t word = entry.word.load(std::memory_order_acquire);
+    if (GenerationOf(word) != generation ||
+        StateOf(word) != State::kCancelledRegistered) {
+      return;  // already resolved by the cancel command or a racing reclaim
+    }
+    const TimerHandle inner = entry.inner;  // read before reclaim recycles it
+    (void)wheel.StopTimer(inner);
+    (void)TryReclaim(index, generation, State::kCancelledRegistered);
   }
 
   // ---- Accounting ----------------------------------------------------------
@@ -457,7 +562,8 @@ class ShardSubmitQueue {
   };
 
   struct Entry {
-    // {generation:32 | state:8} — the linearization point (see file comment).
+    // {epoch:15 | periodic:1 | restarts:8 | state:8 | generation:32} — the
+    // linearization point (see file comment).
     std::atomic<std::uint64_t> word{0};
     // Atomic because ClaimFire reads it outside the shard mutex and may race a
     // producer re-initializing a recycled entry; the generation CAS discards
@@ -467,6 +573,13 @@ class ShardSubmitQueue {
     std::atomic<RequestId> client_id{0};
     Tick deadline = 0;
     TimerHandle inner = kInvalidHandle;  // driver-only, valid in *Registered
+    // Periodic cadence and remaining-fire mirror. Written by the producer
+    // before the kPending publish; thereafter period is read-only and repeats
+    // is decremented only by claim passes, in lockstep with the inner record's
+    // own budget. Atomic (relaxed) because claim passes run outside the shard
+    // mutex while a producer may be re-initializing a recycled entry.
+    std::atomic<Duration> period{0};
+    std::atomic<std::uint64_t> repeats{0};
   };
 
   static constexpr std::uint32_t kNilIndex =
@@ -477,7 +590,17 @@ class ShardSubmitQueue {
   // producer gets kNoCapacity, same as a full ring.
   static constexpr std::uint64_t kMaxRestarts = 0xff;
 
-  // Word layout: {restarts:8 | state:8 | generation:32}.
+  // Word layout: {epoch:15 | periodic:1 | restarts:8 | state:8 | generation:32}.
+  // Bits 48..63 are sticky: preserved by every live-state transition (cancel,
+  // restart commit, registration, restart-counter decrement), cleared only by
+  // reclaim. The periodic bit marks the entry's kind for the claim passes; the
+  // epoch is a wrapping counter whose only job is to make a non-final periodic
+  // fire's claim a *distinct word value*, so it is a real CAS that cancels and
+  // restarts serialize against.
+  static constexpr std::uint64_t kPeriodicBit = 1ull << 48;
+  static constexpr std::uint64_t kEpochIncrement = 1ull << 49;
+  static constexpr std::uint64_t kStickyMask = 0xFFFF000000000000ull;
+
   static constexpr std::uint64_t Pack(std::uint32_t generation, State state) {
     return (static_cast<std::uint64_t>(state) << 32) | generation;
   }
@@ -544,18 +667,35 @@ class ShardSubmitQueue {
 
   // Exclusive reclaim of a cancelled entry: exactly one of the racing driver
   // paths (cancel-command drain vs suppressed-expiry claim) wins the CAS and
-  // frees the entry; the loser observes the bumped generation and drops.
+  // frees the entry; the loser observes the bumped generation and drops. The
+  // expected word cannot be constructed (the sticky bits are arbitrary), so
+  // this is a read-check-CAS loop; the reclaim clears the sticky bits.
   bool TryReclaim(std::uint32_t index, std::uint32_t generation, State from) {
     Entry& entry = entries_[index];
-    std::uint64_t expected = Pack(generation, from);
-    if (entry.word.compare_exchange_strong(expected,
+    std::uint64_t word = entry.word.load(std::memory_order_acquire);
+    for (;;) {
+      if (GenerationOf(word) != generation || StateOf(word) != from) {
+        return false;  // another reclaimer won
+      }
+      if (entry.word.compare_exchange_weak(word,
                                            Pack(generation + 1, State::kFree),
                                            std::memory_order_acq_rel,
                                            std::memory_order_acquire)) {
-      FreeEntry(index);
-      return true;
+        FreeEntry(index);
+        return true;
+      }
     }
-    return false;
+  }
+
+  // Lockstep decrement of the entry's remaining-fire mirror (never below 1 —
+  // 1 marks the final fire, and kRepeatForever = 0 never moves). CAS loop
+  // because claim passes for distinct fire events may run concurrently.
+  static void DecrementRepeats(Entry& entry) {
+    std::uint64_t r = entry.repeats.load(std::memory_order_relaxed);
+    while (r > 1 && !entry.repeats.compare_exchange_weak(
+                        r, r - 1, std::memory_order_relaxed,
+                        std::memory_order_relaxed)) {
+    }
   }
 
   bool Push(const Command& cmd, std::uint64_t* retries) {
@@ -595,6 +735,31 @@ class ShardSubmitQueue {
     }
   }
 
+  // Register (or re-register) an entry's inner-wheel record due in `remaining`
+  // ticks — as a periodic carrying the entry's cadence and mirrored budget
+  // when the entry is periodic. Runs under the shard mutex.
+  void RegisterInner(Entry& entry, std::uint32_t index, std::uint32_t generation,
+                     Duration remaining, TimerService& wheel) {
+    const Duration period = entry.period.load(std::memory_order_relaxed);
+    const RequestId inner_id = PackInnerId(index, generation);
+    // The inner record carries the true cadence and budget, so the inner
+    // wheel's own expiry path re-arms it in place between fires. When the
+    // first fire is off-cadence (remaining != period), the in-place relink
+    // moves just that first deadline; the record's period is untouched.
+    StartResult result =
+        period != 0
+            ? wheel.StartPeriodic(
+                  period, inner_id,
+                  entry.repeats.load(std::memory_order_relaxed))
+            : wheel.StartTimer(remaining, inner_id);
+    TWHEEL_ASSERT_MSG(result.has_value(),
+                      "inner wheel rejected a drained registration");
+    if (period != 0 && remaining != period) {
+      (void)wheel.RestartTimer(result.value(), remaining);
+    }
+    entry.inner = result.value();
+  }
+
   // Applies one drained command. Runs under the shard mutex.
   void Apply(const Command& cmd, TimerService& wheel) {
     if (cmd.kind == Command::Kind::kNoop) {
@@ -607,21 +772,19 @@ class ShardSubmitQueue {
     }
     if (cmd.kind == Command::Kind::kStart) {
       while (StateOf(word) == State::kPending) {
-        // Preserve the restart counter: a restart committed against the
-        // pending entry (coalesced) carries across the registration, and its
-        // relink command drains right behind this one.
+        // Preserve the restart counter (and sticky bits): a restart committed
+        // against the pending entry (coalesced) carries across the
+        // registration, and its relink command drains right behind this one.
         if (entry.word.compare_exchange_weak(
                 word,
-                PackFull(cmd.generation, State::kRegistered, RestartsOf(word)),
+                (word & kStickyMask) |
+                    PackFull(cmd.generation, State::kRegistered,
+                             RestartsOf(word)),
                 std::memory_order_acq_rel, std::memory_order_acquire)) {
           const Tick now = wheel.now();
           const Duration remaining =
               entry.deadline > now ? entry.deadline - now : 1;
-          StartResult result = wheel.StartTimer(
-              remaining, PackInnerId(cmd.index, cmd.generation));
-          TWHEEL_ASSERT_MSG(result.has_value(),
-                            "inner wheel rejected a drained registration");
-          entry.inner = result.value();
+          RegisterInner(entry, cmd.index, cmd.generation, remaining, wheel);
           return;
         }
         if (GenerationOf(word) != cmd.generation) {
@@ -650,21 +813,23 @@ class ShardSubmitQueue {
         const Tick now = wheel.now();
         const Duration remaining =
             cmd.deadline > now ? cmd.deadline - now : 1;
+        // A non-final periodic's inner record survived its (suppressed or
+        // delivered) fires — the relink just moves its next deadline and the
+        // cadence rides along untouched.
         if (wheel.RestartTimer(entry.inner, remaining) != TimerError::kOk) {
           // The old inner record was consumed by a suppressed (counter > 0)
-          // expiry; re-register under the same entry identity.
-          StartResult result = wheel.StartTimer(
-              remaining, PackInnerId(cmd.index, cmd.generation));
-          TWHEEL_ASSERT_MSG(result.has_value(),
-                            "inner wheel rejected a restart re-registration");
-          entry.inner = result.value();
+          // expiry — a one-shot's only fire or a periodic's final fire;
+          // re-register under the same entry identity (periodic entries
+          // resume with their mirrored remaining budget).
+          RegisterInner(entry, cmd.index, cmd.generation, remaining, wheel);
         }
         entry.deadline = cmd.deadline;
         // Release this commit's suppression ticket. Stop if a cancel slips in
         // concurrently — it zeroes the counter itself.
         while (!entry.word.compare_exchange_weak(
             word,
-            PackFull(cmd.generation, State::kRegistered, RestartsOf(word) - 1),
+            (word & kStickyMask) | PackFull(cmd.generation, State::kRegistered,
+                                            RestartsOf(word) - 1),
             std::memory_order_acq_rel, std::memory_order_acquire)) {
           if (GenerationOf(word) != cmd.generation ||
               StateOf(word) != State::kRegistered) {

@@ -109,6 +109,12 @@ std::size_t BasicWheel::DrainCursorSlot() {
   std::size_t expired = 0;
   while (TimerRecord* rec = pending.front()) {
     TWHEEL_ASSERT(rec->expiry_tick == now_);
+    // Non-final periodic fires relink the still-linked record back into the
+    // wheel (delay in [1, MaxInterval), so never this slot) and dispatch.
+    if (TryFirePeriodic(rec)) {
+      ++expired;
+      continue;
+    }
     rec->Unlink();
     Expire(rec);
     ++expired;

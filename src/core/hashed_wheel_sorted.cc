@@ -134,6 +134,13 @@ std::size_t HashedWheelSorted::VisitCursorBucket() {
       break;
     }
     TWHEEL_ASSERT(head->expiry_tick == now_);
+    // Non-final periodic fire: the sorted refile moves the head to a later
+    // expiry (same-bucket periods land at rounds > revolution), so the head
+    // loop still terminates.
+    if (TryFirePeriodic(head)) {
+      ++expired;
+      continue;
+    }
     head->Unlink();
     Expire(head);
     ++expired;

@@ -109,13 +109,21 @@ std::size_t HashedWheelUnsorted::VisitCursorBucket() {
   IntrusiveList<TimerRecord> pending;
   pending.SpliceAll(bucket);
   while (TimerRecord* rec = pending.front()) {
-    rec->Unlink();
     ++counts_.decrement_visits;
     if (rec->rounds == 0) {
       TWHEEL_ASSERT(rec->expiry_tick == now_);
+      // Non-final periodic fire: RestartTimer relinks the still-linked record
+      // (a period that is a multiple of TableSize lands back in `bucket`, a
+      // revolution away — never in `pending`), then the handler runs.
+      if (TryFirePeriodic(rec)) {
+        ++expired;
+        continue;
+      }
+      rec->Unlink();
       Expire(rec);
       ++expired;
     } else {
+      rec->Unlink();
       --rec->rounds;
       bucket.PushBack(rec);
       occupancy_.Set(index);

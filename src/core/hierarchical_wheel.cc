@@ -220,7 +220,6 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
   pending.SpliceAll(slot);
   while (TimerRecord* rec = pending.front()) {
     ++counts_.decrement_visits;
-    rec->Unlink();
 
     const Duration remaining = rec->expiry_tick - now_;  // 0 when due exactly now
     bool expire_now = false;
@@ -243,9 +242,18 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
       if (migration_ == MigrationPolicy::kFull) {
         TWHEEL_ASSERT(rec->expiry_tick == now_);
       }
+      // Non-final periodic fire: RestartTimer unlinks from `pending`, re-runs
+      // the digit rule (or no-migration rounding) against the current time, and
+      // refiles — never back into the slot being visited.
+      if (TryFirePeriodic(rec)) {
+        ++expired;
+        continue;
+      }
+      rec->Unlink();
       Expire(rec);
       ++expired;
     } else if (migration_ == MigrationPolicy::kSingleStep) {
+      rec->Unlink();
       ++counts_.migrations;
       ++rec->migrations_done;
       const Level& below = levels_[level - 1];
@@ -253,6 +261,7 @@ std::size_t HierarchicalWheel::VisitSlot(std::size_t level, std::size_t slot_ind
     } else {
       // Full migration: re-file by expiry; lands at a strictly finer level because
       // this level's unit boundary has been reached.
+      rec->Unlink();
       ++counts_.migrations;
       ++rec->migrations_done;
       Insert(rec);

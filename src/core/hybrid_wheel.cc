@@ -133,6 +133,12 @@ std::size_t HybridWheel::DrainCursorSlot() {
   std::size_t expired = 0;
   while (TimerRecord* rec = pending.front()) {
     TWHEEL_ASSERT(rec->expiry_tick == now_);
+    // Non-final periodic fires relink in place (wheel or annex, re-decided by
+    // the period) before the handler runs.
+    if (TryFirePeriodic(rec)) {
+      ++expired;
+      continue;
+    }
     rec->Unlink();
     Expire(rec);
     ++expired;
@@ -151,6 +157,11 @@ std::size_t HybridWheel::DrainDueOverflow() {
     ++counts_.comparisons;
     if (head->expiry_tick > now_) {
       break;
+    }
+    // A re-armed head refiles at now + period (> now), so the loop terminates.
+    if (TryFirePeriodic(head)) {
+      ++expired;
+      continue;
     }
     head->Unlink();
     Expire(head);

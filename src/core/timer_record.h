@@ -30,6 +30,15 @@ struct TimerRecord : ListNode {
   Tick expiry_tick = 0;      // absolute tick at which the timer is due
   std::uint64_t seq = 0;     // start order; tiebreak so equal expiries stay FIFO
 
+  // -- Periodic registration (StartPeriodic) ---------------------------------------
+  // period == 0 marks a one-shot. A firing periodic record is relinked to the next
+  // multiple of `period` instead of released; repeats_left counts total remaining
+  // fires (TimerService::kRepeatForever == 0 means unbounded, 1 means this fire is
+  // the last). RestartTimer leaves both fields untouched: a restart moves the next
+  // deadline but keeps the cadence and the remaining-fire budget.
+  Duration period = 0;
+  std::uint64_t repeats_left = 0;
+
   // -- Scheme 1 (straightforward): per-tick DECREMENT target -----------------------
   Duration remaining = 0;
 

@@ -59,6 +59,29 @@ class TimerService {
   // rejected with kZeroInterval (an "expire now" is not a timer).
   virtual StartResult StartTimer(Duration interval, RequestId request_id) = 0;
 
+  // repeat_for value meaning "fire until stopped".
+  static constexpr std::uint64_t kRepeatForever = 0;
+
+  // Periodic START_TIMER: fires every `interval` ticks, `repeat_for` times in
+  // total (kRepeatForever = until stopped). The first fire is at now + interval;
+  // subsequent fires keep phase — each is due exactly `interval` after the
+  // previous one. The returned handle stays valid across every non-final fire:
+  // the arena record is relinked in place on the expiry path (never released),
+  // so StopTimer/RestartTimer work between fires with the original handle and
+  // generation. RestartTimer on a periodic timer moves only the NEXT deadline;
+  // the cadence and remaining-fire budget continue from there. The final fire of
+  // a finite registration releases the record like a one-shot expiry.
+  //
+  // Default: kNotSupported. TimerServiceBase provides the arena-backed
+  // implementation every scheme inherits; wrappers forward.
+  virtual StartResult StartPeriodic(Duration interval, RequestId request_id,
+                                    std::uint64_t repeat_for = kRepeatForever) {
+    (void)interval;
+    (void)request_id;
+    (void)repeat_for;
+    return TimerError::kNotSupported;
+  }
+
   // STOP_TIMER. Returns kOk if the timer was outstanding and is now cancelled;
   // kNoSuchTimer if the handle is stale (already expired, already stopped, invalid).
   virtual TimerError StopTimer(TimerHandle handle) = 0;
@@ -75,21 +98,21 @@ class TimerService {
   // Contract on success: the handle (and its generation) REMAINS VALID — the
   // caller keeps using the same handle for later stops and restarts. Every
   // scheme in this repository honors that with an in-place override (unlink /
-  // relink, sift, or rotate — never freeing the record). This base default is
-  // the semantic definition only — stop + start through the public interface —
-  // and cannot recover the cookie or keep the handle, so any service that is
-  // differentially verified must override it (TimerServiceBase provides the
+  // relink, sift, or rotate — never freeing the record).
+  //
+  // Default: kNotSupported. An earlier default implemented the semantic
+  // definition as StopTimer + StartTimer through the public interface, but that
+  // cannot recover the client's cookie — it silently restarted the timer with
+  // RequestId{0}, so the eventual expiry delivered the wrong cookie. A restart
+  // that loses the cookie is worse than no restart; services without arena
+  // access must refuse rather than guess (TimerServiceBase provides the
   // cookie-preserving arena-aware fallback).
   virtual TimerError RestartTimer(TimerHandle handle, Duration new_interval) {
+    (void)handle;
     if (new_interval == 0) {
       return TimerError::kZeroInterval;
     }
-    const TimerError stopped = StopTimer(handle);
-    if (stopped != TimerError::kOk) {
-      return stopped;
-    }
-    StartResult restarted = StartTimer(new_interval, RequestId{0});
-    return restarted.has_value() ? TimerError::kOk : restarted.error();
+    return TimerError::kNotSupported;
   }
 
   // PER_TICK_BOOKKEEPING. Advances the clock by one tick and dispatches
@@ -206,12 +229,39 @@ class TimerServiceBase : public TimerService {
       return TimerError::kNoSuchTimer;
     }
     const RequestId request_id = rec->request_id;
+    const Duration period = rec->period;
+    const std::uint64_t repeats_left = rec->repeats_left;
     const TimerError stopped = StopTimer(handle);
     if (stopped != TimerError::kOk) {
       return stopped;
     }
     StartResult restarted = StartTimer(new_interval, request_id);
-    return restarted.has_value() ? TimerError::kOk : restarted.error();
+    if (!restarted.has_value()) {
+      return restarted.error();
+    }
+    // A restarted periodic keeps its cadence and remaining-fire budget even
+    // across the handle burn.
+    TimerRecord* fresh = Resolve(restarted.value());
+    fresh->period = period;
+    fresh->repeats_left = repeats_left;
+    return TimerError::kOk;
+  }
+
+  // Arena-backed periodic registration: a one-shot start plus the cadence
+  // stamped on the record. The cadence follows the *effective* interval (after
+  // any OverflowPolicy::kClamp saturation), which keeps every expiry-path
+  // re-arm delay within the scheme's validated range by construction.
+  StartResult StartPeriodic(Duration interval, RequestId request_id,
+                            std::uint64_t repeat_for = kRepeatForever) override {
+    StartResult started = this->StartTimer(interval, request_id);
+    if (!started.has_value()) {
+      return started;
+    }
+    TimerRecord* rec = Resolve(started.value());
+    rec->period = rec->interval;
+    rec->repeats_left = repeat_for;
+    ++counts_.periodic_starts;
+    return started;
   }
 
  protected:
@@ -227,6 +277,10 @@ class TimerServiceBase : public TimerService {
     rec->start_tick = now_;
     rec->interval = interval;
     rec->expiry_tick = now_ + interval;
+    // The arena recycles records: scrub the periodic fields so a slot that last
+    // held a periodic timer does not resurrect its cadence on a fresh one-shot.
+    rec->period = 0;
+    rec->repeats_left = 0;
     return rec;
   }
 
@@ -268,10 +322,100 @@ class TimerServiceBase : public TimerService {
     ++counts_.restart_relink_ops;
   }
 
+  // Phase-stable re-arm target: the next multiple of `period` after the fire,
+  // caught up past now_ if dispatch ran late (batched advances never do; the
+  // catch-up guards derived drivers). The returned delay is in [1, period], so
+  // a re-arm of an in-range period can never be rejected for range.
+  Duration NextPeriodicDelay(Tick expiry_tick, Duration period) const {
+    Tick target = expiry_tick + period;
+    if (target <= now_) {
+      target += ((now_ - target) / period + 1) * period;
+    }
+    return target - now_;
+  }
+
+  // Expiry-path fast path for periodic records, called by every scheme's drain
+  // loop on a due record BEFORE unlinking it. A non-final periodic fire relinks
+  // the still-live record to the next phase-stable deadline via the scheme's
+  // in-place RestartTimer machinery — the arena is never touched, the handle
+  // and generation survive — then dispatches the handler. Dispatch happens
+  // AFTER the re-arm, so a handler cancelling its own timer (StopTimer on the
+  // just-fired handle) finds it live and gets kOk. Returns true when the fire
+  // was fully handled here; false sends the record down the normal Expire path
+  // (one-shot, final fire, or a re-arm the scheme rejected — then accounted as
+  // a periodic_drop and degraded to a final expiry).
+  bool TryFirePeriodic(TimerRecord* rec) {
+    if (rec->period == 0 || rec->repeats_left == 1) {
+      return false;
+    }
+    const RequestId id = rec->request_id;
+    const Duration delay = NextPeriodicDelay(rec->expiry_tick, rec->period);
+    if (RearmPeriodic(rec, delay) != TimerError::kOk) {
+      // Degrade to a one-shot so the caller's Expire releases it exactly once.
+      rec->period = 0;
+      ++counts_.periodic_drops;
+      return false;
+    }
+    if (rec->repeats_left > 1) {
+      --rec->repeats_left;
+    }
+    ++counts_.periodic_fires;
+    ++counts_.expiry_dispatches;
+    if (handler_) {
+      handler_(id, now_);
+    }
+    return true;
+  }
+
+  // How TryFirePeriodic moves the record. The default routes through the
+  // scheme's own in-place RestartTimer override (the PR 4 relink machinery:
+  // wheels unlink/relink in O(1) maintaining occupancy bitmaps, heaps sift,
+  // trees rotate) and reclassifies the accounting: an expiry-path re-arm is not
+  // a client restart.
+  virtual TimerError RearmPeriodic(TimerRecord* rec, Duration delay) {
+    const TimerError err = this->RestartTimer(rec->self, delay);
+    if (err == TimerError::kOk) {
+      --counts_.restart_calls;
+      --counts_.restart_relink_ops;
+      ++counts_.periodic_rearm_relinks;
+    }
+    return err;
+  }
+
   // Dispatch EXPIRY_PROCESSING for `rec` and release it. The record must already be
-  // unlinked from the scheme's structures.
+  // unlinked from the scheme's structures. Periodic safety net: a derived service
+  // that never calls TryFirePeriodic (sim::TegasWheel, hw::ChipAssistedWheel) still
+  // gets correct periodic semantics here via a stop+start re-arm; a rejected
+  // re-arm is a documented drop (periodic_drops) that degrades to a final expiry
+  // instead of aborting.
   void Expire(TimerRecord* rec) {
-    RequestId id = rec->request_id;
+    const RequestId id = rec->request_id;
+    if (rec->period != 0 && rec->repeats_left != 1) {
+      const Duration period = rec->period;
+      const std::uint64_t repeats = rec->repeats_left;
+      const Duration delay = NextPeriodicDelay(rec->expiry_tick, period);
+      ReleaseRecord(rec);
+      StartResult rearmed = this->StartTimer(delay, id);
+      if (rearmed.has_value()) {
+        TimerRecord* fresh = Resolve(rearmed.value());
+        fresh->period = period;
+        fresh->repeats_left = repeats > 1 ? repeats - 1 : repeats;
+        --counts_.start_calls;  // a re-arm is not a client start
+        ++counts_.periodic_fires;
+        ++counts_.expiry_dispatches;
+        if (handler_) {
+          handler_(id, now_);
+        }
+        return;
+      }
+      ++counts_.periodic_drops;
+      ++counts_.expiries;
+      ++counts_.expiry_dispatches;
+      if (handler_) {
+        handler_(id, now_);
+      }
+      return;
+    }
     ++counts_.expiries;
     ++counts_.expiry_dispatches;
     ReleaseRecord(rec);

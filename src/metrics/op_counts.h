@@ -74,6 +74,19 @@ struct OpCounts {
   // start was still pending in the submission ring: the new deadline was
   // coalesced into the registration entry in place.
   std::uint64_t restart_coalesced = 0;
+  // StartPeriodic invocations accepted (also counted in start_calls: a periodic
+  // registration is one client START_TIMER that re-arms itself).
+  std::uint64_t periodic_starts = 0;
+  // Non-final periodic expiries: the handler ran and the record re-armed in
+  // place. Final fires of a finite periodic count in `expiries` instead, so the
+  // conservation law start_calls == expiries + cancels + outstanding holds.
+  std::uint64_t periodic_fires = 0;
+  // Expiry-path re-arms performed as O(1) relinks of the live record (no arena
+  // release, handle and generation preserved).
+  std::uint64_t periodic_rearm_relinks = 0;
+  // Periodic re-arms the service had to abandon (stop+start fallback rejected by
+  // range/capacity): the timer degrades to a final expiry instead of aborting.
+  std::uint64_t periodic_drops = 0;
 
   OpCounts& operator+=(const OpCounts& o) {
     start_calls += o.start_calls;
@@ -95,6 +108,10 @@ struct OpCounts {
     restart_calls += o.restart_calls;
     restart_relink_ops += o.restart_relink_ops;
     restart_coalesced += o.restart_coalesced;
+    periodic_starts += o.periodic_starts;
+    periodic_fires += o.periodic_fires;
+    periodic_rearm_relinks += o.periodic_rearm_relinks;
+    periodic_drops += o.periodic_drops;
     return *this;
   }
 
@@ -118,6 +135,10 @@ struct OpCounts {
     a.restart_calls -= b.restart_calls;
     a.restart_relink_ops -= b.restart_relink_ops;
     a.restart_coalesced -= b.restart_coalesced;
+    a.periodic_starts -= b.periodic_starts;
+    a.periodic_fires -= b.periodic_fires;
+    a.periodic_rearm_relinks -= b.periodic_rearm_relinks;
+    a.periodic_drops -= b.periodic_drops;
     return a;
   }
 

@@ -55,12 +55,31 @@ class Channel {
   std::uint64_t delivered() const { return delivered_; }
 
  private:
+  // splitmix64-style finalizer: full-width multiply + xor-shift avalanche, so
+  // every input bit affects every output bit.
+  static std::uint64_t Mix(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
   static std::uint64_t PacketFingerprint(const Packet& packet, Tick now) {
     // Distinct retransmissions of the same segment differ by send tick, so each
-    // attempt gets an independent fate.
-    return (static_cast<std::uint64_t>(packet.connection_id) << 48) ^
-           (packet.seq << 16) ^ (static_cast<std::uint64_t>(packet.type) << 8) ^
-           (now * 0x9e3779b97f4a7c15ULL);
+    // attempt gets an independent fate. Each field is avalanche-mixed before
+    // combining: an earlier shift-and-xor packing put `seq << 16` underneath
+    // `connection_id << 48`, so once seq reached 2^32 its high bits aliased the
+    // connection bits and long-lived flows on different connections shared
+    // fates. Mixing spreads every field across all 64 bits first, so no
+    // shifted-out or overlapping-field collisions exist by construction.
+    std::uint64_t fp = Mix(static_cast<std::uint64_t>(packet.connection_id) +
+                           0x9e3779b97f4a7c15ULL);
+    fp = Mix(fp ^ packet.seq);
+    fp = Mix(fp ^ static_cast<std::uint64_t>(packet.type));
+    fp = Mix(fp ^ now);
+    return fp;
   }
 
   sim::Simulator& network_;

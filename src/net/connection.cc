@@ -61,9 +61,8 @@ void Connection::OnClientReceive(const Packet& packet) {
       RearmDeath();
       RearmKeepalive();
       break;
-    case PacketType::kData:
-    case PacketType::kKeepalive:
-      break;  // client never receives these in this model
+    default:
+      break;  // data/keepalive/timer-protocol packets: not for the client
   }
 }
 
@@ -76,9 +75,8 @@ void Connection::OnPeerReceive(const Packet& packet) {
     case PacketType::kKeepalive:
       from_peer_.Send(Packet{id_, packet.seq, PacketType::kKeepaliveAck});
       break;
-    case PacketType::kAck:
-    case PacketType::kKeepaliveAck:
-      break;
+    default:
+      break;  // acks and timer-protocol packets need no peer response
   }
 }
 

@@ -1,0 +1,110 @@
+#include "src/net/timer_server.h"
+
+#include <utility>
+
+namespace twheel::net {
+
+TimerServer::TimerServer(std::unique_ptr<TimerService> host, Channel& to_client)
+    : host_(std::move(host)), to_client_(to_client) {
+  host_->set_expiry_handler(
+      [this](RequestId cookie, twheel::Tick now) { OnExpiry(cookie, now); });
+}
+
+void TimerServer::Register(RequestId cookie, const Packet& request) {
+  // Cancel-and-replace: a duplicate set (client retry, or reuse of a timer
+  // name whose fire callback was lost) supersedes the live registration.
+  if (auto it = timers_.find(cookie); it != timers_.end()) {
+    if (host_->StopTimer(it->second.handle) == TimerError::kOk) {
+      ++stats_.replaced;
+    }
+    timers_.erase(it);
+  }
+  const bool periodic = request.type == PacketType::kTimerSetPeriodic;
+  const Duration interval = static_cast<Duration>(request.arg0);
+  StartResult started =
+      periodic ? host_->StartPeriodic(interval, cookie, request.arg1)
+               : host_->StartTimer(interval, cookie);
+  if (!started.has_value()) {
+    ++stats_.rejected;
+    return;
+  }
+  Registration reg;
+  reg.handle = started.value();
+  reg.periodic = periodic;
+  reg.remaining = periodic ? request.arg1 : 1;
+  timers_.emplace(cookie, reg);
+  ++(periodic ? stats_.periodic_sets : stats_.sets);
+}
+
+void TimerServer::OnRequest(const Packet& request) {
+  const RequestId cookie = PackTimerCookie(request.connection_id, request.seq);
+  switch (request.type) {
+    case PacketType::kTimerSet:
+    case PacketType::kTimerSetPeriodic:
+      Register(cookie, request);
+      return;
+    case PacketType::kTimerRestart: {
+      auto it = timers_.find(cookie);
+      if (it == timers_.end()) {
+        ++stats_.restart_misses;
+        return;
+      }
+      // The relink contract keeps the handle valid, so the table entry is
+      // untouched; the periodic's cadence and budget continue from the moved
+      // deadline (TimerService::RestartTimer doc).
+      if (host_->RestartTimer(it->second.handle, static_cast<Duration>(
+                                                     request.arg0)) ==
+          TimerError::kOk) {
+        ++stats_.restarts;
+      } else {
+        ++stats_.restart_misses;
+      }
+      return;
+    }
+    case PacketType::kTimerCancel: {
+      auto it = timers_.find(cookie);
+      if (it == timers_.end() ||
+          host_->StopTimer(it->second.handle) != TimerError::kOk) {
+        ++stats_.cancel_misses;
+      } else {
+        ++stats_.cancels;
+      }
+      if (it != timers_.end()) {
+        timers_.erase(it);
+      }
+      return;
+    }
+    default:
+      return;  // transport packets are not ours
+  }
+}
+
+void TimerServer::OnExpiry(RequestId cookie, twheel::Tick now) {
+  auto it = timers_.find(cookie);
+  if (it == timers_.end()) {
+    return;  // raced with a cancel the host resolved differently; drop
+  }
+  Registration& reg = it->second;
+  const bool armed =
+      reg.periodic &&
+      (reg.remaining == TimerService::kRepeatForever || reg.remaining > 1);
+  if (armed) {
+    if (reg.remaining > 1) {
+      --reg.remaining;
+    }
+    ++stats_.periodic_laps;
+  } else {
+    timers_.erase(it);
+  }
+  Packet fire;
+  fire.connection_id = CookieSession(cookie);
+  fire.seq = CookieTimer(cookie);
+  fire.type = PacketType::kTimerFire;
+  fire.arg0 = now;
+  ++stats_.fires_sent;
+  to_client_.Send(fire);
+}
+
+void TimerServer::Tick() { host_->PerTickBookkeeping(); }
+
+}  // namespace twheel::net

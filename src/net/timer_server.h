@@ -1,0 +1,97 @@
+// A networked timer facility: the paper's timer module behind a protocol.
+//
+// Client sessions manage timers on a remote timer module — set one-shots, set
+// periodics, restart ("update"), cancel — by sending request packets over a
+// lossy Channel, and receive kTimerFire callback packets when their timers
+// expire. This is ROADMAP item 1's product surface: the host scheme under test
+// serves the whole population's timers, so its op-count profile under a
+// realistic set/update/cancel/fire mix is directly observable.
+//
+// Addressing: a session is a connection_id; a timer is the session-local
+// `seq` the client chose. The pair packs into the 64-bit RequestId cookie the
+// timer module already carries, so an expiry dispatch routes back to its
+// session without any per-timer allocation on the server.
+//
+// Loss tolerance: requests are idempotent where the protocol allows it — a
+// duplicate kTimerSet for a live timer replaces the old registration
+// (cancel-and-replace), and kTimerRestart/kTimerCancel for a timer the server
+// no longer has (expired, cancelled, or the set was lost) are counted as
+// stale misses, not errors. The server never retransmits callbacks: a lost
+// kTimerFire is simply lost, exactly like a lost ack in Section 1's model.
+
+#ifndef TWHEEL_SRC_NET_TIMER_SERVER_H_
+#define TWHEEL_SRC_NET_TIMER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "src/core/timer_service.h"
+#include "src/net/channel.h"
+#include "src/net/types.h"
+
+namespace twheel::net {
+
+// (session, timer) <-> RequestId cookie. Sessions are 32-bit, timer names are
+// truncated to 32 bits — sessions use small per-session timer numbers.
+constexpr RequestId PackTimerCookie(std::uint32_t session, std::uint64_t timer) {
+  return (static_cast<RequestId>(session) << 32) |
+         static_cast<std::uint32_t>(timer);
+}
+constexpr std::uint32_t CookieSession(RequestId cookie) {
+  return static_cast<std::uint32_t>(cookie >> 32);
+}
+constexpr std::uint32_t CookieTimer(RequestId cookie) {
+  return static_cast<std::uint32_t>(cookie);
+}
+
+struct TimerServerStats {
+  std::uint64_t sets = 0;            // one-shot registrations accepted
+  std::uint64_t periodic_sets = 0;   // periodic registrations accepted
+  std::uint64_t replaced = 0;        // duplicate set replaced a live timer
+  std::uint64_t rejected = 0;        // host refused (capacity/range)
+  std::uint64_t restarts = 0;        // kTimerRestart applied
+  std::uint64_t restart_misses = 0;  // kTimerRestart for an unknown timer
+  std::uint64_t cancels = 0;         // kTimerCancel applied
+  std::uint64_t cancel_misses = 0;   // kTimerCancel for an unknown timer
+  std::uint64_t fires_sent = 0;      // kTimerFire callbacks handed to the channel
+  std::uint64_t periodic_laps = 0;   // fires that left the registration armed
+};
+
+class TimerServer {
+ public:
+  // `host` is the timer scheme under test; `to_client` carries callbacks.
+  TimerServer(std::unique_ptr<TimerService> host, Channel& to_client);
+
+  // A request packet arrived (the harness wires this as the uplink receiver).
+  void OnRequest(const Packet& request);
+
+  // Advance the host timer module one tick, dispatching expiry callbacks.
+  void Tick();
+
+  const TimerServerStats& stats() const { return stats_; }
+  const TimerService& host() const { return *host_; }
+  // Timers currently registered (the server-side session table's view).
+  std::size_t registrations() const { return timers_.size(); }
+
+ private:
+  struct Registration {
+    TimerHandle handle;
+    // Laps still owed, mirroring the host's repeat budget: 0 = forever,
+    // 1 = next fire is final, 0 remaining after it. One-shots store 1.
+    std::uint64_t remaining = 1;
+    bool periodic = false;
+  };
+
+  void OnExpiry(RequestId cookie, twheel::Tick now);
+  void Register(RequestId cookie, const Packet& request);
+
+  std::unique_ptr<TimerService> host_;
+  Channel& to_client_;
+  std::unordered_map<RequestId, Registration> timers_;
+  TimerServerStats stats_;
+};
+
+}  // namespace twheel::net
+
+#endif  // TWHEEL_SRC_NET_TIMER_SERVER_H_

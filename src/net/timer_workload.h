@@ -1,0 +1,149 @@
+// Workload generator + harness for the networked timer server.
+//
+// TimerWorkload models a population of client sessions, each owning a few
+// session-local timer names. Per tick a bounded batch of sessions act (a
+// round-robin cursor, so population size scales independently of per-tick
+// cost): a session with a free timer name sets it (periodic with finite
+// budget, or one-shot), a session with a live timer restarts it, cancels it,
+// or replaces it. Per-session state is a handful of bytes — the generator
+// holds millions of concurrent sessions without the bookkeeping dwarfing the
+// timer module under test.
+//
+// Beliefs, not ground truth: the client marks a timer live when it SENDS the
+// set and clears it when the final callback ARRIVES. Lost requests and lost
+// callbacks make beliefs drift, which is the point — the drift is exactly the
+// stale-miss traffic (restart/cancel for a dead timer) a real lossy deployment
+// generates, and the server counts it without failing.
+//
+// TimerServerHarness wires the full loop in lockstep simulated time:
+// workload -> uplink Channel -> TimerServer -> host timer scheme ->
+// downlink Channel -> workload callbacks.
+
+#ifndef TWHEEL_SRC_NET_TIMER_WORKLOAD_H_
+#define TWHEEL_SRC_NET_TIMER_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/core/timer_facility.h"
+#include "src/net/channel.h"
+#include "src/net/timer_server.h"
+#include "src/net/types.h"
+#include "src/rng/rng.h"
+#include "src/sim/simulator.h"
+
+namespace twheel::net {
+
+struct TimerWorkloadConfig {
+  std::size_t num_sessions = 1000;
+  // Sessions acting per tick; the cursor wraps, so every session eventually
+  // acts regardless of population size.
+  std::size_t requests_per_tick = 64;
+  // Timer names per session, <= 8 (a bit of belief state per name).
+  std::uint32_t timers_per_session = 2;
+
+  Duration min_interval = 4;
+  Duration max_interval = 96;
+  double periodic_probability = 0.4;
+  // Periodic budgets are uniform in [1, periodic_repeat_max]: finite, so a
+  // drained run quiesces. Must be <= 255 (belief state is a byte).
+  std::uint64_t periodic_repeat_max = 8;
+  // For a session whose chosen timer is live: restart it / cancel it /
+  // otherwise replace it with a fresh set.
+  double restart_probability = 0.3;
+  double cancel_probability = 0.3;
+
+  std::uint64_t seed = 1;
+};
+
+struct TimerWorkloadStats {
+  std::uint64_t sets = 0;
+  std::uint64_t periodic_sets = 0;
+  std::uint64_t restarts = 0;
+  std::uint64_t cancels = 0;
+  std::uint64_t callbacks = 0;  // kTimerFire packets delivered to the client
+};
+
+class TimerWorkload {
+ public:
+  TimerWorkload(const TimerWorkloadConfig& config, Channel& to_server);
+
+  // Send this tick's batch of requests.
+  void Tick();
+  // A kTimerFire callback arrived (the harness wires this as the downlink
+  // receiver).
+  void OnCallback(const Packet& fire);
+
+  // Every session sets one timer, delivered through `deliver` instead of the
+  // channel — used to pre-establish millions of sessions before a measurement
+  // window without millions of in-flight packets.
+  void Prime(const std::function<void(const Packet&)>& deliver);
+
+  const TimerWorkloadStats& stats() const { return stats_; }
+  // Timers the client currently believes are live (drifts under loss).
+  std::uint64_t believed_live() const { return believed_live_; }
+
+ private:
+  // remaining[name]: laps the client still expects; 0 = name is free.
+  struct Session {
+    std::uint8_t remaining[8] = {};
+  };
+
+  void SendSet(std::uint32_t session, std::uint32_t name);
+
+  TimerWorkloadConfig config_;
+  Channel& to_server_;
+  rng::Xoshiro256 rng_;
+  std::vector<Session> sessions_;
+  std::size_t cursor_ = 0;
+  std::uint64_t believed_live_ = 0;
+  TimerWorkloadStats stats_;
+};
+
+struct TimerServerHarnessConfig {
+  TimerWorkloadConfig workload;
+  ChannelConfig channel;
+  FacilityConfig host_scheme;  // the timer scheme serving the population
+  std::uint64_t seed = 1;
+};
+
+class TimerServerHarness {
+ public:
+  explicit TimerServerHarness(const TimerServerHarnessConfig& config);
+
+  // One tick of simulated time: client requests, host timer tick (expiry
+  // callbacks), packet propagation.
+  void Step();
+  void Run(Tick ticks);
+
+  // Pre-establish the whole population: every session performs one action,
+  // delivered to the server synchronously (no channel hop), as if the sessions
+  // were set up before the observation window. Millions of sessions prime in
+  // one pass without millions of in-flight packets.
+  void Prime();
+
+  // Stop generating requests and run until the server's registration table is
+  // empty or `max_ticks` elapse. Returns ticks run. Only meaningful for
+  // workloads with finite periodic budgets.
+  Tick Drain(Tick max_ticks);
+
+  Tick now() const { return now_; }
+  const TimerServer& server() const { return server_; }
+  const TimerWorkload& workload() const { return workload_; }
+  const Channel& uplink() const { return uplink_; }
+  const Channel& downlink() const { return downlink_; }
+
+ private:
+  sim::Simulator network_;
+  Channel uplink_;
+  Channel downlink_;
+  TimerServer server_;
+  TimerWorkload workload_;
+  Tick now_ = 0;
+};
+
+}  // namespace twheel::net
+
+#endif  // TWHEEL_SRC_NET_TIMER_WORKLOAD_H_

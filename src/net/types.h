@@ -22,12 +22,23 @@ enum class PacketType : std::uint8_t {
   kAck,
   kKeepalive,
   kKeepaliveAck,
+  // Timer-server protocol (src/net/timer_server.h): client sessions manage
+  // timers on a remote timer module and receive expiry callbacks. The session
+  // is addressed by connection_id; seq names the session-local timer.
+  kTimerSet,          // arg0 = interval
+  kTimerSetPeriodic,  // arg0 = interval, arg1 = repeat_for (0 = forever)
+  kTimerRestart,      // arg0 = new interval
+  kTimerCancel,
+  kTimerFire,  // server -> client callback; arg0 = server tick at dispatch
 };
 
 struct Packet {
   std::uint32_t connection_id = 0;
   std::uint64_t seq = 0;
   PacketType type = PacketType::kData;
+  // Timer-protocol payload words (see PacketType); zero for transport packets.
+  std::uint64_t arg0 = 0;
+  std::uint64_t arg1 = 0;
 };
 
 struct ChannelConfig {

@@ -31,12 +31,16 @@ Simulator::Simulator(std::unique_ptr<TimerService> service)
       action();
       return;
     }
-    // Periodic: re-arm under the same token first, so the action can cancel its own
-    // future runs; invoke a copy in case the action does exactly that (freeing the
-    // entry, and with it the stored std::function, mid-run).
-    StartResult rearm = service_->StartTimer(entry->period, id);
-    TWHEEL_ASSERT_MSG(rearm.has_value(), "periodic re-arm rejected by the service");
-    entry->handle = rearm.value();
+    // Periodic: the service already re-armed the record in place before
+    // dispatching (StartPeriodic's expiry-path relink — the handle and
+    // generation survive, so the token still cancels future runs; no arena
+    // allocation happens, so a full arena can no longer reject the re-arm
+    // mid-dispatch). An earlier version re-armed here with StartTimer and
+    // *aborted* when the service rejected it; the rare re-arm a service does
+    // drop (OpCounts::periodic_drops) now just ends the series, leaving the
+    // token cancellable. Invoke a copy in case the action cancels its own
+    // token (freeing the entry, and with it the stored std::function,
+    // mid-run).
     Action run = entry->action;
     run();
   });
@@ -49,7 +53,11 @@ EventToken Simulator::Schedule(Duration delay, Duration period, Action action) {
   }
   entry->action = std::move(action);
   entry->period = period;
-  StartResult result = service_->StartTimer(delay, PackRef(ref));
+  StartResult result =
+      period != 0
+          ? service_->StartPeriodic(delay, PackRef(ref),
+                                    TimerService::kRepeatForever)
+          : service_->StartTimer(delay, PackRef(ref));
   if (!result.has_value()) {
     entries_.Free(ref);
     return EventToken{};
@@ -71,10 +79,18 @@ bool Simulator::Cancel(EventToken token) {
   if (entry == nullptr) {
     return false;  // already ran or already cancelled
   }
-  TimerError err = service_->StopTimer(entry->handle);
-  TWHEEL_ASSERT_MSG(err == TimerError::kOk, "simulator entry alive but timer dead");
+  const TimerError err = service_->StopTimer(entry->handle);
+  if (entry->period == 0) {
+    // One-shots keep the hard invariant: the expiry handler frees the entry
+    // before running the action, so a live entry implies a live timer.
+    TWHEEL_ASSERT_MSG(err == TimerError::kOk,
+                      "simulator entry alive but timer dead");
+  }
+  // A periodic whose re-arm the service dropped (periodic_drops) has a dead
+  // timer behind a live entry; cancelling it just reclaims the entry and
+  // reports that nothing was still scheduled.
   entries_.Free(token.ref);
-  return true;
+  return err == TimerError::kOk;
 }
 
 std::size_t Simulator::Step() { return service_->PerTickBookkeeping(); }

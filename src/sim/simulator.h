@@ -51,8 +51,12 @@ class Simulator {
   EventToken After(Duration delay, Action action);
 
   // Schedule `action` to run every `period` ticks (first run one period from now),
-  // until cancelled. The action may cancel its own token. Re-arming is internal and
-  // phase-stable: the k-th run lands exactly at now + k*period.
+  // until cancelled. The action may cancel its own token. Built on the service's
+  // StartPeriodic: re-arming happens on the service's expiry path as an in-place,
+  // allocation-free relink, phase-stable — the k-th run lands exactly at
+  // now + k*period — and the token stays valid across runs. Returns an invalid
+  // token if the service rejects the interval (range/capacity) or does not
+  // support periodic registration (TimerError::kNotSupported).
   EventToken Every(Duration period, Action action);
 
   // Cancel a pending event. Returns false if it already ran (one-shots) or was

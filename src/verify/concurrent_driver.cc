@@ -56,6 +56,11 @@ struct OpRecord {
   Tick restart_observed_now = 0;
   Duration restart_interval = 0;
   bool restart_missed = false;  // RestartTimer returned kNoSuchTimer (fire won)
+  // Periodic registration: `repeats` is the finite lap budget handed to
+  // StartPeriodic. The cookie then legally appears in the fire log up to
+  // `repeats` times (exactly `repeats` unless a cancel ended the series).
+  bool periodic = false;
+  std::uint64_t repeats = 0;
 };
 
 struct ProducerLog {
@@ -64,6 +69,7 @@ struct ProducerLog {
   std::size_t restarts = 0;
   std::size_t restart_misses = 0;
   std::size_t restart_rejects = 0;
+  std::size_t periodic_starts = 0;
 };
 
 // The dispatch stream, appended under `mutex` by whichever single thread is
@@ -155,10 +161,21 @@ void RaceProducer(TimerService& sut, const TortureOptions& options,
     record.interval = interval;
     record.observed_now = sut.now();
     const std::uint64_t seq = log.ops.size();
-    StartResult result = sut.StartTimer(interval, MakeCookie(producer, seq));
+    const bool periodic = rng.NextBool(options.periodic_probability);
+    if (periodic) {
+      record.periodic = true;
+      record.repeats = 1 + rng.NextBounded(options.periodic_repeat_max);
+    }
+    StartResult result =
+        periodic ? sut.StartPeriodic(interval, MakeCookie(producer, seq),
+                                     record.repeats)
+                 : sut.StartTimer(interval, MakeCookie(producer, seq));
     if (result.has_value()) {
       record.started = true;
       live.emplace_back(seq, result.value());
+      if (periodic) {
+        ++log.periodic_starts;
+      }
     } else {
       ++log.start_rejects;  // backpressure under kReject; not a violation
     }
@@ -171,10 +188,17 @@ void RaceProducer(TimerService& sut, const TortureOptions& options,
 void QuiesceAfterRace(TimerService& sut, const TortureOptions& options,
                       TortureReport& report) {
   // One batch of max_interval + 2 drains every queued command (deferred mode
-  // drains before advancing) and fires everything it registers; loop a few
-  // times defensively in case a scheme needs a second pass.
+  // drains before advancing) and fires every one-shot it registers; a periodic
+  // started at the very end of the race still owes its whole budget of laps,
+  // up to periodic_repeat_max * max_interval further ticks. Loop a few times
+  // defensively in case a scheme needs a second pass.
+  const Duration periodic_span =
+      options.periodic_probability > 0.0
+          ? options.max_interval *
+                static_cast<Duration>(options.periodic_repeat_max)
+          : 0;
   for (int i = 0; i < 4 && sut.outstanding() != 0; ++i) {
-    sut.AdvanceTo(sut.now() + options.max_interval + 2);
+    sut.AdvanceTo(sut.now() + options.max_interval + periodic_span + 2);
   }
   if (sut.outstanding() != 0 && report.violation.empty()) {
     report.ok = false;
@@ -195,24 +219,24 @@ void CheckRaceLogs(const std::vector<ProducerLog>& logs, const FireLog& fire_log
   if (!fire_log.violation.empty()) {
     fail(fire_log.violation);
   }
-  // cookie -> (count, first when)
-  std::unordered_map<RequestId, std::pair<std::size_t, Tick>> fired;
+  // cookie -> every dispatch tick, in dispatch order (periodics fire once per
+  // lap, so a cookie may legally appear several times).
+  std::unordered_map<RequestId, std::vector<Tick>> fired;
   fired.reserve(fire_log.fires.size());
   for (const auto& [cookie, when] : fire_log.fires) {
-    auto [it, inserted] = fired.try_emplace(cookie, 1, when);
-    if (!inserted) {
-      ++it->second.first;
-    }
+    fired[cookie].push_back(when);
   }
   std::size_t starts = 0;
   std::size_t cancels = 0;
   std::size_t cancel_misses = 0;
+  std::size_t attributed = 0;
   for (std::size_t producer = 0; producer < logs.size(); ++producer) {
     const ProducerLog& log = logs[producer];
     report.start_rejects += log.start_rejects;
     report.restarts += log.restarts;
     report.restart_misses += log.restart_misses;
     report.restart_rejects += log.restart_rejects;
+    report.periodic_starts += log.periodic_starts;
     for (std::uint64_t seq = 0; seq < log.ops.size(); ++seq) {
       const OpRecord& op = log.ops[seq];
       if (!op.started) {
@@ -221,49 +245,77 @@ void CheckRaceLogs(const std::vector<ProducerLog>& logs, const FireLog& fire_log
       ++starts;
       const RequestId cookie = MakeCookie(producer, seq);
       const auto it = fired.find(cookie);
+      const std::size_t count = it == fired.end() ? 0 : it->second.size();
+      const std::size_t budget = op.periodic ? op.repeats : 1;
+      attributed += count;
+      if (op.periodic) {
+        report.periodic_fires += count;
+      }
       if (op.cancelled_ok) {
         ++cancels;
-        if (it != fired.end()) {
-          fail(Format("timer %zu/%llu fired at %llu after StopTimer returned "
-                      "kOk (fired %zu times)",
-                      producer, static_cast<unsigned long long>(seq),
-                      static_cast<unsigned long long>(it->second.second),
-                      it->second.first));
+        // One-shot: an authoritative kOk cancel means no fire at all. Periodic:
+        // laps delivered BEFORE the cancel committed are legal (a cancel racing
+        // an already-collected non-final lap may even see that one lap arrive
+        // after kOk), but the FINAL lap claims the registration — it can never
+        // coexist with a kOk cancel — so the series must be a strict prefix.
+        if (count >= budget) {
+          fail(Format("timer %zu/%llu fired %zu times (budget %zu) despite "
+                      "StopTimer returning kOk",
+                      producer, static_cast<unsigned long long>(seq), count,
+                      budget));
         }
         continue;
       }
       if (op.cancel_missed) {
         ++cancel_misses;
       }
-      if (it == fired.end()) {
-        fail(Format("timer %zu/%llu (interval %llu) never fired and was never "
-                    "cancelled",
+      if (count != budget) {
+        fail(Format("timer %zu/%llu (interval %llu%s) fired %zu times, "
+                    "expected %zu",
                     producer, static_cast<unsigned long long>(seq),
-                    static_cast<unsigned long long>(op.interval)));
+                    static_cast<unsigned long long>(op.interval),
+                    op.periodic ? ", periodic" : "", count, budget));
         continue;
       }
-      if (it->second.first != 1) {
-        fail(Format("timer %zu/%llu fired %zu times", producer,
-                    static_cast<unsigned long long>(seq), it->second.first));
-      }
-      // A committed restart supersedes the original deadline: the fire must
-      // respect the LAST successful restart's bound, so a restarted timer that
-      // still fires at its old (earlier) deadline is caught right here.
+      // A committed restart supersedes the original deadline — and, for a
+      // periodic, re-phases every later lap — so the deadline arithmetic below
+      // only binds never-restarted timers plus the one-shot restart bound.
       const Tick bound = op.restarted
                              ? op.restart_observed_now + op.restart_interval
                              : op.observed_now + op.interval;
-      if (it->second.second < bound) {
-        fail(Format("timer %zu/%llu fired early: at %llu, but observed now %llu "
-                    "+ interval %llu = %llu%s",
-                    producer, static_cast<unsigned long long>(seq),
-                    static_cast<unsigned long long>(it->second.second),
-                    static_cast<unsigned long long>(
-                        op.restarted ? op.restart_observed_now
-                                     : op.observed_now),
-                    static_cast<unsigned long long>(
-                        op.restarted ? op.restart_interval : op.interval),
-                    static_cast<unsigned long long>(bound),
-                    op.restarted ? " (after in-place restart)" : ""));
+      const Tick first = it->second.front();
+      if (!op.periodic || !op.restarted) {
+        if (first < bound) {
+          fail(Format("timer %zu/%llu fired early: at %llu, but observed now "
+                      "%llu + interval %llu = %llu%s",
+                      producer, static_cast<unsigned long long>(seq),
+                      static_cast<unsigned long long>(first),
+                      static_cast<unsigned long long>(
+                          op.restarted ? op.restart_observed_now
+                                       : op.observed_now),
+                      static_cast<unsigned long long>(
+                          op.restarted ? op.restart_interval : op.interval),
+                      static_cast<unsigned long long>(bound),
+                      op.restarted ? " (after in-place restart)" : ""));
+        }
+      }
+      if (op.periodic && !op.restarted) {
+        // Phase stability under contention: the expiry-path re-arm targets
+        // expiry + period exactly, so consecutive laps of a never-restarted
+        // periodic are spaced exactly one period apart — no drift, no
+        // compression, regardless of how the clock was advanced.
+        for (std::size_t lap = 1; lap < it->second.size(); ++lap) {
+          if (it->second[lap] - it->second[lap - 1] != op.interval) {
+            fail(Format("periodic %zu/%llu lap %zu fired at %llu, %llu ticks "
+                        "after the previous lap instead of its period %llu",
+                        producer, static_cast<unsigned long long>(seq), lap,
+                        static_cast<unsigned long long>(it->second[lap]),
+                        static_cast<unsigned long long>(it->second[lap] -
+                                                        it->second[lap - 1]),
+                        static_cast<unsigned long long>(op.interval)));
+            break;
+          }
+        }
       }
     }
   }
@@ -271,9 +323,13 @@ void CheckRaceLogs(const std::vector<ProducerLog>& logs, const FireLog& fire_log
   report.cancels = cancels;
   report.cancel_misses = cancel_misses;
   report.fires = fire_log.fires.size();
-  if (report.ok && starts != cancels + fire_log.fires.size()) {
-    fail(Format("conservation violated: %zu starts != %zu cancels + %zu fires",
-                starts, cancels, fire_log.fires.size()));
+  // Conservation at quiescence: every dispatch is attributed to exactly one
+  // started op (the per-op budget checks above pin the counts; this closes the
+  // loop against ghost cookies the logs never started).
+  if (report.ok && attributed != fire_log.fires.size()) {
+    fail(Format("conservation violated: %zu dispatches attributed to started "
+                "ops but %zu dispatches logged",
+                attributed, fire_log.fires.size()));
   }
 }
 
@@ -343,10 +399,11 @@ TortureReport RunRace(TimerService& sut, const TortureOptions& options) {
 // ---------------------------------------------------------------------------
 
 struct LockstepOp {
-  enum class Kind : std::uint8_t { kStart, kCancel, kRestart };
+  enum class Kind : std::uint8_t { kStart, kStartPeriodic, kCancel, kRestart };
   Kind kind = Kind::kStart;
   RequestId cookie = 0;       // start: new cookie; cancel/restart: target's
   Duration interval = 0;      // start and restart
+  std::uint64_t repeats = 0;  // kStartPeriodic: finite lap budget
   TimerError result = TimerError::kOk;
   bool started = false;       // start only: handle returned
 };
@@ -388,16 +445,23 @@ TortureReport RunLockstep(TimerService& sut, const TortureOptions& options) {
     for (std::size_t p = 0; p < threads.size(); ++p) {
       for (const LockstepOp& op : threads[p].round_ops) {
         switch (op.kind) {
-          case LockstepOp::Kind::kStart: {
+          case LockstepOp::Kind::kStart:
+          case LockstepOp::Kind::kStartPeriodic: {
             if (!op.started) {
               fail(Format("lockstep: StartTimer rejected with %s (size the "
                           "submission capacities above the episode's live set)",
                           TimerErrorName(op.result)));
               continue;
             }
-            StartResult r = oracle.StartTimer(op.interval, op.cookie);
+            StartResult r =
+                op.kind == LockstepOp::Kind::kStartPeriodic
+                    ? oracle.StartPeriodic(op.interval, op.cookie, op.repeats)
+                    : oracle.StartTimer(op.interval, op.cookie);
             TWHEEL_ASSERT_MSG(r.has_value(), "oracle rejected a start");
             oracle_handles.emplace(op.cookie, r.value());
+            if (op.kind == LockstepOp::Kind::kStartPeriodic) {
+              ++report.periodic_starts;
+            }
             break;
           }
           case LockstepOp::Kind::kCancel: {
@@ -540,12 +604,20 @@ TortureReport RunLockstep(TimerService& sut, const TortureOptions& options) {
             op.cookie = cookie;
             op.result = sut.StopTimer(handle);
           } else {
-            op.kind = LockstepOp::Kind::kStart;
+            const bool periodic = rng.NextBool(options.periodic_probability);
+            op.kind = periodic ? LockstepOp::Kind::kStartPeriodic
+                               : LockstepOp::Kind::kStart;
             op.interval = options.min_interval +
                           rng.NextBounded(options.max_interval -
                                           options.min_interval + 1);
             op.cookie = MakeCookie(p, me.next_seq++);
-            StartResult r = sut.StartTimer(op.interval, op.cookie);
+            if (periodic) {
+              op.repeats = 1 + rng.NextBounded(options.periodic_repeat_max);
+            }
+            StartResult r =
+                periodic
+                    ? sut.StartPeriodic(op.interval, op.cookie, op.repeats)
+                    : sut.StartTimer(op.interval, op.cookie);
             op.started = r.has_value();
             op.result = op.started ? TimerError::kOk : r.error();
             if (op.started) {

@@ -83,6 +83,18 @@ struct TortureOptions {
   // the cookie must then appear in the fire log exactly once — restart-vs-fire
   // resolves exactly once, never both and never neither.
   double restart_probability = 0.0;
+  // Probability that a producer's start is a PERIODIC registration
+  // (StartPeriodic) with a finite repeat budget uniform in
+  // [1, periodic_repeat_max]. Finite budgets keep episodes quiescible. A
+  // periodic stays in the producer's live set across its laps, so the
+  // stop/restart alphabet races cancel-between-fires and restart-of-periodic
+  // against the expiry-path re-arm. The checker then requires: a periodic
+  // never cancelled delivers EXACTLY its budget of laps; kOk cancel means the
+  // final lap was never delivered (a strict prefix of the budget); laps of a
+  // never-restarted periodic are spaced exactly one period apart (the re-arm
+  // is phase-stable); and no lap lands before observed-now-at-start + period.
+  double periodic_probability = 0.0;
+  std::uint64_t periodic_repeat_max = 4;
 
   // kManualRace: ticks the driver thread delivers while producers run, and the
   // probability a delivery is an AdvanceTo batch (uniform in [1, max_jump])
@@ -112,6 +124,8 @@ struct TortureReport {
   std::size_t restart_misses = 0;  // kNoSuchTimer: the fire won the race
   std::size_t restart_rejects = 0; // kNoCapacity (counted, not a violation)
   std::size_t fires = 0;           // expiry dispatches observed
+  std::size_t periodic_starts = 0; // successful StartPeriodic calls
+  std::size_t periodic_fires = 0;  // laps attributed to periodic registrations
   std::size_t ticks_run = 0;       // clock advancement seen by the service
 };
 

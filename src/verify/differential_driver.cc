@@ -20,6 +20,12 @@ struct Entry {
   TimerHandle oracle;
   Tick expiry = 0;
   std::size_t index = 0;  // position in the live-id vector (swap-remove)
+  // Periodic registrations: the cadence and the REMAINING fire budget (0 =
+  // forever — the driver never starts those; 1 = the next fire is final). A
+  // non-final fire keeps the entry, advances expiry by period, and decrements
+  // repeats, so the same handle pair is re-verified on every lap.
+  Duration period = 0;
+  std::uint64_t repeats = 0;
 };
 
 // Everything a SUT-side handler decided, for oracle-side replay.
@@ -35,6 +41,10 @@ struct TickAction {
   RequestId restart_sibling_id = 0;  // in-handler restart of a later-due sibling
   TimerHandle restart_sibling_oracle;
   Duration restart_sibling_interval = 0;
+  // Cancel-from-own-handler on a NON-FINAL periodic fire: the expiry-path
+  // re-arm precedes dispatch, so (unlike self_poke on a one-shot) the handle is
+  // live and the stop must SUCCEED on both sides, ending the series.
+  bool periodic_self_cancel = false;
 };
 
 class Episode {
@@ -67,7 +77,17 @@ class Episode {
       }
     }
     draining_ = true;
-    const std::size_t drain_bound = options_.max_interval + options_.drain_slack;
+    // A periodic started on the last mutate tick may still owe up to
+    // periodic_repeat_max fires, one period apart, before it exhausts.
+    const Duration period_bound =
+        std::max(options_.periodic_interval, options_.max_interval);
+    const std::size_t periodic_span =
+        options_.periodic_probability > 0.0
+            ? static_cast<std::size_t>(period_bound) *
+                  static_cast<std::size_t>(options_.periodic_repeat_max)
+            : 0;
+    const std::size_t drain_bound =
+        options_.max_interval + periodic_span + options_.drain_slack;
     for (std::size_t t = 0; t < drain_bound && !live_.empty() && report_.ok; ++t) {
       Step();
     }
@@ -89,12 +109,17 @@ class Episode {
       const metrics::OpCounts a = sut_.counts();
       const metrics::OpCounts b = oracle_.counts();
       if (a.start_calls != b.start_calls || a.ticks != b.ticks ||
-          a.expiries != b.expiries || a.restart_calls != b.restart_calls) {
+          a.expiries != b.expiries || a.restart_calls != b.restart_calls ||
+          a.periodic_starts != b.periodic_starts ||
+          a.periodic_fires != b.periodic_fires) {
         std::ostringstream os;
         os << "routine counters diverge: starts " << a.start_calls << "/"
            << b.start_calls << " ticks " << a.ticks << "/" << b.ticks
            << " expiries " << a.expiries << "/" << b.expiries << " restarts "
-           << a.restart_calls << "/" << b.restart_calls;
+           << a.restart_calls << "/" << b.restart_calls << " periodic_starts "
+           << a.periodic_starts << "/" << b.periodic_starts
+           << " periodic_fires " << a.periodic_fires << "/"
+           << b.periodic_fires;
         Diverge(now_, os.str());
       }
     }
@@ -113,6 +138,9 @@ class Episode {
     }
     for (std::size_t i = 0; i < n && report_.ok; ++i) {
       StartFresh();
+    }
+    if (report_.ok && rng_.NextBool(options_.periodic_probability)) {
+      StartPeriodicFresh();
     }
     if (report_.ok && rng_.NextBool(options_.zero_interval_probability)) {
       const RequestId id = next_id_++;
@@ -260,6 +288,40 @@ class Episode {
     ++report_.starts;
   }
 
+  // One finite periodic registration. Once live it is fair game for the whole
+  // existing alphabet — stop (cancel-between-fires), restart (moves only the
+  // NEXT deadline; cadence and budget must survive, which the per-lap expiry
+  // predictions verify), zero-restart, and post-exhaustion stale pokes.
+  void StartPeriodicFresh() {
+    const RequestId id = next_id_++;
+    const Duration period =
+        options_.periodic_interval != 0
+            ? options_.periodic_interval
+            : options_.min_interval +
+                  rng_.NextBounded(options_.max_interval -
+                                   options_.min_interval + 1);
+    const std::uint64_t repeats =
+        1 + rng_.NextBounded(options_.periodic_repeat_max);
+    StartResult rs = sut_.StartPeriodic(period, id, repeats);
+    StartResult ro = oracle_.StartPeriodic(period, id, repeats);
+    if (rs.has_value() != ro.has_value()) {
+      std::ostringstream os;
+      os << "start_periodic(" << period << " x" << repeats << ") id " << id
+         << ": sut "
+         << (rs.has_value() ? "accepted" : TimerErrorName(rs.error()))
+         << ", oracle "
+         << (ro.has_value() ? "accepted" : TimerErrorName(ro.error()));
+      Diverge(now_, os.str());
+      return;
+    }
+    if (!rs.has_value()) {
+      return;  // both rejected identically
+    }
+    AddLive(id, rs.value(), ro.value(), now_ + period, period, repeats);
+    ++report_.starts;
+    ++report_.periodic_starts;
+  }
+
   void PokeStale() {
     ++report_.stale_pokes;
     TimerHandle sut_h;
@@ -302,6 +364,7 @@ class Episode {
     fired_handles_.clear();
     pending_.clear();
     claimed_siblings_.clear();
+    tick_periodic_refires_ = 0;
 
     const std::size_t ns = sut_.PerTickBookkeeping();
     const std::size_t no = oracle_.PerTickBookkeeping();
@@ -331,7 +394,10 @@ class Episode {
       Diverge(current_tick_, os.str());
       return;
     }
-    report_.expiries += ns;
+    // Non-final periodic dispatches are fires, not expiries: the registration
+    // is still outstanding, so conservation must not count them as resolved.
+    report_.expiries += ns - tick_periodic_refires_;
+    report_.periodic_fires += tick_periodic_refires_;
 
     // Both sides have now invalidated the fired handles; only now are they stale
     // on *both* sides and safe to use as stale-poke ammunition.
@@ -381,7 +447,8 @@ class Episode {
   void CheckConservation() {
     const std::size_t starts = report_.starts + report_.handler_rearms +
                                report_.handler_next_tick_starts;
-    const std::size_t cancels = report_.stops + report_.handler_sibling_stops;
+    const std::size_t cancels = report_.stops + report_.handler_sibling_stops +
+                                report_.periodic_self_cancels;
     if (starts != report_.expiries + cancels + live_.size()) {
       std::ostringstream os;
       os << "conservation violated: starts " << starts << " != expiries "
@@ -412,6 +479,7 @@ class Episode {
     sut_jump_fired_.clear();
     oracle_jump_fired_.clear();
     fired_handles_.clear();
+    tick_periodic_refires_ = 0;
 
     jumping_ = true;
     const std::size_t ns = sut_.AdvanceTo(jump_target_);
@@ -460,7 +528,8 @@ class Episode {
       Diverge(jump_target_, os.str());
       return;
     }
-    report_.expiries += ns;
+    report_.expiries += ns - tick_periodic_refires_;
+    report_.periodic_fires += tick_periodic_refires_;
 
     for (const auto& [sut_h, oracle_h] : fired_handles_) {
       Retire(sut_h, oracle_h);
@@ -514,6 +583,18 @@ class Episode {
         Diverge(when, os.str());
         return;
       }
+      if (e.period != 0 && e.repeats != 1) {
+        // Non-final periodic fire inside the jumped window: the timer stays
+        // live and may legally fire again — at when + period — before the
+        // window closes. Advancing the prediction in place makes the same
+        // when-vs-expiry check above pin each successive lap.
+        it->second.expiry = when + e.period;
+        if (it->second.repeats > 1) {
+          --it->second.repeats;
+        }
+        ++tick_periodic_refires_;
+        return;
+      }
       RemoveLive(it);
       fired_handles_.emplace_back(e.sut, e.oracle);
       return;  // handlers are passive across a jump
@@ -532,6 +613,44 @@ class Episode {
       os << "sut fired id " << id << " at tick " << when << ", due at "
          << e.expiry << " while processing " << current_tick_;
       Diverge(current_tick_, os.str());
+      return;
+    }
+    if (e.period != 0 && e.repeats != 1) {
+      // Non-final periodic fire: the registration stays live — re-armed in
+      // place by the SUT's expiry path, re-inserted by the oracle — so the
+      // entry is kept with its prediction advanced one period (phase-stable:
+      // the k-th fire lands at start + k*period regardless of dispatch
+      // latency). It is CLAIMED for the rest of the tick: whether the SUT's
+      // sweep has re-armed it yet when some other handler runs is
+      // order-dependent, so same-tick siblings must not stop/restart it.
+      it->second.expiry = when + e.period;
+      if (it->second.repeats > 1) {
+        --it->second.repeats;
+      }
+      claimed_siblings_.push_back(id);
+      ++tick_periodic_refires_;
+      if (draining_) {
+        return;
+      }
+      if (rng_.NextBool(options_.self_poke_probability)) {
+        // Cancel-from-own-handler: between fires the handle is live (the
+        // re-arm precedes dispatch), so this must SUCCEED and end the series.
+        const TimerError r = sut_.StopTimer(e.sut);
+        if (r != TimerError::kOk) {
+          std::ostringstream os;
+          os << "sut refused a fired periodic's own-handler cancel ("
+             << TimerErrorName(r) << ")";
+          Diverge(current_tick_, os.str());
+          return;
+        }
+        RemoveLive(live_.find(id));
+        TickAction action;
+        action.periodic_self_cancel = true;
+        action.self_oracle = e.oracle;
+        actions_.emplace(id, action);
+        Retire(e.sut, e.oracle);
+        ++report_.periodic_self_cancels;
+      }
       return;
     }
     RemoveLive(it);
@@ -695,6 +814,19 @@ class Episode {
       return;  // either no action was decided, or the sets diverge (caught later)
     }
     const TickAction& a = ait->second;
+    if (a.periodic_self_cancel) {
+      // Replay: the oracle re-armed this periodic before dispatch too, so its
+      // handle must ALSO be live from inside the handler — and stopping it
+      // must succeed, ending the series on both sides.
+      const TimerError r = oracle_.StopTimer(a.self_oracle);
+      if (r != TimerError::kOk) {
+        std::ostringstream os;
+        os << "oracle refused a fired periodic's own-handler cancel ("
+           << TimerErrorName(r) << ")";
+        Diverge(current_tick_, os.str());
+      }
+      return;
+    }
     if (a.self_poke) {
       // Replay: the oracle, too, must refuse the fired timer's own handle.
       const TimerError r = oracle_.StopTimer(a.self_oracle);
@@ -756,8 +888,9 @@ class Episode {
 
   // ---- bookkeeping helpers --------------------------------------------------
 
-  void AddLive(RequestId id, TimerHandle sut, TimerHandle oracle, Tick expiry) {
-    Entry e{sut, oracle, expiry, live_ids_.size()};
+  void AddLive(RequestId id, TimerHandle sut, TimerHandle oracle, Tick expiry,
+               Duration period = 0, std::uint64_t repeats = 0) {
+    Entry e{sut, oracle, expiry, live_ids_.size(), period, repeats};
     live_ids_.push_back(id);
     live_.emplace(id, e);
   }
@@ -832,6 +965,9 @@ class Episode {
   // so two handlers hitting it in SUT dispatch order could see call results the
   // oracle's replay order cannot reproduce.
   std::vector<RequestId> claimed_siblings_;
+  // Non-final periodic dispatches seen in the current Step()/Jump(): subtracted
+  // from the tick's dispatch total when crediting report_.expiries.
+  std::size_t tick_periodic_refires_ = 0;
   std::vector<std::pair<TimerHandle, TimerHandle>> fired_handles_;
   std::vector<Pending> pending_;
   // Per-jump scratch: (tick, id) so set comparison covers *which tick inside the

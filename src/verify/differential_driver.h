@@ -104,8 +104,30 @@ struct DriverOptions {
 
   double stop_sibling_probability = 0.0;
   double start_next_tick_probability = 0.0;
-  // StopTimer on the fired timer's own now-stale handle, from inside its handler.
+  // StopTimer on the fired timer's own handle, from inside its handler. For a
+  // one-shot (and for a finite periodic's final fire) the handle is stale by
+  // dispatch time and both sides must refuse with kNoSuchTimer; for a
+  // non-final periodic fire the expiry-path re-arm precedes dispatch, so the
+  // handle is LIVE and both sides must accept — the poke becomes a
+  // cancel-from-own-handler that ends the series.
   double self_poke_probability = 0.0;
+
+  // Periodic-timer alphabet. With this per-tick probability the mutate phase
+  // starts one finite periodic registration (StartPeriodic; repeat budget
+  // uniform in [1, periodic_repeat_max]). Periodic entries stay in the live
+  // set across non-final fires — same handle pair, expiry prediction advanced
+  // one period per fire — so the existing stop/restart/stale alphabet
+  // naturally covers cancel-between-fires, restart-of-periodic (the cadence
+  // must survive, only the next deadline moves), and stale pokes after the
+  // final fire. Every non-final fire must be dispatched by both sides without
+  // being counted as an expiry (conservation treats only the final fire as the
+  // start's resolution).
+  double periodic_probability = 0.0;
+  // 0 = period uniform in [min_interval, max_interval]; nonzero = exactly this
+  // period (tests pass the table size or a span-rollover pivot so every re-arm
+  // lands back in the bucket being swept / forces wheel rollover).
+  Duration periodic_interval = 0;
+  std::uint64_t periodic_repeat_max = 4;
 
   // Batched-advance jumps: with this probability a tick of the measured phase is
   // replaced by one AdvanceTo(now + delta) call on both sides. The SUT's batched
@@ -155,6 +177,9 @@ struct DriverReport {
   std::size_t handler_sibling_stops = 0;
   std::size_t handler_sibling_restarts = 0;
   std::size_t handler_next_tick_starts = 0;
+  std::size_t periodic_starts = 0;        // StartPeriodic registrations accepted
+  std::size_t periodic_fires = 0;         // non-final periodic dispatches (not expiries)
+  std::size_t periodic_self_cancels = 0;  // cancel-from-own-handler on a live periodic
   std::size_t jumps = 0;       // AdvanceTo batches executed
   std::size_t jump_ticks = 0;  // ticks covered by those batches (included in ticks_run)
 };

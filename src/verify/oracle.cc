@@ -19,6 +19,19 @@ StartResult OracleTimers::StartTimer(Duration interval, RequestId request_id) {
   return TimerHandle{slot, 1};
 }
 
+StartResult OracleTimers::StartPeriodic(Duration interval, RequestId request_id,
+                                        std::uint64_t repeat_for) {
+  StartResult started = StartTimer(interval, request_id);
+  if (!started.has_value()) {
+    return started;
+  }
+  auto it = live_.find(started.value().slot);
+  it->second->second.period = interval;
+  it->second->second.repeats = repeat_for;
+  ++counts_.periodic_starts;
+  return started;
+}
+
 TimerError OracleTimers::StopTimer(TimerHandle handle) {
   ++counts_.stop_calls;
   if (!handle.valid() || handle.generation != 1) {
@@ -48,11 +61,12 @@ TimerError OracleTimers::RestartTimer(TimerHandle handle,
   }
   // In-place by construction: the slot number — the handle — survives; only the
   // multimap position moves. Mirrors the schemes' contract exactly: a restart
-  // is neither a start nor a stop, and the handle stays usable afterwards.
-  const RequestId request_id = it->second->second.request_id;
+  // is neither a start nor a stop, and the handle stays usable afterwards. A
+  // periodic keeps its cadence and remaining-fire budget — the Pending is
+  // copied wholesale, only the key moves.
+  const Pending pending = it->second->second;
   by_expiry_.erase(it->second);
-  it->second = by_expiry_.emplace(now_ + new_interval,
-                                  Pending{request_id, handle.slot});
+  it->second = by_expiry_.emplace(now_ + new_interval, pending);
   ++counts_.restart_calls;
   ++counts_.restart_relink_ops;
   return TimerError::kOk;
@@ -64,19 +78,36 @@ std::size_t OracleTimers::PerTickBookkeeping() {
   // Commit this tick's expiry set before dispatching anything: handlers may start
   // timers (earliest legal expiry now_ + 1) and stop future-due siblings, and
   // neither may affect what fires *now*.
-  std::vector<RequestId> due;
+  std::vector<Pending> due;
   auto range = by_expiry_.equal_range(now_);
   for (auto it = range.first; it != range.second; ++it) {
-    due.push_back(it->second.request_id);
+    due.push_back(it->second);
     live_.erase(it->second.slot);
   }
   by_expiry_.erase(range.first, range.second);
 
-  counts_.expiries += due.size();
-  counts_.expiry_dispatches += due.size();
+  // Re-arm every non-final periodic in place — same slot, key expiry + period —
+  // BEFORE any handler runs, matching the schemes' relink-then-dispatch order:
+  // a handler cancelling the just-fired periodic finds it live.
+  for (const Pending& p : due) {
+    if (p.period != 0 && p.repeats != 1) {
+      Pending next = p;
+      if (next.repeats > 1) {
+        --next.repeats;
+      }
+      auto it = by_expiry_.emplace(now_ + next.period, next);
+      live_.emplace(next.slot, it);
+      ++counts_.periodic_fires;
+      ++counts_.periodic_rearm_relinks;
+      ++counts_.expiry_dispatches;
+    } else {
+      ++counts_.expiries;
+      ++counts_.expiry_dispatches;
+    }
+  }
   if (handler_) {
-    for (RequestId id : due) {
-      handler_(id, now_);
+    for (const Pending& p : due) {
+      handler_(p.request_id, now_);
     }
   }
   return due.size();

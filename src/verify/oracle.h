@@ -40,6 +40,15 @@ class OracleTimers final : public TimerService {
   OracleTimers() = default;
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
+  // Native periodic model: the multimap entry re-inserts itself at expiry +
+  // interval on every non-final fire, keeping its slot — so the handle stays
+  // valid between fires, exactly the schemes' relink contract. Re-arms happen
+  // before any of the tick's handlers run (a handler cancelling the just-fired
+  // periodic gets kOk); the final fire of a finite registration retires the
+  // slot like a one-shot expiry. Non-final fires count periodic_fires, never
+  // expiries, so the conservation law is shared with the schemes.
+  StartResult StartPeriodic(Duration interval, RequestId request_id,
+                            std::uint64_t repeat_for = kRepeatForever) override;
   TimerError StopTimer(TimerHandle handle) override;
   // In-place restart: the multimap entry moves to now + new_interval but the
   // slot — and therefore the caller's handle — survives, stating the
@@ -79,6 +88,8 @@ class OracleTimers final : public TimerService {
   struct Pending {
     RequestId request_id;
     std::uint32_t slot;
+    Duration period = 0;         // 0 = one-shot
+    std::uint64_t repeats = 0;   // remaining fires; kRepeatForever = unbounded
   };
 
   using ExpiryMap = std::multimap<Tick, Pending>;

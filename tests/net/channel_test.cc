@@ -111,6 +111,43 @@ TEST(ChannelTest, RetransmissionsGetIndependentFates) {
   EXPECT_GT(flips, 800u);
 }
 
+TEST(ChannelTest, HighSequenceNumbersDoNotAliasConnectionFates) {
+  // Regression for the fingerprint packing bug. The old fingerprint packed
+  // fields by shift-and-xor — `connection_id << 48` over `seq << 16` — so
+  // seq bits [32, 48) landed exactly on the connection bits: packet
+  // {conn, (hi << 32) | low} and packet {conn ^ hi, low} produced the SAME
+  // fingerprint when sent at the same tick, and every long-lived flow past
+  // seq 2^32 shared loss/delay fates with some other connection. The mixed
+  // fingerprint must give such constructed pairs independent fates.
+  auto network = MakeNetSim();
+  ChannelConfig config;
+  config.loss_probability = 0.5;
+  Channel channel(*network, 5, config);
+  channel.set_receiver([](const Packet&) {});
+
+  constexpr std::uint32_t kConn = 7;
+  constexpr int kPairs = 1000;
+  int divergent = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    // Both packets of a pair go out on the same tick, like the old collision.
+    const std::uint64_t hi = static_cast<std::uint64_t>(i + 1) & 0xFFFF;
+    const std::uint64_t low = static_cast<std::uint64_t>(i);
+    std::uint64_t before = channel.dropped();
+    channel.Send(Packet{kConn, (hi << 32) | low, PacketType::kData});
+    const bool first_dropped = channel.dropped() > before;
+    before = channel.dropped();
+    channel.Send(Packet{kConn ^ static_cast<std::uint32_t>(hi), low,
+                        PacketType::kData});
+    const bool second_dropped = channel.dropped() > before;
+    divergent += first_dropped != second_dropped ? 1 : 0;
+    network->Step();
+  }
+  // Independent 50/50 fates diverge on ~half the pairs; the aliasing
+  // fingerprint gave exactly 0 divergent pairs.
+  EXPECT_GT(divergent, kPairs / 3);
+  network->RunUntilIdle();
+}
+
 TEST(ChannelTest, DifferentSeedsDifferentFates) {
   auto run = [](std::uint64_t seed) {
     auto network = MakeNetSim();

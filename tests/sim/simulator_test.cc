@@ -126,6 +126,28 @@ TEST_P(SimulatorTest, PeriodicMayCancelItself) {
   EXPECT_EQ(sim->pending(), 0u);
 }
 
+TEST_P(SimulatorTest, PeriodicCancelBetweenFiresStopsTheSeries) {
+  // The token refers to the SAME underlying registration across runs (the
+  // service relinks the record on its expiry path rather than re-registering),
+  // so a cancel landing mid-period — after some runs have already happened —
+  // must stop the series using the original token.
+  auto sim = MakeSim(GetParam());
+  int runs = 0;
+  EventToken token = sim->Every(5, [&] { ++runs; });
+  ASSERT_TRUE(token.valid());
+  for (int i = 0; i < 12; ++i) {  // runs at 5 and 10; next due at 15
+    sim->Step();
+  }
+  EXPECT_EQ(runs, 2);
+  EXPECT_TRUE(sim->Cancel(token));
+  EXPECT_EQ(sim->pending(), 0u);
+  for (int i = 0; i < 20; ++i) {
+    sim->Step();
+  }
+  EXPECT_EQ(runs, 2);
+  EXPECT_FALSE(sim->Cancel(token));  // second cancel reports failure
+}
+
 TEST_P(SimulatorTest, PeriodicAndOneShotsCoexist) {
   auto sim = MakeSim(GetParam());
   std::vector<std::string> log;
@@ -193,11 +215,11 @@ TEST(SimulatorJumpTest, JumpRespectsTickBudget) {
   EXPECT_EQ(sim->now(), 1000u);
 }
 
-INSTANTIATE_TEST_SUITE_P(Schemes, SimulatorTest,
-                         ::testing::Values(SchemeId::kScheme2SortedFront,
-                                           SchemeId::kScheme3Heap,
-                                           SchemeId::kScheme6HashedUnsorted,
-                                           SchemeId::kScheme7Hierarchical),
+// The whole matrix, bounded-range wheels included: every delay and period in
+// the parametrized tests stays under the 256-slot wheel span, so Scheme 4's
+// OverflowPolicy::kReject never triggers and periodic re-arms (delay == period
+// <= the client's original, validated interval) are in range by construction.
+INSTANTIATE_TEST_SUITE_P(Schemes, SimulatorTest, ::testing::ValuesIn(kAllSchemes),
                          [](const ::testing::TestParamInfo<SchemeId>& param_info) {
                            std::string name = SchemeName(param_info.param);
                            for (char& c : name) {

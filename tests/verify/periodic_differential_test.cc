@@ -1,0 +1,184 @@
+// Periodic-aware differential model checking: every TimerService implementation
+// against the sorted-multimap oracle, with StartPeriodic woven into the seeded
+// decide-then-replay stream. The driver (src/verify/differential_driver.h)
+// checks after every tick that periodic semantics agree on BOTH sides:
+//
+//   * the k-th fire of a periodic lands at exactly start + k*period (phase
+//     stability), through the SAME handle pair — the expiry-path re-arm is an
+//     in-place relink, never a release-and-reallocate;
+//   * only the FINAL fire of a finite budget counts as an expiry; non-final
+//     fires leave the registration outstanding, and the conservation law
+//     starts == expiries + cancels + outstanding holds after every tick;
+//   * StopTimer between fires (cancel-between-fires) and RestartTimer of a
+//     live periodic (moves only the next deadline — cadence and remaining
+//     budget must survive the relink) return kOk on both sides;
+//   * from inside a non-final fire's own handler the handle is LIVE (re-arm
+//     precedes dispatch), so a self-cancel must SUCCEED and end the series —
+//     the exact opposite of the one-shot self-poke contract;
+//   * after the final fire the handle is stale on both sides and joins the
+//     stale-poke/stale-restart ammunition pool;
+//   * counts() agree on periodic_starts and periodic_fires as well as the
+//     routine counters.
+
+#include <gtest/gtest.h>
+
+#include "src/verify/differential_driver.h"
+#include "tests/verify/all_services.h"
+
+namespace twheel::verify {
+namespace {
+
+using verify_tests::AllServiceCases;
+using verify_tests::ServiceCase;
+
+class PeriodicDifferentialTest : public ::testing::TestWithParam<ServiceCase> {};
+
+// The acceptance matrix: independently seeded episodes with periodic starts
+// mixed into the full one-shot churn — stops hit periodics between fires,
+// restarts move their next deadline, stale pokes chase their exhausted
+// handles. Conservation is asserted by the driver after every tick.
+TEST_P(PeriodicDifferentialTest, PeriodicEpisodesMatchOracle) {
+  const ServiceCase& c = GetParam();
+  std::size_t fires = 0;
+  for (std::uint64_t seed = 11000; seed < 11060; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 96;
+    options.max_interval = 60;  // short periods: several laps per episode
+    options.periodic_probability = 0.6;
+    options.periodic_repeat_max = 5;
+    options.stop_probability = 0.3;
+    options.restart_probability = 0.25;
+    options.restart_stale_probability = 0.3;
+    options.stale_poke_probability = 0.4;
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    fires += report.periodic_fires;
+  }
+  // The multi-lap leg must actually have been exercised across the suite.
+  EXPECT_GT(fires, 0u) << c.label;
+}
+
+// Periods pinned to structure-sensitive intervals: the hashed table size (64 —
+// every re-arm relinks into the bucket the cursor is dispatching RIGHT NOW,
+// where only the rounds/revolution arithmetic keeps the next lap from firing
+// immediately) and a hierarchy rollover pivot (256 — the level-2 unit, so each
+// re-arm migrates down through the levels before firing).
+TEST_P(PeriodicDifferentialTest, PeriodAtWheelBoundariesMatchesOracle) {
+  const ServiceCase& c = GetParam();
+  for (Duration pivot : {Duration{64}, Duration{256}}) {
+    for (std::uint64_t seed = 12000; seed < 12020; ++seed) {
+      DriverOptions options;
+      options.seed = seed + pivot;
+      options.ticks = 64;
+      options.max_interval = 300;
+      options.periodic_probability = 0.7;
+      options.periodic_interval = pivot;
+      options.periodic_repeat_max = 3;
+      options.stop_probability = 0.2;
+      auto service = c.make();
+      const DriverReport report = RunDifferential(*service, options);
+      ASSERT_TRUE(report.ok) << c.label << " pivot " << pivot << " seed "
+                             << seed << ": " << report.divergence;
+      ASSERT_GT(report.periodic_starts, 0u) << c.label << " pivot " << pivot;
+    }
+  }
+}
+
+// Periodic laps interleaved with AdvanceTo jumps across wheel-size and
+// hierarchy rollover boundaries: a jumped window may contain SEVERAL fires of
+// the same periodic, each of which the batched occupancy-bitmap advance must
+// dispatch at its exact phase tick, in nondecreasing tick order, matching the
+// oracle's loop default lap for lap.
+TEST_P(PeriodicDifferentialTest, PeriodicAcrossRolloverJumpsMatchesOracle) {
+  const ServiceCase& c = GetParam();
+  std::size_t total_jumps = 0;
+  std::size_t total_fires = 0;
+  for (std::uint64_t seed = 13000; seed < 13030; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 64;
+    options.max_interval = 120;
+    options.periodic_probability = 0.6;
+    options.periodic_repeat_max = 6;
+    options.jump_probability = 0.3;
+    options.max_jump = 300;
+    options.jump_pivots = {63, 64, 65, 255, 256, 257, 511, 512, 513};
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    total_jumps += report.jumps;
+    total_fires += report.periodic_fires;
+  }
+  EXPECT_GT(total_jumps, 0u) << c.label;
+  EXPECT_GT(total_fires, 0u) << c.label;
+}
+
+// Cancel-from-own-handler: with the re-entrancy alphabet enabled, a non-final
+// fire's handler self-cancels with the very handle that just fired — legal
+// precisely because the expiry-path re-arm happens BEFORE dispatch — while
+// one-shot self-pokes in the same stream must still be refused. The two
+// contracts coexist in a single episode.
+TEST_P(PeriodicDifferentialTest, SelfCancelFromOwnHandlerEndsTheSeries) {
+  const ServiceCase& c = GetParam();
+  if (!c.handlers_may_reenter) {
+    GTEST_SKIP() << c.label << " runs handlers under its lock (by design)";
+  }
+  std::size_t self_cancels = 0;
+  for (std::uint64_t seed = 14000; seed < 14040; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 96;
+    options.max_interval = 40;
+    options.periodic_probability = 0.7;
+    options.periodic_repeat_max = 6;
+    options.self_poke_probability = 0.5;
+    options.rearm_probability = 0.15;
+    options.stop_sibling_probability = 0.15;
+    options.restart_sibling_probability = 0.15;
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    self_cancels += report.periodic_self_cancels;
+  }
+  EXPECT_GT(self_cancels, 0u) << c.label;
+}
+
+// High-churn slot recycling with the periodic alphabet saturated: single-fire
+// budgets (repeat_max 1 draws only finals) mixed with multi-lap periodics,
+// aggressive cancellation, and every exhausted handle recycled as stale-poke
+// and stale-restart ammunition against reused slots.
+TEST_P(PeriodicDifferentialTest, ChurnEpisodesKeepPeriodicHandlesSafe) {
+  const ServiceCase& c = GetParam();
+  for (std::uint64_t seed = 15000; seed < 15020; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.ticks = 128;
+    options.starts_per_tick = 3.0;
+    options.max_interval = 16;  // short fuses: constant expiry + recycling
+    options.periodic_probability = 0.8;
+    options.periodic_repeat_max = 4;
+    options.stop_probability = 0.5;
+    options.restart_probability = 0.3;
+    options.restart_stale_probability = 0.8;
+    options.stale_poke_probability = 0.8;
+    auto service = c.make();
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    EXPECT_GT(report.periodic_fires, 0u) << c.label << " seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, PeriodicDifferentialTest,
+                         ::testing::ValuesIn(AllServiceCases()),
+                         [](const ::testing::TestParamInfo<ServiceCase>& param) {
+                           return param.param.label;
+                         });
+
+}  // namespace
+}  // namespace twheel::verify
