@@ -1,0 +1,151 @@
+// Shared main() for the google-benchmark binaries whose JSON output is
+// recorded into the repository (BENCH_*.json, via scripts/bench_record.sh).
+//
+// Why not BENCHMARK_MAIN(): the stock JSONReporter stamps the context's
+// "library_build_type" from the libbenchmark *shared library's* compile flags,
+// not from the flags this binary was built with. Distribution packages ship
+// the library without NDEBUG, so every recording would claim "debug" even when
+// the benchmark code itself — the thing actually being measured — was built
+// -O2/Release, and scripts/bench_record.sh (which refuses to record debug
+// numbers) could never record at all. TwheelJSONReporter reports the build
+// type of THIS translation unit instead: the honest description of the
+// measured code. Everything else (run data, aggregates, counters) is the
+// inherited JSONReporter output, so downstream tooling parses the files
+// unchanged.
+//
+// Usage — instead of BENCHMARK_MAIN():
+//
+//   TWHEEL_BENCHMARK_MAIN();                  // plain registration
+//
+//   int main(int argc, char** argv) {         // custom registration first
+//     RegisterAll();
+//     return twheel::bench::BenchmarkMain(argc, argv);
+//   }
+
+#ifndef TWHEEL_BENCH_BENCH_MAIN_H_
+#define TWHEEL_BENCH_BENCH_MAIN_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <ctime>
+#include <ostream>
+#include <string>
+
+namespace twheel::bench {
+
+// The build type of this translation unit — the flags the benchmark code and
+// the twheel libraries in the same build tree were compiled with.
+inline const char* TranslationUnitBuildType() {
+#ifdef NDEBUG
+  return "release";
+#else
+  return "debug";
+#endif
+}
+
+// JSONReporter that writes the context block itself (with the honest
+// library_build_type) and inherits run reporting from the stock reporter.
+class TwheelJSONReporter : public benchmark::JSONReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    std::ostream& out = GetOutputStream();
+    const auto escape = [](const std::string& s) {
+      std::string r;
+      r.reserve(s.size());
+      for (char c : s) {
+        if (c == '"' || c == '\\') {
+          r += '\\';
+        }
+        r += c;
+      }
+      return r;
+    };
+    char date[64] = "";
+    std::time_t now = std::time(nullptr);
+    std::tm tm_buf{};
+#if defined(_WIN32)
+    localtime_s(&tm_buf, &now);
+#else
+    localtime_r(&now, &tm_buf);
+#endif
+    std::strftime(date, sizeof(date), "%Y-%m-%dT%H:%M:%S%z", &tm_buf);
+
+    out << "{\n  \"context\": {\n";
+    out << "    \"date\": \"" << date << "\",\n";
+    out << "    \"host_name\": \"" << escape(context.sys_info.name) << "\",\n";
+    if (Context::executable_name != nullptr) {
+      out << "    \"executable\": \"" << escape(Context::executable_name)
+          << "\",\n";
+    }
+    out << "    \"num_cpus\": " << context.cpu_info.num_cpus << ",\n";
+    out << "    \"mhz_per_cpu\": "
+        << static_cast<long long>(context.cpu_info.cycles_per_second / 1e6)
+        << ",\n";
+    if (context.cpu_info.scaling != benchmark::CPUInfo::UNKNOWN) {
+      out << "    \"cpu_scaling_enabled\": "
+          << (context.cpu_info.scaling == benchmark::CPUInfo::ENABLED
+                  ? "true"
+                  : "false")
+          << ",\n";
+    }
+    out << "    \"caches\": [\n";
+    for (std::size_t i = 0; i < context.cpu_info.caches.size(); ++i) {
+      const auto& cache = context.cpu_info.caches[i];
+      out << "      {\n";
+      out << "        \"type\": \"" << escape(cache.type) << "\",\n";
+      out << "        \"level\": " << cache.level << ",\n";
+      out << "        \"size\": " << cache.size << ",\n";
+      out << "        \"num_sharing\": " << cache.num_sharing << "\n";
+      out << "      }" << (i + 1 < context.cpu_info.caches.size() ? "," : "")
+          << "\n";
+    }
+    out << "    ],\n";
+    out << "    \"load_avg\": [";
+    for (std::size_t i = 0; i < context.cpu_info.load_avg.size(); ++i) {
+      out << (i != 0 ? "," : "") << context.cpu_info.load_avg[i];
+    }
+    out << "],\n";
+    out << "    \"library_build_type\": \"" << TranslationUnitBuildType()
+        << "\"\n";
+    out << "  },\n";
+    out << "  \"benchmarks\": [\n";
+    return true;
+  }
+};
+
+// Initialize, run, shut down — with the honest JSON reporter wired as the
+// file reporter whenever --benchmark_out= was requested. (google-benchmark
+// errors out if a file reporter is supplied without --benchmark_out, so the
+// flag is sniffed before Initialize consumes argv.)
+inline int BenchmarkMain(int argc, char** argv) {
+  bool want_file = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      want_file = true;
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  if (want_file) {
+    benchmark::ConsoleReporter display;
+    TwheelJSONReporter file_reporter;
+    benchmark::RunSpecifiedBenchmarks(&display, &file_reporter);
+  } else {
+    benchmark::RunSpecifiedBenchmarks();
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace twheel::bench
+
+#define TWHEEL_BENCHMARK_MAIN()                                \
+  int main(int argc, char** argv) {                            \
+    return ::twheel::bench::BenchmarkMain(argc, argv);         \
+  }                                                            \
+  int main(int, char**)  // redeclaration swallows the macro's semicolon
+
+#endif  // TWHEEL_BENCH_BENCH_MAIN_H_

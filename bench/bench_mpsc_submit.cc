@@ -34,6 +34,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <atomic>
 #include <memory>
 #include <thread>
@@ -130,4 +132,4 @@ BENCHMARK(BM_SubmitDeferred)
     ->UseRealTime()
     ->Name("mpsc_submit/deferred");
 
-BENCHMARK_MAIN();
+TWHEEL_BENCHMARK_MAIN();

@@ -28,6 +28,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <atomic>
 #include <memory>
 #include <string>
@@ -261,11 +263,5 @@ BENCHMARK(BM_RestartMpscStopStart)
 
 int main(int argc, char** argv) {
   RegisterSingleThreaded();
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
+  return twheel::bench::BenchmarkMain(argc, argv);
 }

@@ -12,6 +12,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_main.h"
+
 #include <array>
 #include <cstddef>
 #include <memory>
@@ -123,4 +125,4 @@ BENCHMARK(BM_Scheme7Hierarchical_Batched);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+TWHEEL_BENCHMARK_MAIN();

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare a freshly recorded google-benchmark JSON against a committed one.
+
+Usage:
+    scripts/bench_compare.py [--strict] [--threshold PCT] COMMITTED FRESH
+
+Prints a per-benchmark delta table and flags regressions beyond the threshold
+(default 10%). A benchmark regresses when its fresh numbers are worse than the
+committed ones: lower items_per_second, or (when no throughput counter exists)
+higher real_time. Benchmarks present on only one side are listed but never
+count as regressions — renames and new coverage are not performance changes.
+
+With --strict the exit status is nonzero when any regression was flagged, so
+recording scripts and CI can gate on it; without it the script only reports.
+
+Repetition aggregates are folded the same way the bench_record.sh summaries
+fold them: *_mean rows are preferred over the per-repetition rows, and
+*_median/_stddev/_cv rows are ignored.
+"""
+
+import argparse
+import json
+import signal
+import sys
+
+# Die quietly when piped into head/less instead of tracebacking on SIGPIPE.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+
+def load_rows(path):
+    """name -> (metric_name, value); one row per logical benchmark."""
+    try:
+        with open(path) as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"bench_compare: cannot read {path}: {err}")
+    rows = {}
+    preferred = set()  # names whose value came from a *_mean aggregate
+    for bench in data.get("benchmarks", []):
+        name = bench.get("name", "")
+        if name.endswith(("_median", "_stddev", "_cv", "_BigO", "_RMS")):
+            continue
+        is_mean = name.endswith("_mean")
+        base = name[: -len("_mean")] if is_mean else name
+        if base in preferred and not is_mean:
+            continue
+        if "items_per_second" in bench:
+            value = ("items_per_second", float(bench["items_per_second"]))
+        elif "real_time" in bench:
+            value = ("real_time", float(bench["real_time"]))
+        else:
+            continue
+        if is_mean or base not in rows:
+            rows[base] = value
+            if is_mean:
+                preferred.add(base)
+    return rows
+
+
+def build_type(path):
+    try:
+        with open(path) as f:
+            return json.load(f).get("context", {}).get("library_build_type", "?")
+    except (OSError, json.JSONDecodeError):
+        return "?"
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Diff two google-benchmark JSON files per benchmark.")
+    parser.add_argument("committed", help="baseline JSON (the committed file)")
+    parser.add_argument("fresh", help="candidate JSON (the fresh recording)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit nonzero if any regression exceeds the "
+                             "threshold")
+    args = parser.parse_args()
+
+    old_rows = load_rows(args.committed)
+    new_rows = load_rows(args.fresh)
+
+    print(f"baseline:  {args.committed} (build: {build_type(args.committed)})")
+    print(f"candidate: {args.fresh} (build: {build_type(args.fresh)})")
+    print()
+
+    shared = sorted(set(old_rows) & set(new_rows))
+    only_old = sorted(set(old_rows) - set(new_rows))
+    only_new = sorted(set(new_rows) - set(old_rows))
+
+    regressions = []
+    width = max((len(n) for n in shared), default=20)
+    print(f"{'benchmark':<{width}}  {'metric':<16}{'baseline':>14}"
+          f"{'candidate':>14}{'delta':>9}")
+    for name in shared:
+        old_metric, old_value = old_rows[name]
+        new_metric, new_value = new_rows[name]
+        if old_metric != new_metric or old_value == 0:
+            print(f"{name:<{width}}  metric changed "
+                  f"({old_metric} -> {new_metric}); skipped")
+            continue
+        delta_pct = (new_value - old_value) / old_value * 100.0
+        # items_per_second: higher is better. real_time: lower is better.
+        worse_pct = -delta_pct if old_metric == "items_per_second" else delta_pct
+        flag = ""
+        if worse_pct > args.threshold:
+            flag = "  << REGRESSION"
+            regressions.append((name, worse_pct))
+        print(f"{name:<{width}}  {old_metric:<16}{old_value:>14,.1f}"
+              f"{new_value:>14,.1f}{delta_pct:>+8.1f}%{flag}")
+
+    for name in only_old:
+        print(f"{name:<{width}}  only in baseline (removed or renamed)")
+    for name in only_new:
+        print(f"{name:<{width}}  only in candidate (new)")
+
+    print()
+    if regressions:
+        print(f"{len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0f}%:")
+        for name, worse in sorted(regressions, key=lambda r: -r[1]):
+            print(f"  {name}: {worse:.1f}% worse")
+        if args.strict:
+            return 1
+    else:
+        print(f"no regressions beyond {args.threshold:.0f}% "
+              f"({len(shared)} benchmarks compared)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,6 +17,18 @@
 #                 the stop+start round trip (micro + whole-lap families per
 #                 scheme), and the networked timer server's end-to-end callback
 #                 throughput at up to millions of concurrent sessions.
+#   mpmc_dispatch BENCH_mpmc_dispatch.json — DispatchPool expiry dispatch
+#                 throughput over drainers x shards x live periodic timers
+#                 (the MPMC tick pipeline; see bench/bench_mpmc_dispatch.cc
+#                 for the single-core caveat on the drainer sweep).
+#
+# Recordings are performance claims, so they are only taken from an optimized
+# build: benchmarks are built in a dedicated -DCMAKE_BUILD_TYPE=Release tree
+# (default: build-bench, separate from the dev/test build), and after each run
+# the emitted JSON's context.library_build_type is checked — a "debug"
+# recording is deleted and the script fails rather than committing numbers
+# measured on unoptimized code. Compare a fresh recording against a committed
+# one with scripts/bench_compare.py.
 #
 # Usage:
 #   scripts/bench_record.sh                         # record every experiment
@@ -24,22 +36,47 @@
 #   scripts/bench_record.sh all --benchmark_repetitions=5
 #
 # Environment:
-#   BUILD_DIR=<dir>   build directory (default: build)
+#   BUILD_DIR=<dir>   bench build directory (default: build-bench; configured
+#                     as Release by this script)
 #   JOBS=<n>          parallel build jobs (default: nproc)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR="${BUILD_DIR:-build}"
+BUILD_DIR="${BUILD_DIR:-build-bench}"
 JOBS="${JOBS:-$(nproc)}"
 
 TARGET="all"
 case "${1:-}" in
-  sparse_tick|mpsc_submit|restart|periodic|all)
+  sparse_tick|mpsc_submit|restart|periodic|mpmc_dispatch|all)
     TARGET="$1"
     shift ;;
 esac
 
-cmake -S . -B "$BUILD_DIR" >/dev/null
+cmake -S . -B "$BUILD_DIR" -DCMAKE_BUILD_TYPE=Release >/dev/null
+
+# Refuse to keep a recording whose context says the measured code was built
+# without optimization. bench_main.h stamps library_build_type from the
+# benchmark binary's own NDEBUG (not the libbenchmark .so), so "debug" here
+# means the numbers really were taken on -O0 code.
+check_release() {
+  local out="$1"
+  local build_type
+  if command -v python3 >/dev/null 2>&1; then
+    build_type="$(python3 -c 'import json,sys
+print(json.load(open(sys.argv[1])).get("context",{}).get("library_build_type","missing"))' "$out")"
+  else
+    build_type="$(grep -o '"library_build_type": "[a-z]*"' "$out" |
+      head -n1 | cut -d'"' -f4 || echo missing)"
+  fi
+  if [ "$build_type" != "release" ]; then
+    rm -f "$out"
+    echo "ERROR: $out reported library_build_type=$build_type;" \
+      "refusing to record benchmarks from an unoptimized build." >&2
+    echo "       (build dir: $BUILD_DIR — delete it and rerun, or point" \
+      "BUILD_DIR at a Release tree.)" >&2
+    exit 1
+  fi
+}
 
 record() {
   local bench="$1" out="$2"
@@ -49,6 +86,7 @@ record() {
     --benchmark_out="$out" \
     --benchmark_out_format=json \
     "$@"
+  check_release "$out"
   echo
   echo "Recorded $out"
 }
@@ -237,5 +275,47 @@ if server:
     print(f"  {'scheme':<26}{'sessions':>12}{'callbacks/s':>14}")
     for (scheme, sessions) in sorted(server):
         print(f"  {scheme:<26}{sessions:>12,}{server[(scheme, sessions)]:>14,.0f}")
+PYEOF
+fi
+
+if [ "$TARGET" = "mpmc_dispatch" ] || [ "$TARGET" = "all" ]; then
+  record bench_mpmc_dispatch BENCH_mpmc_dispatch.json "$@"
+  summarize BENCH_mpmc_dispatch.json <<'PYEOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+ncpus = data.get("context", {}).get("num_cpus", "?")
+
+# rows[(drainers, shards, live)] = (items_per_second, steal_frac); prefer
+# *_mean rows when repetitions add aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    m = re.match(
+        r"mpmc_dispatch/drainers:(\d+)/shards:(\d+)/live:(\d+)", name)
+    if not m or "items_per_second" not in b:
+        continue
+    key = tuple(int(g) for g in m.groups())
+    if name.endswith("_mean") or key not in rows:
+        rows[key] = (b["items_per_second"], b.get("steal_frac", 0.0))
+
+print(f"mpmc_dispatch (sustained expiry dispatches/s; host num_cpus={ncpus}):")
+for (shards, live) in sorted({(s, l) for (_, s, l) in rows}):
+    print(f"  shards={shards} live={live:,}:")
+    print(f"    {'drainers':<10}{'fires/s':>16}{'steal_frac':>12}{'vs 1':>8}")
+    base = rows.get((1, shards, live), (None, 0.0))[0]
+    for drainers in sorted({d for (d, s, l) in rows if (s, l) == (shards, live)}):
+        ips, steal = rows[(drainers, shards, live)]
+        rel = f"{ips / base:>7.2f}x" if base else f"{'-':>8}"
+        print(f"    {drainers:<10}{ips:>16,.0f}{steal:>12.3f}{rel}")
+    print()
+print("NOTE: drainer scaling above 1 requires num_cpus > 1; on a single-CPU")
+print("host the sweep measures oversubscription overhead (expected flat).")
 PYEOF
 fi

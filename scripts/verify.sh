@@ -13,18 +13,19 @@
 #   CTEST_ARGS=...    extra arguments forwarded to ctest (e.g. -R ModelCheck)
 #   TWHEEL_TORTURE_EPISODES=<n>
 #                     episodes per case for the `torture`-labelled concurrent
-#                     tests (including the restart and periodic torture
+#                     tests (including the restart, periodic, and mpmc torture
 #                     suites); when unset, the plain build runs the tests'
 #                     default (50) and the sanitizer builds run reduced counts
 #                     (asan 12, tsan 8) since each episode costs ~20x there.
 #
 # Every configuration runs the FULL ctest suite, so the `restart`-labelled
 # tests (restart_differential_test, restart_regression_test,
-# restart_torture_test) and the `periodic`-labelled tests
+# restart_torture_test), the `periodic`-labelled tests
 # (periodic_differential_test, periodic_regression_test, periodic_torture_test,
-# timer_server_test) are exercised plain, under ASan+UBSan, and under TSan on
-# every gate run. `ctest -L restart` / `ctest -L periodic` in any build
-# directory runs just them.
+# timer_server_test), and the `mpmc`-labelled tests (mpmc_torture_test's
+# kMultiTicker/kStealStorm episodes, dispatch_pool_test) are exercised plain,
+# under ASan+UBSan, and under TSan on every gate run. `ctest -L restart` /
+# `ctest -L periodic` / `ctest -L mpmc` in any build directory runs just them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

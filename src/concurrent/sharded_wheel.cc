@@ -7,6 +7,18 @@
 
 namespace twheel::concurrent {
 
+ShardedWheel::Shard::~Shard() {
+  // Batches are normally drained before the wheel is torn down (DispatchPool
+  // dispatches everything pending in Stop()); free stragglers regardless so an
+  // aborted test cannot leak them.
+  FireBatch* chain = batch_head.exchange(nullptr, std::memory_order_acquire);
+  while (chain != nullptr) {
+    FireBatch* next = chain->next;
+    delete chain;
+    chain = next;
+  }
+}
+
 ShardedWheel::ShardedWheel(std::size_t shards, std::size_t table_size) {
   Construct(shards, table_size, nullptr);
 }
@@ -117,6 +129,9 @@ TimerError ShardedWheel::StopTimer(TimerHandle handle) {
   }
   Shard& shard = *shards_[index];
   if (shard.submit != nullptr) {
+    // Client-view attempt count (the locked inner wheels count every attempt
+    // that reaches them; see counts()).
+    client_stops_.fetch_add(1, std::memory_order_relaxed);
     // Lock-free path: the CAS inside SubmitCancel is the commit point; kOk
     // means the timer can no longer fire, whether or not its start command has
     // even drained yet (pending-cancel reconciliation).
@@ -181,6 +196,7 @@ std::size_t ShardedWheel::PerTickBookkeeping() {
   // so every command enqueued before this call is registered before its shard
   // advances.
   const bool mpsc = deferred();
+  const Tick target = now_.load(std::memory_order_relaxed) + 1;
   std::vector<PendingExpiry> pending;
   std::vector<std::pair<RequestId, Tick>> fires;
   for (std::uint32_t s = 0; s < shards_.size(); ++s) {
@@ -189,7 +205,16 @@ std::size_t ShardedWheel::PerTickBookkeeping() {
     if (mpsc) {
       shard.submit->Drain(*shard.wheel);
     }
-    shard.wheel->PerTickBookkeeping();
+    // Shard clocks normally tick in lockstep with now_; a shard a DispatchPool
+    // already carried past `target` (a stopped ticker-mode pool leaves shards
+    // at unequal cursors) has covered this tick and must not tick twice.
+    const Tick inner_now = shard.wheel->now();
+    if (inner_now + 1 == target) {
+      shard.wheel->PerTickBookkeeping();
+    } else if (inner_now < target) {
+      shard.wheel->AdvanceTo(target);
+    }
+    shard.cursor.store(shard.wheel->now(), std::memory_order_release);
     if (mpsc) {
       for (const auto& [id, when] : shard.collected) {
         pending.push_back(PendingExpiry{s, id, when});
@@ -215,11 +240,15 @@ std::size_t ShardedWheel::AdvanceTo(Tick target) {
     return 0;
   }
   // One lock acquisition per shard for the whole batch: drain the shard's
-  // submission ring (MPSC mode), then advance. Shard clocks tick in lockstep
-  // with the wall clock, so each inner wheel advances by the same delta. The
-  // drain-then-advance order is what makes the NextExpiryHint contract sound
-  // for callers that jump: a start whose enqueue completed before this call is
-  // registered here, before any slot it could land in is crossed.
+  // submission ring (MPSC mode), then advance. Targets are absolute (not
+  // now()+delta per shard): shard clocks normally tick in lockstep, but a
+  // DispatchPool in ticker mode advances shards independently, so a shard
+  // whose cursor already passed `target` is skipped rather than over-advanced
+  // — driving the wheel globally after a pool stopped re-converges every shard
+  // onto `target`. The drain-then-advance order is what makes the
+  // NextExpiryHint contract sound for callers that jump: a start whose enqueue
+  // completed before this call is registered here, before any slot it could
+  // land in is crossed.
   const bool mpsc = deferred();
   std::vector<PendingExpiry> pending;
   std::vector<std::pair<RequestId, Tick>> fires;
@@ -229,7 +258,10 @@ std::size_t ShardedWheel::AdvanceTo(Tick target) {
     if (mpsc) {
       shard.submit->Drain(*shard.wheel);
     }
-    shard.wheel->AdvanceTo(shard.wheel->now() + delta);
+    if (shard.wheel->now() < target) {
+      shard.wheel->AdvanceTo(target);
+    }
+    shard.cursor.store(shard.wheel->now(), std::memory_order_release);
     if (mpsc) {
       for (const auto& [id, when] : shard.collected) {
         pending.push_back(PendingExpiry{s, id, when});
@@ -239,7 +271,7 @@ std::size_t ShardedWheel::AdvanceTo(Tick target) {
     }
     shard.collected.clear();
   }
-  now_.fetch_add(delta, std::memory_order_release);
+  CommitNow(target);
 
   // Each shard's stage is already chronological; the stable merge re-establishes
   // cross-shard tick order while keeping FIFO order within a tick (shards are
@@ -255,6 +287,30 @@ std::size_t ShardedWheel::AdvanceTo(Tick target) {
   return Dispatch(fires);
 }
 
+bool ShardedWheel::ResolveClaim(std::uint32_t shard_index,
+                                const RequestId& inner_id, Tick when,
+                                std::vector<std::pair<RequestId, Tick>>& fires) {
+  RequestId client_id = 0;
+  switch (shards_[shard_index]->submit->ClaimFire(
+      ShardSubmitQueue::InnerIdIndex(inner_id),
+      ShardSubmitQueue::InnerIdGeneration(inner_id), &client_id)) {
+    case ShardSubmitQueue::FireResolution::kDeliver:
+      fires.emplace_back(client_id, when);
+      client_fired_laps_.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case ShardSubmitQueue::FireResolution::kDeliverFinal:
+      fires.emplace_back(client_id, when);
+      client_expiries_.fetch_add(1, std::memory_order_relaxed);
+      live_.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    case ShardSubmitQueue::FireResolution::kStopInner:
+      return true;
+    case ShardSubmitQueue::FireResolution::kSuppress:
+      break;
+  }
+  return false;
+}
+
 void ShardedWheel::ClaimFires(const std::vector<PendingExpiry>& expired,
                               std::vector<std::pair<RequestId, Tick>>& fires) {
   // Two-pass commit: claim every collected expiry (one-shots and final
@@ -267,22 +323,8 @@ void ShardedWheel::ClaimFires(const std::vector<PendingExpiry>& expired,
   fires.reserve(fires.size() + expired.size());
   std::vector<PendingExpiry> stop_inner;
   for (const PendingExpiry& e : expired) {
-    RequestId client_id = 0;
-    switch (shards_[e.shard]->submit->ClaimFire(
-        ShardSubmitQueue::InnerIdIndex(e.id),
-        ShardSubmitQueue::InnerIdGeneration(e.id), &client_id)) {
-      case ShardSubmitQueue::FireResolution::kDeliver:
-        fires.emplace_back(client_id, e.when);
-        break;
-      case ShardSubmitQueue::FireResolution::kDeliverFinal:
-        fires.emplace_back(client_id, e.when);
-        live_.fetch_sub(1, std::memory_order_relaxed);
-        break;
-      case ShardSubmitQueue::FireResolution::kStopInner:
-        stop_inner.push_back(e);
-        break;
-      case ShardSubmitQueue::FireResolution::kSuppress:
-        break;
+    if (ResolveClaim(e.shard, e.id, e.when, fires)) {
+      stop_inner.push_back(e);
     }
   }
   // Rare path (a cancel whose prompt-removal command was dropped, caught here
@@ -296,6 +338,134 @@ void ShardedWheel::ClaimFires(const std::vector<PendingExpiry>& expired,
         ShardSubmitQueue::InnerIdIndex(e.id),
         ShardSubmitQueue::InnerIdGeneration(e.id), *shard.wheel);
   }
+}
+
+std::size_t ShardedWheel::AdvanceShard(std::uint32_t shard_index, Tick target) {
+  TWHEEL_ASSERT_MSG(shard_index < shards_.size(), "AdvanceShard: no such shard");
+  Shard& shard = *shards_[shard_index];
+  const bool mpsc = shard.submit != nullptr;
+  std::vector<std::pair<RequestId, Tick>> fires;
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  if (mpsc) {
+    shard.submit->Drain(*shard.wheel);
+  }
+  if (shard.wheel->now() < target) {
+    shard.wheel->AdvanceTo(target);
+  }
+  if (mpsc) {
+    // Claim while still holding the shard mutex: every fire is committed
+    // against its registration word before the batch can become visible to any
+    // dispatcher, so a thief can only ever claim a fully-drained, fully-claimed
+    // bucket — never a half-drained one.
+    fires.reserve(shard.collected.size());
+    for (const auto& [id, when] : shard.collected) {
+      if (ResolveClaim(shard_index, id, when, fires)) {
+        // Ghost periodic record whose cancel won: the reclaim needs the shard
+        // mutex, which this path already holds.
+        shard.submit->ReclaimCancelledPeriodic(
+            ShardSubmitQueue::InnerIdIndex(id),
+            ShardSubmitQueue::InnerIdGeneration(id), *shard.wheel);
+      }
+    }
+  } else {
+    fires = std::move(shard.collected);
+  }
+  shard.collected.clear();
+  const std::size_t claimed = fires.size();
+  if (claimed != 0) {
+    auto* batch = new FireBatch{++shard.published_seq, std::move(fires), nullptr};
+    // Release so the dispatcher's acquire exchange of batch_head sees the
+    // fully-built batch; the failure order can stay relaxed because a failed
+    // CAS publishes nothing.
+    FireBatch* head = shard.batch_head.load(std::memory_order_relaxed);
+    do {
+      batch->next = head;
+    } while (!shard.batch_head.compare_exchange_weak(
+        head, batch, std::memory_order_release, std::memory_order_relaxed));
+    dispatch_batches_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Publish the cursor last (release): once the pool's barrier observes
+  // cursor >= target, every batch this advance produced is already on the
+  // stack, so "all cursors reached the target and all stacks are empty" is a
+  // sound quiesce condition.
+  shard.cursor.store(shard.wheel->now(), std::memory_order_release);
+  return claimed;
+}
+
+std::size_t ShardedWheel::DispatchShard(std::uint32_t shard_index, bool owner) {
+  TWHEEL_ASSERT_MSG(shard_index < shards_.size(), "DispatchShard: no such shard");
+  Shard& shard = *shards_[shard_index];
+  std::size_t delivered = 0;
+  // Dispatch rights: one drainer at a time delivers this shard's batches, so
+  // per-shard delivery stays serial and FIFO even when stolen. Losers leave
+  // immediately — the rights holder re-checks the stack before releasing, so a
+  // batch published while it was dispatching is never stranded.
+  while (shard.batch_head.load(std::memory_order_acquire) != nullptr) {
+    if (shard.dispatch_busy.exchange(true, std::memory_order_acquire)) {
+      break;
+    }
+    // Sole rights holder from here: take the whole stack in one exchange and
+    // reverse the newest-first chain into publication order.
+    FireBatch* chain = shard.batch_head.exchange(nullptr, std::memory_order_acquire);
+    FireBatch* fifo = nullptr;
+    while (chain != nullptr) {
+      FireBatch* next = chain->next;
+      chain->next = fifo;
+      fifo = chain;
+      chain = next;
+    }
+    while (fifo != nullptr) {
+      FireBatch* next = fifo->next;
+      // Protocol self-check, surfaced as a counter instead of trusted: batches
+      // arrive in exactly the order the shard advances published them (seq is
+      // dense), and expiry ticks never run backwards within a shard.
+      if (fifo->seq != shard.dispatched_seq + 1 ||
+          (!fifo->fires.empty() &&
+           fifo->fires.front().second < shard.last_dispatched_when)) {
+        dispatch_order_violations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      shard.dispatched_seq = fifo->seq;
+      if (!fifo->fires.empty()) {
+        shard.last_dispatched_when = fifo->fires.back().second;
+      }
+      if (!owner) {
+        dispatch_steals_.fetch_add(1, std::memory_order_relaxed);
+      }
+      delivered += Dispatch(fifo->fires);
+      delete fifo;
+      fifo = next;
+    }
+    shard.dispatch_busy.store(false, std::memory_order_release);
+  }
+  return delivered;
+}
+
+void ShardedWheel::CommitNow(Tick target) {
+  // Monotone max: now() is the globally *completed* clock, so it only moves
+  // once the caller (DispatchPool's barrier, or the single-driver paths) has
+  // seen every shard reach `target`.
+  Tick cur = now_.load(std::memory_order_relaxed);
+  while (cur < target && !now_.compare_exchange_weak(cur, target,
+                                                     std::memory_order_release,
+                                                     std::memory_order_relaxed)) {
+  }
+}
+
+Tick ShardedWheel::ShardCursor(std::uint32_t shard_index) const {
+  TWHEEL_ASSERT_MSG(shard_index < shards_.size(), "ShardCursor: no such shard");
+  return shards_[shard_index]->cursor.load(std::memory_order_acquire);
+}
+
+bool ShardedWheel::HasPendingBatches(std::uint32_t shard_index) const {
+  TWHEEL_ASSERT_MSG(shard_index < shards_.size(),
+                    "HasPendingBatches: no such shard");
+  const Shard& shard = *shards_[shard_index];
+  // Head before rights flag — see the header comment for why this order makes
+  // a false return authoritative.
+  if (shard.batch_head.load(std::memory_order_acquire) != nullptr) {
+    return true;
+  }
+  return shard.dispatch_busy.load(std::memory_order_acquire);
 }
 
 std::size_t ShardedWheel::Dispatch(
@@ -383,7 +553,22 @@ metrics::OpCounts ShardedWheel::counts() const {
     // drain is bookkeeping, not a client restart — it is already excluded by
     // the restart_calls override above).
     merged.periodic_starts = client_periodic_starts_.load(std::memory_order_relaxed);
+    // Client-view deliveries and stop attempts: the inner wheels count ghost
+    // expiries (a cancelled timer whose prompt removal lost the race to its
+    // own collection — the claim suppresses the fire, but the inner wheel
+    // already counted it) and only the drained removal commands. Under N
+    // concurrent drainers those races are routine, so the snapshot reports the
+    // claim-point counters instead; with them the conservation law
+    //   start_calls == expiries + successful cancels + outstanding
+    // is exact at quiesce whenever no start was rejected, no matter how many
+    // drainers raced (each start resolves exactly once as a delivered final
+    // fire, a committed cancel, or a live registration).
+    merged.expiries = client_expiries_.load(std::memory_order_relaxed);
+    merged.periodic_fires = client_fired_laps_.load(std::memory_order_relaxed);
+    merged.stop_calls = client_stops_.load(std::memory_order_relaxed);
   }
+  merged.dispatch_batches = dispatch_batches_.load(std::memory_order_relaxed);
+  merged.dispatch_steals = dispatch_steals_.load(std::memory_order_relaxed);
   return merged;
 }
 

@@ -115,6 +115,52 @@ class ShardedWheel final : public TimerService {
   std::size_t num_shards() const { return shards_.size(); }
   bool deferred() const { return shards_[0]->submit != nullptr; }
 
+  // ---- Concurrent per-shard advancement (the DispatchPool protocol) ----
+  //
+  // A multi-drainer driver replaces the global AdvanceTo with two per-shard
+  // halves that different threads may run for different shards at once:
+  //
+  //   AdvanceShard(s, target)   advance shard s's clock to the absolute tick
+  //                             `target`, claim its expiries, and publish them
+  //                             as a FireBatch on the shard's batch stack.
+  //                             Serialized per shard by the shard mutex;
+  //                             concurrent calls for distinct shards never
+  //                             contend. Never dispatches handlers.
+  //   DispatchShard(s, owner)   deliver shard s's published batches, oldest
+  //                             first, if the shard's dispatch rights are free
+  //                             (a single CAS). Any thread may call this — a
+  //                             non-owner dispatching is a *steal* — and the
+  //                             per-batch claim is all-or-nothing: a batch is
+  //                             only ever published after its shard advance
+  //                             completed, so a thief can never see a
+  //                             half-drained bucket.
+  //   CommitNow(target)         publish the global clock after the caller has
+  //                             proven every shard's cursor reached `target`
+  //                             (monotone max; DispatchPool's barrier).
+  //
+  // Exactly-once across stealing: expiries are claimed against the
+  // registration word inside AdvanceShard (under the shard mutex), before the
+  // batch becomes visible; dispatch rights make batch delivery per-shard
+  // serial; and the batch pointer itself transfers via an atomic exchange, so
+  // each fire is delivered by exactly one drainer no matter who wins.
+  std::size_t AdvanceShard(std::uint32_t shard, Tick target);
+  std::size_t DispatchShard(std::uint32_t shard, bool owner = true);
+  void CommitNow(Tick target);
+  // Shard s's completed clock (≥ now() while a pool is mid-epoch).
+  Tick ShardCursor(std::uint32_t shard) const;
+  // True if shard s has published batches awaiting dispatch, or a dispatch in
+  // flight. Reading the stack head (acquire) before the rights flag makes
+  // "false" proof that everything published so far was delivered: seeing the
+  // head empty synchronizes with the holder's pop, which its rights
+  // acquisition precedes, so a stale "rights free" read is impossible.
+  bool HasPendingBatches(std::uint32_t shard) const;
+  // Batches delivered out of per-shard FIFO order or with non-monotone `when`
+  // — 0 by protocol; exposed so torture tests can assert the invariant rather
+  // than trust it.
+  std::uint64_t dispatch_order_violations() const {
+    return dispatch_order_violations_.load(std::memory_order_relaxed);
+  }
+
   // MPSC mode: drain every shard's command ring into its wheel without
   // advancing the clock (each shard under its own mutex). Returns commands
   // consumed. Exposed for tests and for drivers that want registration latency
@@ -129,6 +175,16 @@ class ShardedWheel final : public TimerService {
   static constexpr std::uint32_t kShardShift = 24;
   static constexpr std::uint32_t kSlotMask = (1u << kShardShift) - 1;
 
+  // One shard advance's worth of claimed, dispatch-ready expiries. Built and
+  // sequenced under the shard mutex, then published onto the shard's batch
+  // stack with a release CAS; consumed whole (atomic exchange of the stack
+  // head) by whichever drainer holds the shard's dispatch rights.
+  struct FireBatch {
+    std::uint64_t seq;  // per-shard publication order, 1-based
+    std::vector<std::pair<RequestId, Tick>> fires;
+    FireBatch* next;
+  };
+
   struct Shard {
     std::mutex mutex;
     // Expiries the inner wheel reported, staged under `mutex` until the next
@@ -139,6 +195,25 @@ class ShardedWheel final : public TimerService {
     std::unique_ptr<HashedWheelUnsorted> wheel;
     // Deferred-registration runtime; nullptr in locked mode.
     std::unique_ptr<ShardSubmitQueue> submit;
+
+    // ---- DispatchPool state ----
+    // The shard's completed clock: released after the inner wheel reaches the
+    // advance target, acquired by the pool's completion barrier and by
+    // CommitNow's min scan.
+    std::atomic<Tick> cursor{0};
+    // Treiber stack of published batches (newest first; DispatchShard
+    // re-reverses into FIFO by seq).
+    std::atomic<FireBatch*> batch_head{nullptr};
+    // Dispatch rights: exactly one drainer delivers this shard's batches at a
+    // time, so per-shard delivery stays serial and in order even when stolen.
+    std::atomic<bool> dispatch_busy{false};
+    // Next seq to assign; written under `mutex` only.
+    std::uint64_t published_seq = 0;
+    // Delivery-order bookkeeping; written under dispatch rights only.
+    std::uint64_t dispatched_seq = 0;
+    Tick last_dispatched_when = 0;
+
+    ~Shard();  // frees batches left on the stack (defensive; Stop() drains)
   };
 
   // An expiry collected from a shard but not yet resolved against the shard's
@@ -159,6 +234,12 @@ class ShardedWheel final : public TimerService {
   // mode) — and append the surviving {client cookie, tick} pairs to `fires`.
   void ClaimFires(const std::vector<PendingExpiry>& expired,
                   std::vector<std::pair<RequestId, Tick>>& fires);
+  // Resolve one collected expiry against its registration word, appending to
+  // `fires` when it survives. Returns true when the inner record needs a
+  // mutex-guarded ghost stop (FireResolution::kStopInner); shared by the
+  // global ClaimFires pass and the per-shard AdvanceShard claim.
+  bool ResolveClaim(std::uint32_t shard_index, const RequestId& inner_id,
+                    Tick when, std::vector<std::pair<RequestId, Tick>>& fires);
   std::size_t Dispatch(const std::vector<std::pair<RequestId, Tick>>& fires);
 
   std::vector<std::unique_ptr<Shard>> shards_;
@@ -176,6 +257,22 @@ class ShardedWheel final : public TimerService {
   // MPSC mode: successful client StartPeriodic calls (the inner wheels count
   // periodic_starts only at drain).
   std::atomic<std::uint64_t> client_periodic_starts_{0};
+  // MPSC mode: client-visible deliveries and stop attempts. The inner wheels'
+  // expiries include suppressed ghost fires (a cancelled timer whose prompt
+  // removal lost the race to its own expiry), and their stop_calls only count
+  // drained removal commands, so a counts() snapshot built from inner totals
+  // cannot satisfy the conservation law under concurrent drainers. These count
+  // at the claim / submit commit points instead: client_expiries_ on
+  // kDeliverFinal (one-shot fires and final periodic laps), client_fired_laps_
+  // on kDeliver (non-final laps), client_stops_ on every StopTimer attempt —
+  // the same semantics the locked inner wheels give those fields.
+  std::atomic<std::uint64_t> client_expiries_{0};
+  std::atomic<std::uint64_t> client_fired_laps_{0};
+  std::atomic<std::uint64_t> client_stops_{0};
+  // DispatchPool accounting (see OpCounts::dispatch_batches/dispatch_steals).
+  std::atomic<std::uint64_t> dispatch_batches_{0};
+  std::atomic<std::uint64_t> dispatch_steals_{0};
+  std::atomic<std::uint64_t> dispatch_order_violations_{0};
 
   std::mutex handler_mutex_;
   ExpiryHandler handler_;

@@ -14,8 +14,14 @@
 // skipped, matching the model where every tick's bookkeeping must run). Backlogs
 // are delivered through batched AdvanceTo calls in wall-time-bounded chunks — see
 // Loop(). The ticker assumes it is the only clock driver for the service (other
-// threads may start/stop timers, but must not advance the clock). This is the
-// only file in the library that reads a wall clock.
+// threads may start/stop timers, but must not advance the clock).
+//
+// TickerThread is the ONE-core clock: a single thread sweeping every shard.
+// When expiry dispatch itself must scale across cores, use DispatchPool
+// (dispatch_pool.h) in ticker mode instead — it is N of these loops, one per
+// shard group, with work stealing over the published expiry batches. This file
+// and dispatch_pool.cc are the only places in the library that read a wall
+// clock.
 
 #ifndef TWHEEL_SRC_CONCURRENT_TICKER_H_
 #define TWHEEL_SRC_CONCURRENT_TICKER_H_

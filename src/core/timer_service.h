@@ -125,6 +125,14 @@ class TimerService {
   // Returned by value: thread-safe services (LockedService, ShardedWheel) snapshot
   // their counters under their own locks, and a reference would escape that lock and
   // race with the next caller. Single-threaded schemes just copy ~90 bytes.
+  // Concurrent-dispatch contract (ShardedWheel under a DispatchPool): the snapshot
+  // may be taken while N drainers are mid-dispatch, so individual fields can lag
+  // each other transiently — but once the service quiesces (outstanding() == 0,
+  // no driver running), the conservation law
+  //   start_calls == expiries + successful cancels + outstanding
+  // holds exactly whenever no start was rejected, no matter how many drainers
+  // raced (the deferred wheel reports claim-point client-view counters, not the
+  // inner wheels' ghost-inflated totals — see ShardedWheel::counts()).
   virtual metrics::OpCounts counts() const = 0;
   virtual std::string_view name() const = 0;
 

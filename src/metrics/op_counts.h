@@ -87,6 +87,12 @@ struct OpCounts {
   // Periodic re-arms the service had to abandon (stop+start fallback rejected by
   // range/capacity): the timer degrades to a final expiry instead of aborting.
   std::uint64_t periodic_drops = 0;
+  // Multi-drainer dispatch (concurrent::DispatchPool over ShardedWheel):
+  // per-shard expiry batches published for dispatch after a shard advance.
+  std::uint64_t dispatch_batches = 0;
+  // Batches dispatched by a drainer that does not own the batch's shard — the
+  // work-stealing path (an idle core borrowing a burst-hit shard's delivery).
+  std::uint64_t dispatch_steals = 0;
 
   OpCounts& operator+=(const OpCounts& o) {
     start_calls += o.start_calls;
@@ -112,6 +118,8 @@ struct OpCounts {
     periodic_fires += o.periodic_fires;
     periodic_rearm_relinks += o.periodic_rearm_relinks;
     periodic_drops += o.periodic_drops;
+    dispatch_batches += o.dispatch_batches;
+    dispatch_steals += o.dispatch_steals;
     return *this;
   }
 
@@ -139,6 +147,8 @@ struct OpCounts {
     a.periodic_fires -= b.periodic_fires;
     a.periodic_rearm_relinks -= b.periodic_rearm_relinks;
     a.periodic_drops -= b.periodic_drops;
+    a.dispatch_batches -= b.dispatch_batches;
+    a.dispatch_steals -= b.dispatch_steals;
     return a;
   }
 

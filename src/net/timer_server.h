@@ -18,14 +18,26 @@
 // no longer has (expired, cancelled, or the set was lost) are counted as
 // stale misses, not errors. The server never retransmits callbacks: a lost
 // kTimerFire is simply lost, exactly like a lost ack in Section 1's model.
+//
+// Concurrent dispatch: when the host is a concurrent::ShardedWheel, the server
+// can hand the clock to a DispatchPool (StartDispatchPool), after which expiry
+// callbacks arrive on N drainer threads at once. The server is built for that:
+// the session table is striped (per-stripe mutexes, stripe chosen by session
+// hash, so drainers touching different sessions never contend), the stats are
+// lock-free atomics, and callback sends are serialized behind a send mutex —
+// the Channel itself is single-threaded by contract. Requests still arrive on
+// one thread (the harness's uplink), racing only the drainers.
 
 #ifndef TWHEEL_SRC_NET_TIMER_SERVER_H_
 #define TWHEEL_SRC_NET_TIMER_SERVER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 
+#include "src/concurrent/dispatch_pool.h"
 #include "src/core/timer_service.h"
 #include "src/net/channel.h"
 #include "src/net/types.h"
@@ -62,17 +74,33 @@ class TimerServer {
  public:
   // `host` is the timer scheme under test; `to_client` carries callbacks.
   TimerServer(std::unique_ptr<TimerService> host, Channel& to_client);
+  ~TimerServer();
 
   // A request packet arrived (the harness wires this as the uplink receiver).
   void OnRequest(const Packet& request);
 
   // Advance the host timer module one tick, dispatching expiry callbacks.
+  // With a manual-mode dispatch pool attached, the tick is delivered through
+  // the pool (all drainers participate); with a ticker-mode pool the pool IS
+  // the clock and Tick() is a no-op.
   void Tick();
 
-  const TimerServerStats& stats() const { return stats_; }
+  // Hand the host's clock to a DispatchPool: expiry callbacks then arrive on
+  // `options.drainers` threads concurrently. Returns false (and attaches
+  // nothing) if the host is not a concurrent::ShardedWheel or a pool is
+  // already attached. The pool assumes it is the sole clock driver: don't mix
+  // with direct host advancement while attached.
+  bool StartDispatchPool(const concurrent::DispatchOptions& options);
+  // Stops and detaches the pool (idempotent). After return the server is
+  // single-threaded again and Tick() drives the host directly.
+  void StopDispatchPool();
+  bool pool_attached() const { return pool_ != nullptr; }
+
+  // Coherent snapshot at quiesce; transiently lagging fields mid-dispatch.
+  TimerServerStats stats() const;
   const TimerService& host() const { return *host_; }
   // Timers currently registered (the server-side session table's view).
-  std::size_t registrations() const { return timers_.size(); }
+  std::size_t registrations() const;
 
  private:
   struct Registration {
@@ -83,13 +111,47 @@ class TimerServer {
     bool periodic = false;
   };
 
+  // The striped session table. A cookie's stripe is a function of its session
+  // id, so one session's set/cancel/fire traffic serializes on one stripe
+  // while different sessions proceed in parallel on different drainers.
+  static constexpr std::size_t kStripes = 16;  // power of two
+  struct Stripe {
+    mutable std::mutex mutex;
+    std::unordered_map<RequestId, Registration> timers;
+  };
+  Stripe& StripeFor(RequestId cookie) {
+    // Fibonacci hash of the session id; sessions are typically small dense
+    // integers, so multiply-shift spreads them across stripes.
+    const std::uint32_t h = CookieSession(cookie) * 0x9E3779B9u;
+    return stripes_[(h >> 27) & (kStripes - 1)];
+  }
+
   void OnExpiry(RequestId cookie, twheel::Tick now);
   void Register(RequestId cookie, const Packet& request);
 
   std::unique_ptr<TimerService> host_;
   Channel& to_client_;
-  std::unordered_map<RequestId, Registration> timers_;
-  TimerServerStats stats_;
+  // Serializes kTimerFire sends from concurrent drainers: Channel counts and
+  // schedules its deliveries without internal locking.
+  std::mutex send_mutex_;
+  Stripe stripes_[kStripes];
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> sets{0};
+    std::atomic<std::uint64_t> periodic_sets{0};
+    std::atomic<std::uint64_t> replaced{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> restarts{0};
+    std::atomic<std::uint64_t> restart_misses{0};
+    std::atomic<std::uint64_t> cancels{0};
+    std::atomic<std::uint64_t> cancel_misses{0};
+    std::atomic<std::uint64_t> fires_sent{0};
+    std::atomic<std::uint64_t> periodic_laps{0};
+  };
+  AtomicStats stats_;
+
+  std::unique_ptr<concurrent::DispatchPool> pool_;
+  bool pool_is_ticker_ = false;
 };
 
 }  // namespace twheel::net

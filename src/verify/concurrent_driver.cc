@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "src/base/assert.h"
+#include "src/concurrent/dispatch_pool.h"
+#include "src/concurrent/sharded_wheel.h"
 #include "src/concurrent/ticker.h"
 #include "src/rng/rng.h"
 #include "src/verify/oracle.h"
@@ -72,19 +74,25 @@ struct ProducerLog {
   std::size_t periodic_starts = 0;
 };
 
-// The dispatch stream, appended under `mutex` by whichever single thread is
-// advancing the clock (driver thread or TickerThread — never both at once; the
-// phases are sequenced by thread joins).
+// The dispatch stream. In the single-driver modes it is appended by whichever
+// one thread is advancing the clock (driver thread or TickerThread — never
+// both at once; the phases are sequenced by thread joins) and the global
+// monotonicity / when<=now checks apply. In the pool modes several drainers
+// append concurrently (the mutex keeps the log itself coherent), interleaving
+// independently-ordered per-shard streams — so those two global checks are
+// disabled via `concurrent_dispatch` and per-shard order is certified inside
+// the wheel instead (dispatch_order_violations, checked at episode end).
 struct FireLog {
   std::mutex mutex;
   std::vector<std::pair<RequestId, Tick>> fires;
   bool have_last = false;
   Tick last_when = 0;
+  bool concurrent_dispatch = false;
   std::string violation;  // first in-handler violation (monotonicity)
 
   void Record(RequestId cookie, Tick when, Tick service_now) {
     std::lock_guard<std::mutex> lock(mutex);
-    if (violation.empty()) {
+    if (violation.empty() && !concurrent_dispatch) {
       if (have_last && when < last_when) {
         violation = Format("dispatch ticks not monotone: %llu after %llu",
                            static_cast<unsigned long long>(when),
@@ -335,8 +343,24 @@ void CheckRaceLogs(const std::vector<ProducerLog>& logs, const FireLog& fire_log
 
 TortureReport RunRace(TimerService& sut, const TortureOptions& options) {
   TortureReport report;
+  const bool pool_mode = options.mode == TortureMode::kMultiTicker ||
+                         options.mode == TortureMode::kStealStorm;
+  concurrent::ShardedWheel* sharded = nullptr;
+  if (pool_mode) {
+    sharded = dynamic_cast<concurrent::ShardedWheel*>(&sut);
+    if (sharded == nullptr) {
+      report.ok = false;
+      report.violation =
+          "kMultiTicker/kStealStorm require a concurrent::ShardedWheel SUT";
+      return report;
+    }
+  }
+  const metrics::OpCounts base_counts =
+      pool_mode ? sut.counts() : metrics::OpCounts{};
+
   const Tick base = sut.now();
   FireLog fire_log;
+  fire_log.concurrent_dispatch = pool_mode;
   sut.set_expiry_handler([&fire_log, &sut](RequestId cookie, Tick when) {
     fire_log.Record(cookie, when, sut.now());
   });
@@ -363,6 +387,42 @@ TortureReport RunRace(TimerService& sut, const TortureOptions& options) {
       // Stop() joins the ticker; no bookkeeping call runs after it returns, so
       // the quiesce below is the sole clock driver.
     }
+  } else if (options.mode == TortureMode::kMultiTicker) {
+    // N per-shard tickers: every drainer self-paces its own shards against the
+    // wall clock and delivers (plus steals) concurrently with the producers.
+    concurrent::DispatchPool pool(
+        *sharded,
+        {.drainers = options.drainers,
+         .steal = options.steal,
+         .tick_period = std::chrono::microseconds(options.pool_period_us),
+         .max_chunk_ticks = options.pool_chunk_ticks});
+    while (running.load(std::memory_order_acquire) != 0) {
+      std::this_thread::yield();
+    }
+    // Joins every drainer and delivers any batches still published; the
+    // quiesce below is then the sole clock driver (its absolute-target
+    // AdvanceTo re-converges the shard cursors the ticker left unequal).
+    pool.Stop();
+  } else if (options.mode == TortureMode::kStealStorm) {
+    // Manual-mode pool slammed with bursty jumps: each AdvanceTo publishes
+    // whole slot-ranges of expiry batches at once across every shard, so idle
+    // drainers race to steal them while the owners are still advancing.
+    concurrent::DispatchPool pool(
+        *sharded,
+        {.drainers = options.drainers,
+         .steal = options.steal,
+         .tick_period = std::chrono::microseconds(0),
+         .max_chunk_ticks = options.pool_chunk_ticks});
+    rng::Xoshiro256 rng(options.seed ^ 0xda3e39cb94b95bdbULL);
+    std::size_t delivered = 0;
+    while (delivered < options.race_ticks ||
+           running.load(std::memory_order_acquire) != 0) {
+      const Duration jump = 1 + rng.NextBounded(options.max_jump);
+      pool.AdvanceTo(sut.now() + jump);
+      delivered += jump;
+      std::this_thread::yield();
+    }
+    pool.Stop();
   } else {
     rng::Xoshiro256 rng(options.seed ^ 0xda3e39cb94b95bdbULL);
     std::size_t delivered = 0;
@@ -387,6 +447,49 @@ TortureReport RunRace(TimerService& sut, const TortureOptions& options) {
 
   QuiesceAfterRace(sut, options, report);
   CheckRaceLogs(logs, fire_log, report);
+  if (pool_mode) {
+    auto fail = [&report](std::string message) {
+      if (report.ok) {
+        report.ok = false;
+        report.violation = std::move(message);
+      }
+    };
+    const metrics::OpCounts end_counts = sut.counts();
+    report.dispatch_batches =
+        end_counts.dispatch_batches - base_counts.dispatch_batches;
+    report.dispatch_steals =
+        end_counts.dispatch_steals - base_counts.dispatch_steals;
+    // Monotone-per-shard: the wheel certifies, at every dispatch, that batch
+    // sequence numbers are dense and expiry ticks nondecreasing within the
+    // shard — across owner dispatches AND steals.
+    if (sharded->dispatch_order_violations() != 0) {
+      fail(Format("per-shard dispatch order violated %llu times (stolen or "
+                  "reordered batches)",
+                  static_cast<unsigned long long>(
+                      sharded->dispatch_order_violations())));
+    }
+    // Conservation law over the concurrent-coherent counts() snapshot: with
+    // no capacity rejects, every successful start resolved exactly once as a
+    // delivered final fire or a committed cancel (outstanding() is 0 after a
+    // successful quiesce). This is the N-drainer coherence check: it fails if
+    // any shard's claim-point counters tore or double-counted under stealing.
+    if (report.start_rejects == 0 && report.restart_rejects == 0) {
+      const std::uint64_t delta_starts =
+          end_counts.start_calls - base_counts.start_calls;
+      const std::uint64_t delta_expiries =
+          end_counts.expiries - base_counts.expiries;
+      const std::uint64_t expected =
+          delta_expiries + report.cancels + sut.outstanding();
+      if (delta_starts != expected) {
+        fail(Format("counts() conservation violated at quiesce: start_calls "
+                    "delta %llu != expiries delta %llu + kOk cancels %zu + "
+                    "outstanding %zu",
+                    static_cast<unsigned long long>(delta_starts),
+                    static_cast<unsigned long long>(delta_expiries),
+                    report.cancels, sut.outstanding()));
+      }
+    }
+  }
   report.ticks_run = sut.now() - base;
   sut.set_expiry_handler(nullptr);
   return report;

@@ -23,7 +23,7 @@
 //   * conservation at quiescence: outstanding() == 0 and fires + kOk-cancels ==
 //     successful starts.
 //
-// Three episode modes:
+// Five episode modes:
 //   * kManualRace — producers race while the driver's own thread advances the
 //     clock via interleaved PerTickBookkeeping / AdvanceTo batches (invariant
 //     checks above);
@@ -35,7 +35,26 @@
 //     OracleTimers and both worlds advance in lockstep, comparing per-tick
 //     expiry multisets, call results, now(), and outstanding() *exactly* — the
 //     full differential guarantee, with genuine MPSC contention inside each
-//     enqueue phase.
+//     enqueue phase;
+//   * kMultiTicker — the SUT must be a concurrent::ShardedWheel: a
+//     DispatchPool in ticker mode is the clock, i.e. N drainer threads
+//     self-pace their own shards against the wall clock and deliver expiries
+//     concurrently (with stealing), while producers race the full alphabet;
+//   * kStealStorm — same pool, manual mode: the driver thread slams bursty
+//     AdvanceTo jumps through the pool so whole slot-ranges of expiries are
+//     published at once and idle drainers fight to steal the batches.
+//
+// In the pool modes (kMultiTicker, kStealStorm) expiry handlers run
+// CONCURRENTLY on several drainer threads, so the fire log's global
+// monotone-dispatch and when<=now checks are vacuous by design and disabled;
+// instead the wheel itself certifies per-shard delivery order
+// (ShardedWheel::dispatch_order_violations must stay 0 — monotone-per-shard),
+// and the episode additionally checks the counts() conservation law
+// start_calls == expiries + kOk-cancels + outstanding at quiesce, which only
+// holds if the per-shard OpCounts snapshot is coherent under N drainers. The
+// per-cookie invariants (exactly-once, budgets, early-fire bounds, periodic
+// spacing) are unchanged: all laps of one cookie belong to one shard, whose
+// dispatch stays serial under the batch-rights CAS even when stolen.
 //
 // The driver is scheme-agnostic (any thread-safe TimerService works; the locked
 // ShardedWheel and LockedService satisfy the same invariants with "visible
@@ -57,6 +76,10 @@ enum class TortureMode : std::uint8_t {
   kManualRace,
   kTickerRace,
   kLockstepOracle,
+  // Pool modes: require the SUT to be a concurrent::ShardedWheel (the episode
+  // fails cleanly otherwise). Clock + dispatch come from a DispatchPool.
+  kMultiTicker,
+  kStealStorm,
 };
 
 struct TortureOptions {
@@ -109,6 +132,19 @@ struct TortureOptions {
 
   // kLockstepOracle: barrier-synchronized {enqueue, replay, advance} rounds.
   std::size_t rounds = 24;
+
+  // kMultiTicker / kStealStorm: DispatchPool shape. `drainers` threads own the
+  // SUT's shards round-robin; `steal` lets an idle drainer deliver other
+  // shards' published batches. kMultiTicker paces every drainer at
+  // `pool_period_us` per tick; kStealStorm ignores the period and instead has
+  // the driver thread push bursty AdvanceTo jumps (reusing race_ticks /
+  // jump_probability / max_jump) so batch stacks pile up for the thieves.
+  // `pool_chunk_ticks` bounds one AdvanceShard catch-up chunk, keeping
+  // Stop() prompt even when an episode ends mid-burst.
+  std::size_t drainers = 2;
+  bool steal = true;
+  std::uint64_t pool_period_us = 200;
+  std::uint64_t pool_chunk_ticks = 64;
 };
 
 struct TortureReport {
@@ -127,6 +163,10 @@ struct TortureReport {
   std::size_t periodic_starts = 0; // successful StartPeriodic calls
   std::size_t periodic_fires = 0;  // laps attributed to periodic registrations
   std::size_t ticks_run = 0;       // clock advancement seen by the service
+  // Pool modes only: expiry batches published by shard advances, and how many
+  // were delivered by a non-owning drainer (a successful steal).
+  std::uint64_t dispatch_batches = 0;
+  std::uint64_t dispatch_steals = 0;
 };
 
 // Runs one episode against `sut`, which must be thread-safe. The driver installs

@@ -4,10 +4,13 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "src/concurrent/sharded_wheel.h"
 #include "src/core/timer_facility.h"
 #include "src/net/timer_server.h"
 #include "src/net/timer_workload.h"
@@ -272,6 +275,111 @@ TEST(TimerServerHarnessTest, PrimedPopulationScalesPastTheBatchCursor) {
   EXPECT_EQ(harness.workload().stats().callbacks,
             harness.server().stats().fires_sent);
   EXPECT_EQ(harness.workload().believed_live(), 0u);
+}
+
+// --- Concurrent dispatch: the server on a DispatchPool ----------------------
+
+std::unique_ptr<TimerService> ShardedHost() {
+  concurrent::SubmitOptions submit;
+  submit.ring_capacity = 8192;
+  submit.registration_capacity = 8192;
+  submit.on_full = concurrent::SubmitPolicy::kReject;
+  return std::make_unique<concurrent::ShardedWheel>(4, 64, submit);
+}
+
+TEST(TimerServerPoolTest, PoolRefusedForNonShardedHost) {
+  ServerRig rig;  // scheme6 host: a plain single-threaded wheel
+  concurrent::DispatchOptions options;
+  options.drainers = 2;
+  EXPECT_FALSE(rig.server.StartDispatchPool(options));
+  EXPECT_FALSE(rig.server.pool_attached());
+}
+
+TEST(TimerServerPoolTest, ManualPoolPreservesProtocolSemantics) {
+  // Same rig, but the host clock is a 2-drainer manual-mode pool: Tick()
+  // routes through DispatchPool::AdvanceTo, so every callback was dispatched
+  // by a drainer thread. Protocol results must be identical to the
+  // single-threaded path.
+  sim::Simulator network(
+      MakeTimerService(HostScheme(SchemeId::kScheme3Heap)));
+  Channel downlink(network, /*seed=*/1,
+                   ChannelConfig{.loss_probability = 0.0, .delay_lo = 1,
+                                 .delay_hi = 1});
+  TimerServer server(ShardedHost(), downlink);
+  std::vector<Packet> callbacks;
+  downlink.set_receiver([&](const Packet& p) { callbacks.push_back(p); });
+
+  concurrent::DispatchOptions options;
+  options.drainers = 2;
+  ASSERT_TRUE(server.StartDispatchPool(options));
+  EXPECT_FALSE(server.StartDispatchPool(options)) << "double attach";
+
+  // Sessions spread across stripes: set, periodic, cancel, restart.
+  server.OnRequest(ServerRig::Request(PacketType::kTimerSet, 1, 0, 5));
+  server.OnRequest(ServerRig::Request(PacketType::kTimerSetPeriodic, 2, 0,
+                                      /*interval=*/4, /*repeat_for=*/3));
+  server.OnRequest(ServerRig::Request(PacketType::kTimerSet, 3, 0, 30));
+  server.OnRequest(ServerRig::Request(PacketType::kTimerCancel, 3, 0));
+  for (int i = 0; i < 20; ++i) {
+    server.Tick();
+    network.Step();
+  }
+  // Session 1 fired once at 5; session 2 lapped at 4, 8, 12; session 3 was
+  // cancelled. AdvanceTo's barrier sequences drainer sends before Step().
+  ASSERT_EQ(callbacks.size(), 4u);
+  EXPECT_EQ(server.stats().fires_sent, 4u);
+  EXPECT_EQ(server.stats().cancels, 1u);
+  EXPECT_EQ(server.registrations(), 0u);
+  EXPECT_EQ(server.host().outstanding(), 0u);
+  server.StopDispatchPool();
+  EXPECT_FALSE(server.pool_attached());
+  // Detached: Tick() drives the host directly again.
+  server.OnRequest(ServerRig::Request(PacketType::kTimerSet, 4, 0, 2));
+  for (int i = 0; i < 4; ++i) {
+    server.Tick();
+    network.Step();
+  }
+  EXPECT_EQ(callbacks.size(), 5u);
+}
+
+TEST(TimerServerPoolTest, TickerPoolDeliversWithoutExternalTicks) {
+  // Ticker-mode pool: the drainers are the clock. The main thread must not
+  // touch the simulator while drainers may call Channel::Send (the send mutex
+  // serializes senders, not Send vs Step), so callbacks are flushed after
+  // Stop. fires_sent counts what the drainers handed to the channel.
+  sim::Simulator network(
+      MakeTimerService(HostScheme(SchemeId::kScheme3Heap)));
+  Channel downlink(network, /*seed=*/1,
+                   ChannelConfig{.loss_probability = 0.0, .delay_lo = 1,
+                                 .delay_hi = 1});
+  TimerServer server(ShardedHost(), downlink);
+  std::vector<Packet> callbacks;
+  downlink.set_receiver([&](const Packet& p) { callbacks.push_back(p); });
+
+  concurrent::DispatchOptions options;
+  options.drainers = 4;
+  options.tick_period = std::chrono::microseconds(50);
+  ASSERT_TRUE(server.StartDispatchPool(options));
+  constexpr std::uint32_t kSessions = 24;
+  for (std::uint32_t s = 0; s < kSessions; ++s) {
+    server.OnRequest(
+        ServerRig::Request(PacketType::kTimerSet, s, 0, 1 + (s % 8)));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().fires_sent < kSessions &&
+         std::chrono::steady_clock::now() < deadline) {
+    server.Tick();  // no-op under a ticker pool; must not disturb the clock
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.StopDispatchPool();
+  EXPECT_EQ(server.stats().fires_sent, kSessions);
+  EXPECT_EQ(server.registrations(), 0u);
+  // Flush the channel now that no drainer can touch it.
+  for (int i = 0; i < 4; ++i) {
+    network.Step();
+  }
+  EXPECT_EQ(callbacks.size(), kSessions);
 }
 
 }  // namespace
