@@ -21,6 +21,10 @@
 #                 throughput over drainers x shards x live periodic timers
 #                 (the MPMC tick pipeline; see bench/bench_mpmc_dispatch.cc
 #                 for the single-core caveat on the drainer sweep).
+#   lawn          BENCH_lawn.json — scheme 8 (Lawn) distinct-TTL crossover
+#                 frontier vs schemes 4-7: steady-state tick throughput and
+#                 start+stop cost swept over 4..4096 distinct TTLs at 64Ki
+#                 and 4Mi live timers (bench/bench_lawn.cc).
 #
 # Recordings are performance claims, so they are only taken from an optimized
 # build: benchmarks are built in a dedicated -DCMAKE_BUILD_TYPE=Release tree
@@ -47,7 +51,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 TARGET="all"
 case "${1:-}" in
-  sparse_tick|mpsc_submit|restart|periodic|mpmc_dispatch|all)
+  sparse_tick|mpsc_submit|restart|periodic|mpmc_dispatch|lawn|all)
     TARGET="$1"
     shift ;;
 esac
@@ -317,5 +321,53 @@ for (shards, live) in sorted({(s, l) for (_, s, l) in rows}):
     print()
 print("NOTE: drainer scaling above 1 requires num_cpus > 1; on a single-CPU")
 print("host the sweep measures oversubscription overhead (expected flat).")
+PYEOF
+fi
+
+if [ "$TARGET" = "lawn" ] || [ "$TARGET" = "all" ]; then
+  record bench_lawn BENCH_lawn.json "$@"
+  summarize BENCH_lawn.json <<'PYEOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# rows[(family, scheme, distinct, live)] = items_per_second; prefer *_mean
+# rows when repetitions add aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    m = re.match(r"(lawn_tick|lawn_start)/([^/]+)/(\d+)/(\d+)", name)
+    if not m or "items_per_second" not in b:
+        continue
+    key = (m.group(1), m.group(2), int(m.group(3)), int(m.group(4)))
+    if name.endswith("_mean") or key not in rows:
+        rows[key] = b["items_per_second"]
+
+for family, unit in (("lawn_tick", "ticks/s"), ("lawn_start", "pairs/s")):
+    sub = {k: v for k, v in rows.items() if k[0] == family}
+    if not sub:
+        continue
+    for live in sorted({k[3] for k in sub}):
+        distincts = sorted({k[2] for k in sub if k[3] == live})
+        print(f"{family} ({unit}) at live={live:,}:")
+        header = f"  {'scheme':<16}" + "".join(f"{f'D={d}':>12}" for d in distincts)
+        print(header)
+        schemes = sorted({k[1] for k in sub if k[3] == live})
+        for scheme in schemes:
+            cells = []
+            for d in distincts:
+                v = sub.get((family, scheme, d, live))
+                cells.append(f"{v:>12,.0f}" if v is not None else f"{'-':>12}")
+            print(f"  {scheme:<16}" + "".join(cells))
+        print()
+print("Crossover read: lawn's tick cost grows with D (one head probe per")
+print("distinct TTL) and is flat in live; the wheels are flat in D and pay")
+print("per-population migration/occupancy costs. lawn_capped64 beyond D=64")
+print("shows the documented overflow-list fallback price.")
 PYEOF
 fi

@@ -7,6 +7,11 @@
 #   scripts/verify.sh              # all three configurations
 #   scripts/verify.sh plain        # just the plain build
 #   scripts/verify.sh asan tsan    # any subset, in order
+#   scripts/verify.sh --quick      # inner-loop mode: plain build only, torture
+#                                  # episodes cut to 4 (a pre-set
+#                                  # TWHEEL_TORTURE_EPISODES still wins);
+#                                  # combine with configs to quicken a subset,
+#                                  # e.g. `scripts/verify.sh --quick tsan`
 #
 # Environment:
 #   JOBS=<n>          parallel build jobs (default: nproc)
@@ -22,17 +27,33 @@
 # tests (restart_differential_test, restart_regression_test,
 # restart_torture_test), the `periodic`-labelled tests
 # (periodic_differential_test, periodic_regression_test, periodic_torture_test,
-# timer_server_test), and the `mpmc`-labelled tests (mpmc_torture_test's
-# kMultiTicker/kStealStorm episodes, dispatch_pool_test) are exercised plain,
+# timer_server_test), the `mpmc`-labelled tests (mpmc_torture_test's
+# kMultiTicker/kStealStorm episodes, dispatch_pool_test), and the
+# `lawn`-labelled tests (lawn_regression_test, slop_differential_test, plus the
+# scheme-8 rows of every kAllSchemes-parameterized suite) are exercised plain,
 # under ASan+UBSan, and under TSan on every gate run. `ctest -L restart` /
-# `ctest -L periodic` / `ctest -L mpmc` in any build directory runs just them.
+# `ctest -L periodic` / `ctest -L mpmc` / `ctest -L lawn` in any build
+# directory runs just them.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="${JOBS:-$(nproc)}"
-CONFIGS=("$@")
+
+QUICK=0
+CONFIGS=()
+for arg in "$@"; do
+  if [ "$arg" = "--quick" ]; then
+    QUICK=1
+  else
+    CONFIGS+=("$arg")
+  fi
+done
 if [ ${#CONFIGS[@]} -eq 0 ]; then
-  CONFIGS=(plain asan tsan)
+  if [ "$QUICK" = 1 ]; then
+    CONFIGS=(plain)
+  else
+    CONFIGS=(plain asan tsan)
+  fi
 fi
 
 # A pre-set TWHEEL_TORTURE_EPISODES wins over the per-config defaults.
@@ -41,6 +62,9 @@ USER_TORTURE_EPISODES="${TWHEEL_TORTURE_EPISODES:-}"
 run_config() {
   local name="$1" build_dir="$2" episodes="$3"
   shift 3
+  if [ "$QUICK" = 1 ]; then
+    episodes=4
+  fi
   export TWHEEL_TORTURE_EPISODES="${USER_TORTURE_EPISODES:-$episodes}"
   echo "=== [$name] configure ==="
   cmake -S . -B "$build_dir" "$@" >/dev/null

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "src/base/assert.h"
+#include "src/core/slop.h"
 
 namespace twheel {
 
@@ -10,7 +11,8 @@ HierarchicalWheel::HierarchicalWheel(std::span<const std::size_t> level_sizes,
                                      HierarchicalWheelOptions options)
     : TimerServiceBase(options.max_timers),
       overflow_(options.overflow),
-      migration_(options.migration) {
+      migration_(options.migration),
+      slop_bits_(options.slop_bits) {
   TWHEEL_ASSERT_MSG(level_sizes.size() >= 2 && level_sizes.size() <= 8,
                     "hierarchy needs 2..8 levels");
   levels_.reserve(level_sizes.size());
@@ -52,6 +54,7 @@ StartResult HierarchicalWheel::StartTimer(Duration interval, RequestId request_i
   if (interval == 0) {
     return TimerError::kZeroInterval;
   }
+  interval = QuantizeIntervalUp(interval, slop_bits_);
   if (interval > max_interval()) {
     if (overflow_ == OverflowPolicy::kReject) {
       return TimerError::kIntervalOutOfRange;
@@ -96,6 +99,7 @@ TimerError HierarchicalWheel::RestartTimer(TimerHandle handle,
   if (rec == nullptr) {
     return error;
   }
+  new_interval = QuantizeIntervalUp(new_interval, slop_bits_);
   if (new_interval > max_interval()) {
     if (overflow_ == OverflowPolicy::kReject) {
       return TimerError::kIntervalOutOfRange;

@@ -61,6 +61,14 @@ struct HierarchicalWheelOptions {
   OverflowPolicy overflow = OverflowPolicy::kReject;
   MigrationPolicy migration = MigrationPolicy::kFull;
   std::size_t max_timers = 0;
+  // Slop-bits reduced precision (src/core/slop.h, after ponyc): effective
+  // intervals round UP to multiples of 2^slop_bits before range validation and
+  // placement, so a timer fires late by < 2^slop_bits ticks but never early.
+  // Coarse grains reduce deadline diversity — fewer level boundaries crossed,
+  // fewer migrations — the precision-for-throughput knob of Section 6.2's
+  // migration policies, but with a differential-checkable exact bound.
+  // Orthogonal to MigrationPolicy (quantization happens before placement).
+  std::uint32_t slop_bits = 0;
 };
 
 class HierarchicalWheel final : public TimerServiceBase {
@@ -91,6 +99,7 @@ class HierarchicalWheel final : public TimerServiceBase {
   std::string_view name() const override { return "scheme7-hierarchical"; }
 
   std::size_t num_levels() const { return levels_.size(); }
+  std::uint32_t slop_bits() const { return slop_bits_; }
   Duration granularity(std::size_t level) const { return levels_[level].granularity; }
   // Longest startable interval. One coarsest-granularity unit is reserved: when the
   // current time sits just before a top-level unit boundary, an interval above
@@ -177,6 +186,7 @@ class HierarchicalWheel final : public TimerServiceBase {
   Duration span_ = 1;  // product of level sizes
   OverflowPolicy overflow_;
   MigrationPolicy migration_;
+  std::uint32_t slop_bits_ = 0;
 };
 
 }  // namespace twheel

@@ -9,6 +9,7 @@
 #include "src/core/hashed_wheel_sorted.h"
 #include "src/core/hybrid_wheel.h"
 #include "src/core/hashed_wheel_unsorted.h"
+#include "src/lawn/lawn_timers.h"
 
 namespace twheel {
 
@@ -44,7 +45,15 @@ std::unique_ptr<TimerService> MakeTimerService(const FacilityConfig& config) {
       options.overflow = config.overflow;
       options.migration = config.migration;
       options.max_timers = config.max_timers;
+      options.slop_bits = config.slop_bits;
       return std::make_unique<HierarchicalWheel>(config.level_sizes, options);
+    }
+    case SchemeId::kScheme8Lawn: {
+      lawn::LawnOptions options;
+      options.max_distinct_ttls = config.lawn_max_distinct_ttls;
+      options.slop_bits = config.slop_bits;
+      options.max_timers = config.max_timers;
+      return std::make_unique<lawn::LawnTimers>(options);
     }
   }
   TWHEEL_ASSERT_MSG(false, "unknown SchemeId");
@@ -77,6 +86,8 @@ const char* SchemeName(SchemeId id) {
       return "scheme6-hashed-unsorted";
     case SchemeId::kScheme7Hierarchical:
       return "scheme7-hierarchical";
+    case SchemeId::kScheme8Lawn:
+      return "scheme8-lawn";
   }
   return "unknown";
 }

@@ -32,6 +32,8 @@ enum class SchemeId : std::uint8_t {
   kScheme5HashedSorted,
   kScheme6HashedUnsorted,
   kScheme7Hierarchical,
+  // Post-paper: the Lawn bounded-distinct-TTL store (src/lawn/lawn_timers.h).
+  kScheme8Lawn,
 };
 
 // All SchemeIds, in paper order — handy for "run everything" loops.
@@ -43,6 +45,7 @@ inline constexpr SchemeId kAllSchemes[] = {
     SchemeId::kScheme4BasicWheel,   SchemeId::kScheme4HybridList,
     SchemeId::kScheme5HashedSorted,
     SchemeId::kScheme6HashedUnsorted, SchemeId::kScheme7Hierarchical,
+    SchemeId::kScheme8Lawn,
 };
 
 struct FacilityConfig {
@@ -58,6 +61,15 @@ struct FacilityConfig {
   OverflowPolicy overflow = OverflowPolicy::kReject;
   MigrationPolicy migration = MigrationPolicy::kFull;
   std::size_t max_timers = 0;
+
+  // Scheme 8: distinct-TTL bucket cap (0 = unbounded); beyond it, new TTL
+  // values fall back to the shared sorted overflow list (lawn_timers.h).
+  std::size_t lawn_max_distinct_ttls = 4096;
+
+  // Schemes 7 and 8: slop-bits reduced precision (src/core/slop.h). Effective
+  // intervals are rounded up to multiples of 2^slop_bits — late by less than
+  // one grain, never early. 0 = exact. Other schemes ignore it.
+  std::uint32_t slop_bits = 0;
 };
 
 // Construct the configured scheme. Never returns null.

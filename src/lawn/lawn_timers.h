@@ -1,0 +1,145 @@
+// Scheme 8 — the Lawn store: one FIFO bucket per distinct TTL.
+//
+// The first post-paper scheme in this repository, after "Lawn: an Unbound Low
+// Latency Timer Data Structure" (Bachar & Dolev; see PAPERS.md). The paper's
+// Schemes 4-7 all pay for interval generality: a wheel bound (Scheme 4), hash
+// chains with revolution counts (5/6), or hierarchical cascades (7). Lawn's
+// observation is that protocol timers rarely need that generality — a TCP stack
+// uses a handful of timeout *constants* (RTO, keepalive, TIME_WAIT, delayed-ACK)
+// across millions of connections. Key the store by TTL instead of by expiry:
+//
+//   * One FIFO bucket per distinct TTL, created on first use.
+//   * START_TIMER appends to its TTL's bucket — O(1), no range bound, no hash.
+//   * Bucket-sorted invariant: every resident of bucket T was appended with the
+//     same TTL at a non-decreasing clock, so expiry (= append time + T) is
+//     non-decreasing front to back. The bucket HEAD is the bucket minimum.
+//   * PER_TICK_BOOKKEEPING inspects only bucket heads: O(distinct TTLs) per
+//     tick, independent of the number of live timers. With k TTL constants and
+//     n connections that is O(k) against the hashed wheels' O(n/TableSize).
+//   * STOP_TIMER / RESTART_TIMER unlink in O(1) via the intrusive back-pointer,
+//     exactly like the wheels. A restart re-files at the (possibly different)
+//     bucket for the new TTL; appending at the current clock preserves the
+//     invariant.
+//
+// NextExpiryHint is the min over bucket heads — exact, O(distinct TTLs) — so
+// batched AdvanceTo, sim::Simulator jumping, and TickerThread catch-up work
+// unchanged: the clock hops head-to-head and never probes dead ticks.
+//
+// The unbounded-TTL caveat: the structure is O(1) only while the distinct-TTL
+// population stays small. LawnOptions::max_distinct_ttls caps bucket creation;
+// once the cap is hit, timers with NEW TTL values fall back to one shared
+// rear-search sorted overflow list (the paper's Scheme 2 idiom) whose head
+// participates in the tick scan like any bucket head. Correctness is unchanged
+// — expiries stay exact — but starts landing in the overflow pay O(overflow
+// population) comparisons, which is the documented price of exceeding the cap.
+// Reduced precision (slop_bits, src/core/slop.h) quantizes effective intervals
+// up to 2^slop_bits grains, collapsing near-miss TTLs into shared buckets: the
+// ponyc precision-for-throughput trade, here also a cap-pressure valve.
+//
+// StartPeriodic re-arms on the expiry path through RestartTimer's in-place
+// relink (PR 6 machinery): the record moves to its period's bucket tail without
+// touching the arena, so the handle and generation survive every lap.
+
+#ifndef TWHEEL_SRC_LAWN_LAWN_TIMERS_H_
+#define TWHEEL_SRC_LAWN_LAWN_TIMERS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "src/base/intrusive_list.h"
+#include "src/core/timer_service.h"
+
+namespace twheel::lawn {
+
+struct LawnOptions {
+  // Maximum number of distinct-TTL buckets; 0 = unbounded. Starts whose
+  // (quantized) TTL would create a bucket beyond the cap go to the shared
+  // sorted overflow list instead — see the class comment.
+  std::size_t max_distinct_ttls = 0;
+  // Reduced precision: effective interval = QuantizeIntervalUp(interval,
+  // slop_bits). 0 = exact.
+  std::uint32_t slop_bits = 0;
+  // Arena bound; 0 = unbounded.
+  std::size_t max_timers = 0;
+};
+
+class LawnTimers final : public TimerServiceBase {
+ public:
+  explicit LawnTimers(LawnOptions options = {});
+
+  ~LawnTimers() override;
+
+  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  TimerError StopTimer(TimerHandle handle) override;
+  // O(1) in-place reschedule: unlink from the current bucket, re-stamp, append
+  // to the new TTL's bucket tail (rear-search insert if it lands in the
+  // overflow list). Handle and generation survive.
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
+  std::size_t PerTickBookkeeping() override;
+  std::size_t AdvanceTo(Tick target) override;
+  // Exact: the minimum over bucket heads (each head is its bucket's earliest
+  // expiry by the bucket-sorted invariant) plus the overflow head. O(distinct
+  // TTLs), independent of population.
+  std::optional<Tick> NextExpiryHint() const override;
+  bool FastForward(Tick target) override;
+  std::string_view name() const override { return "scheme8-lawn"; }
+
+  std::uint32_t slop_bits() const { return slop_bits_; }
+  // Buckets currently allocated (== distinct effective TTLs ever started,
+  // bounded by max_distinct_ttls). Buckets are never reclaimed: a TTL seen once
+  // is expected again — the protocol-constant assumption the scheme is for.
+  std::size_t distinct_ttls() const { return buckets_.size(); }
+  // Residents of the shared overflow list (cap exceeded). O(overflow length).
+  std::size_t OverflowPopulationSlow() const { return overflow_.CountSlow(); }
+
+  // No fixed arrays: space is one list head per distinct TTL plus the TTL->
+  // bucket index. Per record: links (16) + expiry (8) + cookie (8) + bucket
+  // index (4, padded to 8).
+  SpaceProfile Space() const override {
+    SpaceProfile profile;
+    profile.essential_record_bytes = 40;
+    profile.auxiliary_bytes =
+        buckets_.size() * sizeof(Bucket) +
+        index_of_ttl_.size() *
+            (sizeof(std::pair<Duration, std::uint32_t>) + 2 * sizeof(void*));
+    return profile;
+  }
+
+ private:
+  struct Bucket {
+    Duration ttl = 0;
+    IntrusiveList<TimerRecord> list;
+  };
+
+  // home_slot value marking residence in the overflow list.
+  static constexpr std::uint32_t kOverflowIndex = TimerRecord::kNoIndex;
+
+  // File `rec` (interval/expiry already stamped) into its TTL's bucket,
+  // creating the bucket if the cap allows, else into the sorted overflow list.
+  void FileRecord(TimerRecord* rec);
+  void InsertOverflow(TimerRecord* rec);
+  // Pop every due head at the (already advanced) current tick, in bucket-index
+  // order then the overflow list — the dispatch order the batched paths must
+  // reproduce exactly.
+  std::size_t DrainDueAtNow();
+  std::size_t DrainListHead(IntrusiveList<TimerRecord>& list);
+  // Shared body of AdvanceTo / FastForward; `count_ticks` is false for
+  // FastForward ("the hardware intercepts all clock ticks").
+  std::size_t BatchAdvance(Tick target, bool count_ticks);
+
+  std::size_t max_distinct_ttls_;
+  std::uint32_t slop_bits_;
+  // deque: bucket references stay stable while expiry handlers create new
+  // TTLs mid-drain (IntrusiveList is not movable, and a vector regrowth would
+  // invalidate the list being walked).
+  std::deque<Bucket> buckets_;
+  std::unordered_map<Duration, std::uint32_t> index_of_ttl_;
+  IntrusiveList<TimerRecord> overflow_;
+};
+
+}  // namespace twheel::lawn
+
+#endif  // TWHEEL_SRC_LAWN_LAWN_TIMERS_H_

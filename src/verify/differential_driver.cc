@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/slop.h"
 #include "src/rng/rng.h"
 #include "src/verify/oracle.h"
 
@@ -50,7 +51,10 @@ struct TickAction {
 class Episode {
  public:
   Episode(TimerService& sut, const DriverOptions& options)
-      : sut_(sut), options_(options), rng_(options.seed) {}
+      : sut_(sut),
+        oracle_(options.slop_bits),
+        options_(options),
+        rng_(options.seed) {}
 
   DriverReport Run() {
     sut_.set_expiry_handler(
@@ -79,15 +83,16 @@ class Episode {
     draining_ = true;
     // A periodic started on the last mutate tick may still owe up to
     // periodic_repeat_max fires, one period apart, before it exhausts.
+    // Quantized: with slop, every effective interval rounds up to the grain.
     const Duration period_bound =
-        std::max(options_.periodic_interval, options_.max_interval);
+        std::max(Q(options_.periodic_interval), Q(options_.max_interval));
     const std::size_t periodic_span =
         options_.periodic_probability > 0.0
             ? static_cast<std::size_t>(period_bound) *
                   static_cast<std::size_t>(options_.periodic_repeat_max)
             : 0;
     const std::size_t drain_bound =
-        options_.max_interval + periodic_span + options_.drain_slack;
+        Q(options_.max_interval) + periodic_span + options_.drain_slack;
     for (std::size_t t = 0; t < drain_bound && !live_.empty() && report_.ok; ++t) {
       Step();
     }
@@ -224,7 +229,7 @@ class Episode {
       Diverge(now_, os.str());
       return;
     }
-    it->second.expiry = now_ + interval;
+    it->second.expiry = now_ + Q(interval);
     ++report_.restarts;
   }
 
@@ -284,7 +289,7 @@ class Episode {
     if (!rs.has_value()) {
       return;  // both rejected identically — legal (e.g. bounded arena)
     }
-    AddLive(id, rs.value(), ro.value(), now_ + interval);
+    AddLive(id, rs.value(), ro.value(), now_ + Q(interval));
     ++report_.starts;
   }
 
@@ -317,7 +322,10 @@ class Episode {
     if (!rs.has_value()) {
       return;  // both rejected identically
     }
-    AddLive(id, rs.value(), ro.value(), now_ + period, period, repeats);
+    // Predictions use the quantized period for both the first deadline and the
+    // stored cadence: StartPeriodic's effective interval IS the cadence, and
+    // QuantizeIntervalUp is idempotent, so every lap stays grain-aligned.
+    AddLive(id, rs.value(), ro.value(), now_ + Q(period), Q(period), repeats);
     ++report_.starts;
     ++report_.periodic_starts;
   }
@@ -756,7 +764,7 @@ class Episode {
           Diverge(current_tick_, os.str());
           return;
         }
-        sit->second.expiry = current_tick_ + d;
+        sit->second.expiry = current_tick_ + Q(d);
         action.restart_sibling_id = candidate;
         action.restart_sibling_oracle = sit->second.oracle;
         action.restart_sibling_interval = d;
@@ -781,7 +789,7 @@ class Episode {
       return 0;
     }
     pending_.push_back(
-        Pending{id, r.value(), TimerHandle{}, current_tick_ + interval, false});
+        Pending{id, r.value(), TimerHandle{}, current_tick_ + Q(interval), false});
     return id;
   }
 
@@ -912,6 +920,11 @@ class Episode {
     } else {
       retired_[rng_.NextBounded(kRetiredCap)] = {sut, oracle};
     }
+  }
+
+  // The driver's expiry predictions mirror the schemes' effective intervals.
+  Duration Q(Duration interval) const {
+    return QuantizeIntervalUp(interval, options_.slop_bits);
   }
 
   bool SiblingClaimed(RequestId id) const {

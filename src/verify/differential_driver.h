@@ -148,6 +148,13 @@ struct DriverOptions {
   // drain; this bounds how long that may take beyond max_interval.
   std::size_t drain_slack = 8;
 
+  // Slop-bits reduced precision (src/core/slop.h). The SUT must be constructed
+  // with the SAME slop_bits; the driver builds its paired oracle with it and
+  // rounds every expiry prediction up to the 2^slop_bits grain, so checking
+  // stays exact-match — the slop bound is verified, not tolerated: a scheme
+  // firing one tick off the quantized deadline still diverges.
+  std::uint32_t slop_bits = 0;
+
   // A copy safe for services that run handlers under their own lock.
   DriverOptions WithoutReentrancy() const {
     DriverOptions o = *this;

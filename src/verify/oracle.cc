@@ -3,6 +3,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/core/slop.h"
+
 namespace twheel::verify {
 
 StartResult OracleTimers::StartTimer(Duration interval, RequestId request_id) {
@@ -10,6 +12,7 @@ StartResult OracleTimers::StartTimer(Duration interval, RequestId request_id) {
   if (interval == 0) {
     return TimerError::kZeroInterval;
   }
+  interval = QuantizeIntervalUp(interval, slop_bits_);
   const std::uint32_t slot = next_slot_++;
   auto it = by_expiry_.emplace(now_ + interval, Pending{request_id, slot});
   live_.emplace(slot, it);
@@ -26,7 +29,7 @@ StartResult OracleTimers::StartPeriodic(Duration interval, RequestId request_id,
     return started;
   }
   auto it = live_.find(started.value().slot);
-  it->second->second.period = interval;
+  it->second->second.period = QuantizeIntervalUp(interval, slop_bits_);
   it->second->second.repeats = repeat_for;
   ++counts_.periodic_starts;
   return started;
@@ -66,7 +69,8 @@ TimerError OracleTimers::RestartTimer(TimerHandle handle,
   // copied wholesale, only the key moves.
   const Pending pending = it->second->second;
   by_expiry_.erase(it->second);
-  it->second = by_expiry_.emplace(now_ + new_interval, pending);
+  it->second =
+      by_expiry_.emplace(now_ + QuantizeIntervalUp(new_interval, slop_bits_), pending);
   ++counts_.restart_calls;
   ++counts_.restart_relink_ops;
   return TimerError::kOk;

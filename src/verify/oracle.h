@@ -37,7 +37,12 @@ namespace twheel::verify {
 
 class OracleTimers final : public TimerService {
  public:
-  OracleTimers() = default;
+  // `slop_bits` mirrors the schemes' reduced-precision knob (src/core/slop.h):
+  // the oracle applies the same QuantizeIntervalUp to every accepted interval,
+  // so a slop-configured scheme and a slop-configured oracle still agree
+  // tick-for-tick and differential checking stays exact-match. Periodic cadence
+  // uses the quantized period, matching the schemes' StartPeriodic.
+  explicit OracleTimers(std::uint32_t slop_bits = 0) : slop_bits_(slop_bits) {}
 
   StartResult StartTimer(Duration interval, RequestId request_id) override;
   // Native periodic model: the multimap entry re-inserts itself at expiry +
@@ -95,6 +100,7 @@ class OracleTimers final : public TimerService {
   using ExpiryMap = std::multimap<Tick, Pending>;
 
   Tick now_ = 0;
+  std::uint32_t slop_bits_ = 0;
   std::uint32_t next_slot_ = 0;
   ExpiryMap by_expiry_;
   // slot -> position in by_expiry_, so StopTimer erases exactly its own entry

@@ -1,5 +1,6 @@
-// Batched tick advancement (AdvanceTo) across all five wheel schemes: the
-// occupancy-bitmap jump must be observationally identical to the per-tick loop
+// Batched tick advancement (AdvanceTo) across the wheel schemes plus the Lawn
+// store (whose jump hops between bucket-head minima instead of bitmap runs):
+// the batched jump must be observationally identical to the per-tick loop
 // it replaces — same expiries, same dispatch order, same clock, same tick
 // count — while actually skipping dead slots (OpCounts::slots_skipped). Also
 // covers the now-exact NextExpiryHint/FastForward capability the bitmaps give
@@ -21,6 +22,7 @@
 #include "src/core/hierarchical_wheel.h"
 #include "src/core/hybrid_wheel.h"
 #include "src/core/timer_service.h"
+#include "src/lawn/lawn_timers.h"
 #include "src/rng/rng.h"
 #include "src/sim/simulator.h"
 
@@ -76,6 +78,16 @@ std::vector<WheelCase> AllWheelCases() {
                      return std::make_unique<HierarchicalWheel>(kLevels, options);
                    },
                    4095, false, 256});
+  cases.push_back({"lawn",
+                   [] { return std::make_unique<lawn::LawnTimers>(); },
+                   100000, true, 64});
+  cases.push_back({"lawn_capped4",
+                   [] {
+                     lawn::LawnOptions options;
+                     options.max_distinct_ttls = 4;
+                     return std::make_unique<lawn::LawnTimers>(options);
+                   },
+                   100000, true, 64});
   return cases;
 }
 

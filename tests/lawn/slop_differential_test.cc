@@ -1,0 +1,147 @@
+// Differential model checking at reduced precision: a slop-configured scheme
+// against a slop-configured oracle, exact-match. The slop bound is not a
+// tolerance band — DriverOptions::slop_bits makes the driver round every expiry
+// prediction up to the 2^s grain and build its oracle with the same knob, so a
+// scheme that fires even one tick off the QUANTIZED deadline (early, extra
+// late, drifting periodic cadence, restart forgetting to re-quantize) diverges
+// on the usual set/count/conservation checks.
+//
+// Covers both schemes that implement the knob — lawn::LawnTimers (where slop
+// also collapses TTLs into shared buckets, so the cap fallback runs under
+// quantization) and HierarchicalWheel (where quantized intervals cross level
+// boundaries differently) — at slop 1, 3, and 6, through the full alphabet:
+// restarts, stale pokes, re-entrant handlers, finite periodics, and AdvanceTo
+// jumps landing on grain and wheel-rollover pivots.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/core/hierarchical_wheel.h"
+#include "src/lawn/lawn_timers.h"
+#include "src/verify/differential_driver.h"
+
+namespace twheel::verify {
+namespace {
+
+struct SlopCase {
+  std::string label;
+  std::function<std::unique_ptr<TimerService>(std::uint32_t slop)> make;
+  std::uint32_t slop_bits;
+};
+
+void PrintTo(const SlopCase& c, std::ostream* os) { *os << c.label; }
+
+std::vector<SlopCase> AllSlopCases() {
+  const auto make_lawn = [](std::uint32_t slop) -> std::unique_ptr<TimerService> {
+    lawn::LawnOptions options;
+    options.slop_bits = slop;
+    return std::make_unique<lawn::LawnTimers>(options);
+  };
+  // A tight cap: quantized TTL classes spill into the overflow list mid-run,
+  // so the fallback path is differentially checked under slop too.
+  const auto make_capped = [](std::uint32_t slop) -> std::unique_ptr<TimerService> {
+    lawn::LawnOptions options;
+    options.slop_bits = slop;
+    options.max_distinct_ttls = 6;
+    return std::make_unique<lawn::LawnTimers>(options);
+  };
+  const auto make_hier = [](std::uint32_t slop) -> std::unique_ptr<TimerService> {
+    static constexpr std::array<std::size_t, 3> kLevels = {16, 16, 16};
+    HierarchicalWheelOptions options;
+    options.slop_bits = slop;
+    return std::make_unique<HierarchicalWheel>(kLevels, options);
+  };
+  std::vector<SlopCase> cases;
+  for (std::uint32_t slop : {1u, 3u, 6u}) {
+    const std::string suffix = "_slop" + std::to_string(slop);
+    cases.push_back({"lawn" + suffix, make_lawn, slop});
+    cases.push_back({"lawn_capped6" + suffix, make_capped, slop});
+    cases.push_back({"hier16x3" + suffix, make_hier, slop});
+  }
+  return cases;
+}
+
+class SlopDifferentialTest : public ::testing::TestWithParam<SlopCase> {};
+
+// Full-alphabet churn at reduced precision: one-shot starts across the grain
+// spectrum, restarts (outside and inside handlers), finite periodics whose
+// cadence must hold at the QUANTIZED period, and re-entrant handler starts
+// (interval 1 quantizes to a full grain — the earliest legal quantized fire).
+TEST_P(SlopDifferentialTest, ChurnEpisodesMatchOracle) {
+  const SlopCase& c = GetParam();
+  std::size_t restarts = 0;
+  std::size_t fires = 0;
+  for (std::uint64_t seed = 21000; seed < 21040; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.slop_bits = c.slop_bits;
+    options.ticks = 96;
+    options.max_interval = 120;
+    options.stop_probability = 0.3;
+    options.stale_poke_probability = 0.3;
+    options.restart_probability = 0.25;
+    options.restart_stale_probability = 0.2;
+    options.restart_zero_probability = 0.1;
+    options.rearm_probability = 0.2;
+    options.stop_sibling_probability = 0.15;
+    options.start_next_tick_probability = 0.15;
+    options.self_poke_probability = 0.1;
+    options.periodic_probability = 0.3;
+    options.periodic_repeat_max = 4;
+    auto service = c.make(c.slop_bits);
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    restarts += report.restarts;
+    fires += report.periodic_fires;
+  }
+  EXPECT_GT(restarts, 0u) << c.label;
+  EXPECT_GT(fires, 0u) << c.label;
+}
+
+// Batched jumps under slop: AdvanceTo windows landing on grain boundaries and
+// wheel/hierarchy pivots must dispatch the identical (tick, id) multiset as the
+// oracle's tick loop — quantized deadlines cluster many timers onto the same
+// grain tick, the worst case for a jump that terminates on the hinted minimum.
+TEST_P(SlopDifferentialTest, JumpEpisodesMatchOracle) {
+  const SlopCase& c = GetParam();
+  std::size_t jumps = 0;
+  const Duration grain = Duration{1} << c.slop_bits;
+  for (std::uint64_t seed = 22000; seed < 22030; ++seed) {
+    DriverOptions options;
+    options.seed = seed;
+    options.slop_bits = c.slop_bits;
+    options.ticks = 80;
+    options.max_interval = 120;
+    options.stop_probability = 0.25;
+    options.restart_probability = 0.2;
+    options.periodic_probability = 0.2;
+    options.periodic_repeat_max = 3;
+    options.jump_probability = 0.5;
+    options.max_jump = 96;
+    options.jump_pivots = {grain,          grain + 1,      2 * grain,
+                           Duration{63},   Duration{64},   Duration{65},
+                           Duration{255},  Duration{256},  Duration{257}};
+    auto service = c.make(c.slop_bits);
+    const DriverReport report = RunDifferential(*service, options);
+    ASSERT_TRUE(report.ok) << c.label << " seed " << seed << ": "
+                           << report.divergence;
+    jumps += report.jumps;
+  }
+  EXPECT_GT(jumps, 0u) << c.label;
+}
+
+INSTANTIATE_TEST_SUITE_P(ReducedPrecision, SlopDifferentialTest,
+                         ::testing::ValuesIn(AllSlopCases()),
+                         [](const ::testing::TestParamInfo<SlopCase>& param) {
+                           return param.param.label;
+                         });
+
+}  // namespace
+}  // namespace twheel::verify
