@@ -1,72 +1,139 @@
-// Experiment space: the paper's SPACE performance measure (Section 2), tabulated.
+// Experiment space: the paper's SPACE performance measure (Section 2), recorded.
 //
 // "SPACE: The memory required for the data structures used by the timer module."
-// The paper's scattered space commentary, in one table: Scheme 1's minimum, Scheme
-// 2's pointer overhead, the wheels' memory-for-speed trade, Section 6.2's 244-slot
-// hierarchy versus the 8.64-million-slot flat wheel, and Appendix A's chip memory.
+// The paper's scattered space commentary, as recorded benchmark rows (this
+// binary is wired into scripts/bench_record.sh -> BENCH_space.json):
 //
-// Two views: (a) configured instances as the other benches use them; (b) the
-// structure cost of covering a full 32-bit interval range, the paper's "it is
-// difficult to justify 2^32 words of memory to implement 32 bit timers" scenario.
+//   space/<scheme>
+//       Per-scheme SpaceProfile with 1000 timers outstanding, carried as
+//       counters: fixed structure bytes, the scheme's essential per-record
+//       bytes, the shared hot/cold record pair (the hot half is the per-op
+//       cache footprint — pinned <= 64 by timer_record.h), and auxiliary
+//       population-dependent storage. items_per_second is the start
+//       throughput of the 1000-timer preload, so re-recordings also catch
+//       allocation-path regressions.
+//   space_coverage/<structure>
+//       The structure cost of covering a full 32-bit interval range, the
+//       paper's "it is difficult to justify 2^32 words of memory to implement
+//       32 bit timers" scenario: flat wheel (arithmetic only — never
+//       constructed), hashed wheel, 4x256 hierarchy, and Section 6.2's
+//       s/min/h/day hierarchy (244 slots vs 8.64M flat).
+//
+// The wheels buy O(1) bookkeeping with fixed arrays; hashing and hierarchy
+// shrink those arrays by 7 and 6-7 orders of magnitude respectively while
+// keeping bounded per-tick work — the paper's central memory story.
 
-#include <cstdio>
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_main.h"
+
+#include <cstddef>
+#include <initializer_list>
 #include <memory>
+#include <string>
+#include <vector>
 
-#include "bench/bench_util.h"
+#include "src/core/hashed_wheel_unsorted.h"
 #include "src/core/hierarchical_wheel.h"
 #include "src/core/timer_facility.h"
-#include "src/hw/timer_chip.h"
 
-int main() {
-  using namespace twheel;
+namespace {
 
-  std::printf("== space: the Section 2 SPACE measure ==\n\n");
-  std::printf("-- (a) configured instances (wheels M=256, hierarchy 256/64/64) --\n");
-  bench::Table table({"scheme", "fixed bytes", "essential B/timer", "actual B/timer",
-                      "aux B @1k timers"});
-  for (SchemeId id : kAllSchemes) {
-    FacilityConfig config;
-    config.scheme = id;
-    config.wheel_size = 256;
-    config.level_sizes = {256, 64, 64};
+using namespace twheel;
+
+// One row per scheme: configured as the other benches use them (wheels M=256,
+// hierarchy 256/64/64), profiled with 1000 timers outstanding.
+void BM_SpaceProfile(benchmark::State& state, SchemeId id) {
+  FacilityConfig config;
+  config.scheme = id;
+  config.wheel_size = 256;
+  config.level_sizes = {256, 64, 64};
+  TimerService::SpaceProfile profile;
+  for (auto _ : state) {
     auto service = MakeTimerService(config);
     for (RequestId i = 0; i < 1000; ++i) {
-      (void)service->StartTimer(1 + (i % 200), i);
+      benchmark::DoNotOptimize(service->StartTimer(1 + (i % 200), i));
     }
-    auto profile = service->Space();
-    table.Row({std::string(service->name()), bench::FmtU(profile.fixed_bytes),
-               bench::FmtU(profile.essential_record_bytes),
-               bench::FmtU(profile.actual_record_bytes),
-               bench::FmtU(profile.auxiliary_bytes)});
+    profile = service->Space();
   }
-  table.Print();
+  state.SetItemsProcessed(state.iterations() * 1000);
+  state.counters["fixed_B"] = static_cast<double>(profile.fixed_bytes);
+  state.counters["essential_B"] =
+      static_cast<double>(profile.essential_record_bytes);
+  state.counters["hot_B"] = static_cast<double>(profile.hot_record_bytes);
+  state.counters["cold_B"] = static_cast<double>(profile.cold_record_bytes);
+  state.counters["actual_B"] = static_cast<double>(profile.actual_record_bytes);
+  state.counters["aux_B_at_1k"] = static_cast<double>(profile.auxiliary_bytes);
+}
 
-  std::printf("\n-- (b) fixed structure to cover a 32-bit interval range --\n");
-  bench::Table coverage({"structure", "slots", "fixed bytes", "note"});
-  const std::size_t head = sizeof(IntrusiveList<TimerRecord>);
-  coverage.Row({"flat wheel (Scheme 4)", "4294967296",
-                bench::FmtU(std::size_t{4294967296ULL} * head),
-                "\"difficult to justify\""});
-  coverage.Row({"hashed wheel (Scheme 6)", "256", bench::FmtU(256 * head),
-                "rounds absorb the range"});
-  {
-    // 256 * 256 * 256 * 256 = 2^32 ticks with 4 levels of 256.
-    HierarchicalWheel hierarchy(std::vector<std::size_t>{256, 256, 256, 256});
-    coverage.Row({"hierarchy 4 x 256 (Scheme 7)", "1024",
-                  bench::FmtU(hierarchy.Space().fixed_bytes),
-                  "spans 2^32 exactly"});
+// Fixed structure to cover a 2^32-tick interval range. The flat wheel is pure
+// arithmetic (nobody allocates 64 GiB of slot heads to make the paper's
+// point); the compact structures are constructed and asked.
+void BM_CoverageFlatWheel(benchmark::State& state) {
+  const std::size_t slots = std::size_t{1} << 32;
+  std::size_t fixed = 0;
+  for (auto _ : state) {
+    fixed = slots * sizeof(IntrusiveList<TimerRecord>);
+    benchmark::DoNotOptimize(fixed);
   }
-  {
-    HierarchicalWheel paper(std::vector<std::size_t>{60, 60, 24, 100});
-    coverage.Row({"paper's s/min/h/day hierarchy", "244",
-                  bench::FmtU(paper.Space().fixed_bytes),
-                  "vs 8.64M flat slots"});
-  }
-  coverage.Row({"sorted list (Scheme 2)", "0", "0", "all cost is per-record"});
-  coverage.Print();
+  state.counters["slots"] = static_cast<double>(slots);
+  state.counters["fixed_B"] = static_cast<double>(fixed);
+}
 
-  std::printf("\nThe wheels buy O(1) bookkeeping with fixed arrays; hashing and hierarchy\n"
-              "shrink those arrays by 7 and 6-7 orders of magnitude respectively while\n"
-              "keeping bounded per-tick work — the paper's central memory story.\n");
-  return 0;
+void BM_CoverageHashedWheel(benchmark::State& state) {
+  std::size_t fixed = 0;
+  for (auto _ : state) {
+    HashedWheelUnsorted wheel(256);  // rounds absorb the range
+    fixed = wheel.Space().fixed_bytes;
+    benchmark::DoNotOptimize(fixed);
+  }
+  state.counters["slots"] = 256;
+  state.counters["fixed_B"] = static_cast<double>(fixed);
+}
+
+void BM_CoverageHierarchy(benchmark::State& state,
+                          std::initializer_list<std::size_t> levels,
+                          std::size_t slots) {
+  const std::vector<std::size_t> sizes(levels);
+  std::size_t fixed = 0;
+  for (auto _ : state) {
+    HierarchicalWheel hierarchy(sizes);
+    fixed = hierarchy.Space().fixed_bytes;
+    benchmark::DoNotOptimize(fixed);
+  }
+  state.counters["slots"] = static_cast<double>(slots);
+  state.counters["fixed_B"] = static_cast<double>(fixed);
+}
+
+void BM_CoverageHierarchy4x256(benchmark::State& state) {
+  // 256^4 = 2^32 ticks spanned with 4 levels of 256.
+  BM_CoverageHierarchy(state, {256, 256, 256, 256}, 1024);
+}
+
+void BM_CoverageHierarchyPaper(benchmark::State& state) {
+  // Section 6.2: 60+60+24+100 = 244 locations vs 8.64 million flat slots.
+  BM_CoverageHierarchy(state, {60, 60, 24, 100}, 244);
+}
+
+void RegisterAll() {
+  for (SchemeId id : kAllSchemes) {
+    benchmark::RegisterBenchmark(
+        ("space/" + std::string(SchemeName(id))).c_str(),
+        [id](benchmark::State& state) { BM_SpaceProfile(state, id); });
+  }
+  benchmark::RegisterBenchmark("space_coverage/flat_wheel_2^32",
+                               BM_CoverageFlatWheel);
+  benchmark::RegisterBenchmark("space_coverage/hashed_wheel_256",
+                               BM_CoverageHashedWheel);
+  benchmark::RegisterBenchmark("space_coverage/hierarchy_4x256",
+                               BM_CoverageHierarchy4x256);
+  benchmark::RegisterBenchmark("space_coverage/hierarchy_s_min_h_day",
+                               BM_CoverageHierarchyPaper);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterAll();
+  return twheel::bench::BenchmarkMain(argc, argv);
 }

@@ -25,6 +25,15 @@
 #                 frontier vs schemes 4-7: steady-state tick throughput and
 #                 start+stop cost swept over 4..4096 distinct TTLs at 64Ki
 #                 and 4Mi live timers (bench/bench_lawn.cc).
+#   space         BENCH_space.json — the Section 2 SPACE measure per scheme
+#                 (fixed/essential/hot/cold/auxiliary bytes as counters) plus
+#                 the 2^32-range coverage comparison (bench/bench_space.cc).
+#   static_dispatch
+#                 BENCH_static_dispatch.json — virtual TimerService vs
+#                 StaticTimerFacility<Scheme> per scheme per op
+#                 (start_stop/restart/tick), and the measured hot/cold slab
+#                 footprint out to 100M live timers
+#                 (bench/bench_static_dispatch.cc).
 #
 # Recordings are performance claims, so they are only taken from an optimized
 # build: benchmarks are built in a dedicated -DCMAKE_BUILD_TYPE=Release tree
@@ -51,7 +60,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 TARGET="all"
 case "${1:-}" in
-  sparse_tick|mpsc_submit|restart|periodic|mpmc_dispatch|lawn|all)
+  sparse_tick|mpsc_submit|restart|periodic|mpmc_dispatch|lawn|space|static_dispatch|all)
     TARGET="$1"
     shift ;;
 esac
@@ -369,5 +378,108 @@ print("Crossover read: lawn's tick cost grows with D (one head probe per")
 print("distinct TTL) and is flat in live; the wheels are flat in D and pay")
 print("per-population migration/occupancy costs. lawn_capped64 beyond D=64")
 print("shows the documented overflow-list fallback price.")
+PYEOF
+fi
+
+if [ "$TARGET" = "space" ] || [ "$TARGET" = "all" ]; then
+  record bench_space BENCH_space.json "$@"
+  summarize BENCH_space.json <<'PYEOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# rows[name] = benchmark dict (counters ride at the top level); prefer *_mean
+# rows when repetitions add aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    base = name[: -len("_mean")] if name.endswith("_mean") else name
+    if name.endswith("_mean") or base not in rows:
+        rows[base] = b
+
+print(f"{'scheme':<24}{'fixed B':>12}{'essential':>11}{'hot':>6}{'cold':>6}"
+      f"{'actual':>8}{'aux @1k':>10}")
+for name in sorted(n for n in rows if n.startswith("space/")):
+    b = rows[name]
+    print(f"{name[len('space/'):]:<24}{b.get('fixed_B', 0):>12,.0f}"
+          f"{b.get('essential_B', 0):>11,.0f}{b.get('hot_B', 0):>6,.0f}"
+          f"{b.get('cold_B', 0):>6,.0f}{b.get('actual_B', 0):>8,.0f}"
+          f"{b.get('aux_B_at_1k', 0):>10,.0f}")
+print()
+print(f"{'coverage of a 2^32-tick range':<34}{'slots':>14}{'fixed B':>18}")
+for name in sorted(n for n in rows if n.startswith("space_coverage/")):
+    b = rows[name]
+    print(f"{name[len('space_coverage/'):]:<34}{b.get('slots', 0):>14,.0f}"
+          f"{b.get('fixed_B', 0):>18,.0f}")
+PYEOF
+fi
+
+if [ "$TARGET" = "static_dispatch" ] || [ "$TARGET" = "all" ]; then
+  record bench_static_dispatch BENCH_static_dispatch.json "$@"
+  summarize BENCH_static_dispatch.json <<'PYEOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# rows[name] = benchmark dict; prefer *_mean rows when repetitions add
+# aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    base = name[: -len("_mean")] if name.endswith("_mean") else name
+    if name.endswith("_mean") or base not in rows:
+        rows[base] = b
+
+print("virtual vs static dispatch (ns/op; delta = virtual/static - 1):")
+pairs = sorted({
+    (m.group(1), m.group(2))
+    for n in rows
+    if (m := re.match(r"static_dispatch/([^/]+)/([^/]+)/(virtual|static)$", n))
+})
+print(f"  {'scheme':<24}{'op':<12}{'virtual':>10}{'static':>10}{'delta':>9}")
+for scheme, op in pairs:
+    v = rows.get(f"static_dispatch/{scheme}/{op}/virtual")
+    s = rows.get(f"static_dispatch/{scheme}/{op}/static")
+    if v is None or s is None:
+        continue
+    vt, st = v["real_time"], s["real_time"]
+    print(f"  {scheme:<24}{op:<12}{vt:>10.1f}{st:>10.1f}"
+          f"{(vt / st - 1) * 100:>+8.1f}%")
+print()
+
+scale = {
+    int(m.group(1)): b
+    for n, b in rows.items()
+    if (m := re.match(r"space_at_scale/(\d+)", n))
+}
+if scale:
+    print("space at scale (measured slab footprint, hashed wheel, static path):")
+    print(f"  {'live':>12}{'hot slab MiB':>14}{'cold slab MiB':>15}"
+          f"{'hot B/live':>12}{'total B/live':>14}{'starts/s':>14}")
+    for live in sorted(scale):
+        b = scale[live]
+        print(f"  {live:>12,}{b.get('hot_slab_B', 0) / 2**20:>14,.1f}"
+              f"{b.get('cold_slab_B', 0) / 2**20:>15,.1f}"
+              f"{b.get('hot_B_per_live', 0):>12,.1f}"
+              f"{b.get('total_B_per_live', 0):>14,.1f}"
+              f"{b.get('items_per_second', 0):>14,.0f}")
+print()
+print("Read: both rows run identical loop code over identically-constructed")
+print("schemes, so the delta isolates dispatch — vtable call vs inlined")
+print("qualified call. The cheap ops (single-digit-ns restart/start_stop on")
+print("the O(1) wheels) carry the honest per-call cost; on heavy ops (tick,")
+print("us/call) dispatch is in the noise and the delta is inlining/code-")
+print("layout luck that can swing either way. Record with")
+print("--benchmark_repetitions=3 on a busy 1-CPU host; the summary folds the")
+print("_mean rows. Hot B/live pins the 64-byte record at every scale.")
 PYEOF
 fi

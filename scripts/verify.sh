@@ -30,9 +30,13 @@
 # timer_server_test), the `mpmc`-labelled tests (mpmc_torture_test's
 # kMultiTicker/kStealStorm episodes, dispatch_pool_test), and the
 # `lawn`-labelled tests (lawn_regression_test, slop_differential_test, plus the
-# scheme-8 rows of every kAllSchemes-parameterized suite) are exercised plain,
-# under ASan+UBSan, and under TSan on every gate run. `ctest -L restart` /
-# `ctest -L periodic` / `ctest -L mpmc` / `ctest -L lawn` in any build
+# scheme-8 rows of every kAllSchemes-parameterized suite), the
+# `layout`-labelled tests (layout_test: hot/cold TimerRecord offset, union, and
+# slab-alignment pins), and the `facade`-labelled tests (static_facade_test:
+# StaticTimerFacility differential + lockstep byte-equality vs the virtual
+# path) are exercised plain, under ASan+UBSan, and under TSan on every gate
+# run. `ctest -L restart` / `ctest -L periodic` / `ctest -L mpmc` /
+# `ctest -L lawn` / `ctest -L layout` / `ctest -L facade` in any build
 # directory runs just them.
 set -euo pipefail
 

@@ -1,8 +1,8 @@
-// Chunked slab arena with generational references.
+// Chunked slab arenas with generational references.
 //
 // Timer records are linked into intrusive lists, so their addresses must be stable
-// for their whole lifetime: the arena allocates fixed-size chunks and never moves or
-// reallocates constructed objects. Freed slots go on a LIFO free list and are reused.
+// for their whole lifetime: the arenas allocate fixed-size chunks and never move or
+// reallocate constructed objects. Freed slots go on a LIFO free list and are reused.
 //
 // Each slot carries a generation counter, bumped on every Free. A Ref is
 // (slot, generation); resolving a Ref whose generation no longer matches yields
@@ -11,6 +11,19 @@
 // than corrupting the new timer. The paper notes simulation packages tolerate lazy
 // "mark cancelled" semantics but a timer module cannot (Section 4.2) — eager free
 // plus generations gives immediate reclamation *and* stale-handle safety.
+//
+// Two arenas share that machinery:
+//   SlabArena<T>             one object per slot.
+//   PairedSlabArena<H, C>    a hot/cold pair per slot: H and C live in separate,
+//                            parallel slabs (same slot index, same generation, one
+//                            free list), so a hot-path scan streams densely packed
+//                            H records while the rarely-touched C fields stay out
+//                            of its cache footprint. See timer_record.h for the
+//                            field-placement rule.
+//
+// Chunk storage is cache-line aligned. Arena instances are independent — a sharded
+// owner gives each shard its own arena, so concurrent shards never interleave
+// allocations in one cache line (no false sharing) and each grows on its own.
 
 #ifndef TWHEEL_SRC_BASE_SLAB_ARENA_H_
 #define TWHEEL_SRC_BASE_SLAB_ARENA_H_
@@ -25,6 +38,10 @@
 #include "src/base/assert.h"
 
 namespace twheel {
+
+// Alignment for arena chunk storage: at least the element's own alignment, and at
+// least a cache line so distinct arenas (e.g. per-shard instances) never share one.
+inline constexpr std::size_t kSlabCacheLine = 64;
 
 // Reference to an arena slot; see TimerHandle for the public mirror of this type.
 struct SlabRef {
@@ -117,7 +134,8 @@ class SlabArena {
   };
 
   struct Chunk {
-    alignas(T) unsigned char bytes[kChunkSize * sizeof(T)];
+    alignas(alignof(T) > kSlabCacheLine ? alignof(T) : kSlabCacheLine)
+        unsigned char bytes[kChunkSize * sizeof(T)];
   };
 
   T* SlotPtr(std::uint32_t slot) const {
@@ -127,6 +145,138 @@ class SlabArena {
 
   std::size_t max_slots_;
   std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<Meta> meta_;
+  std::uint32_t free_head_ = kNone;
+  std::size_t live_ = 0;
+};
+
+// Hot/cold slab pair. One logical slot owns an H in the hot slab and a C in the
+// cold slab at the same index, sharing one generation and one free list: Allocate
+// constructs both, Free destroys both, and a stale ref misses both. Get resolves
+// the hot record (the one structures link); ColdOf is the parallel-array hop for
+// the slot's cold twin — valid exactly while the slot is live, no generation
+// re-check needed by callers that already hold the live hot record.
+template <typename Hot, typename Cold>
+class PairedSlabArena {
+ public:
+  // `max_slots` bounds total capacity; 0 means unbounded (grow by chunks on demand).
+  explicit PairedSlabArena(std::size_t max_slots = 0) : max_slots_(max_slots) {}
+
+  PairedSlabArena(const PairedSlabArena&) = delete;
+  PairedSlabArena& operator=(const PairedSlabArena&) = delete;
+
+  ~PairedSlabArena() {
+    // Destroy any pairs the owner leaked; the arena owns storage unconditionally.
+    for (std::uint32_t s = 0; s < meta_.size(); ++s) {
+      if (meta_[s].live) {
+        HotPtr(s)->~Hot();
+        ColdPtr(s)->~Cold();
+      }
+    }
+  }
+
+  // Construct a default H and C in a fresh or recycled slot. Returns
+  // {nullptr, invalid} when the arena is at its configured capacity.
+  std::pair<Hot*, SlabRef> Allocate() {
+    std::uint32_t slot;
+    if (free_head_ != kNone) {
+      slot = free_head_;
+      free_head_ = meta_[slot].next_free;
+    } else {
+      if (max_slots_ != 0 && meta_.size() >= max_slots_) {
+        return {nullptr, SlabRef{}};
+      }
+      slot = static_cast<std::uint32_t>(meta_.size());
+      if (slot % kChunkSize == 0) {
+        hot_chunks_.push_back(std::make_unique<HotChunk>());
+        cold_chunks_.push_back(std::make_unique<ColdChunk>());
+      }
+      meta_.push_back(Meta{});
+    }
+    Meta& m = meta_[slot];
+    m.live = true;
+    Hot* hot = new (HotPtr(slot)) Hot();
+    new (ColdPtr(slot)) Cold();
+    ++live_;
+    return {hot, SlabRef{slot, m.generation}};
+  }
+
+  // Destroy the pair named by `ref` and recycle its slot. The ref must be live.
+  void Free(SlabRef ref) {
+    TWHEEL_ASSERT(ref.slot < meta_.size());
+    Meta& m = meta_[ref.slot];
+    TWHEEL_ASSERT_MSG(m.live && m.generation == ref.generation, "freeing a stale SlabRef");
+    HotPtr(ref.slot)->~Hot();
+    ColdPtr(ref.slot)->~Cold();
+    m.live = false;
+    ++m.generation;  // Invalidate all outstanding refs to this slot.
+    m.next_free = free_head_;
+    free_head_ = ref.slot;
+    --live_;
+  }
+
+  // Resolve a ref to its hot record; nullptr when the ref is stale or never valid.
+  Hot* Get(SlabRef ref) const {
+    if (!ref.valid() || ref.slot >= meta_.size()) {
+      return nullptr;
+    }
+    const Meta& m = meta_[ref.slot];
+    if (!m.live || m.generation != ref.generation) {
+      return nullptr;
+    }
+    return HotPtr(ref.slot);
+  }
+
+  // The cold twin of a live slot. The caller vouches for liveness (it holds the
+  // slot's hot record); asserts catch a stale index in debug builds.
+  Cold* ColdOf(std::uint32_t slot) const {
+    TWHEEL_ASSERT(slot < meta_.size());
+    TWHEEL_ASSERT_MSG(meta_[slot].live, "ColdOf on a dead slot");
+    return ColdPtr(slot);
+  }
+
+  std::size_t live() const { return live_; }
+  std::size_t capacity() const { return max_slots_; }
+  // Allocated slab bytes (both slabs, all chunks), for space accounting. Chunks
+  // are never returned, so this is the high-water footprint of the record store.
+  std::size_t slab_bytes() const {
+    return hot_chunks_.size() * sizeof(HotChunk) +
+           cold_chunks_.size() * sizeof(ColdChunk);
+  }
+  std::size_t hot_slab_bytes() const { return hot_chunks_.size() * sizeof(HotChunk); }
+  std::size_t cold_slab_bytes() const { return cold_chunks_.size() * sizeof(ColdChunk); }
+
+ private:
+  static constexpr std::size_t kChunkSize = 1024;
+  static constexpr std::uint32_t kNone = std::numeric_limits<std::uint32_t>::max();
+
+  struct Meta {
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNone;
+    bool live = false;
+  };
+
+  struct HotChunk {
+    alignas(alignof(Hot) > kSlabCacheLine ? alignof(Hot) : kSlabCacheLine)
+        unsigned char bytes[kChunkSize * sizeof(Hot)];
+  };
+  struct ColdChunk {
+    alignas(alignof(Cold) > kSlabCacheLine ? alignof(Cold) : kSlabCacheLine)
+        unsigned char bytes[kChunkSize * sizeof(Cold)];
+  };
+
+  Hot* HotPtr(std::uint32_t slot) const {
+    HotChunk& c = *hot_chunks_[slot / kChunkSize];
+    return reinterpret_cast<Hot*>(c.bytes + (slot % kChunkSize) * sizeof(Hot));
+  }
+  Cold* ColdPtr(std::uint32_t slot) const {
+    ColdChunk& c = *cold_chunks_[slot / kChunkSize];
+    return reinterpret_cast<Cold*>(c.bytes + (slot % kChunkSize) * sizeof(Cold));
+  }
+
+  std::size_t max_slots_;
+  std::vector<std::unique_ptr<HotChunk>> hot_chunks_;
+  std::vector<std::unique_ptr<ColdChunk>> cold_chunks_;
   std::vector<Meta> meta_;
   std::uint32_t free_head_ = kNone;
   std::size_t live_ = 0;

@@ -13,7 +13,7 @@ StartResult AvlTimers::StartTimer(Duration interval, RequestId request_id) {
   if (rec == nullptr) {
     return TimerError::kNoCapacity;
   }
-  Insert(rec);
+  Insert(&cold(rec));
   ++counts_.insert_link_ops;
   return rec->self;
 }
@@ -24,7 +24,7 @@ TimerError AvlTimers::StopTimer(TimerHandle handle) {
   if (rec == nullptr) {
     return TimerError::kNoSuchTimer;
   }
-  Remove(rec);
+  Remove(&cold(rec));
   ++counts_.delete_unlink_ops;
   ReleaseRecord(rec);
   return TimerError::kOk;
@@ -38,9 +38,10 @@ TimerError AvlTimers::RestartTimer(TimerHandle handle, Duration new_interval) {
   }
   // O(lg n) re-key: balanced delete + balanced re-insert of the same node; the
   // record is never released, so the handle's generation survives.
-  Remove(rec);
+  ColdTimerRecord* node = &cold(rec);
+  Remove(node);
   StampRestart(rec, new_interval);
-  Insert(rec);
+  Insert(node);
   return TimerError::kOk;
 }
 
@@ -49,19 +50,19 @@ std::size_t AvlTimers::PerTickBookkeeping() {
   ++now_;
   std::size_t expired = 0;
   while (root_ != nullptr) {
-    TimerRecord* min = const_cast<TimerRecord*>(MinimumConst(root_));
+    ColdTimerRecord* min = const_cast<ColdTimerRecord*>(MinimumConst(root_));
     ++counts_.comparisons;
-    if (min->expiry_tick > now_) {
+    if (min->hot->expiry_tick > now_) {
       break;
     }
     // A re-armed minimum re-inserts with key now + period (> now), so the
     // loop terminates.
-    if (TryFirePeriodic(min)) {
+    if (TryFirePeriodic(min->hot)) {
       ++expired;
       continue;
     }
     Remove(min);
-    Expire(min);
+    Expire(min->hot);
     ++expired;
   }
   if (root_ == nullptr && expired == 0) {
@@ -70,11 +71,11 @@ std::size_t AvlTimers::PerTickBookkeeping() {
   return expired;
 }
 
-void AvlTimers::UpdateHeight(TimerRecord* node) {
+void AvlTimers::UpdateHeight(ColdTimerRecord* node) {
   node->rank = 1 + std::max(HeightOf(node->left), HeightOf(node->right));
 }
 
-void AvlTimers::Transplant(TimerRecord* u, TimerRecord* v) {
+void AvlTimers::Transplant(ColdTimerRecord* u, ColdTimerRecord* v) {
   if (u->parent == nullptr) {
     root_ = v;
   } else if (u == u->parent->left) {
@@ -87,9 +88,9 @@ void AvlTimers::Transplant(TimerRecord* u, TimerRecord* v) {
   }
 }
 
-TimerRecord* AvlTimers::RotateLeft(TimerRecord* x) {
+ColdTimerRecord* AvlTimers::RotateLeft(ColdTimerRecord* x) {
   ++rotations_;
-  TimerRecord* y = x->right;
+  ColdTimerRecord* y = x->right;
   x->right = y->left;
   if (y->left != nullptr) {
     y->left->parent = x;
@@ -102,9 +103,9 @@ TimerRecord* AvlTimers::RotateLeft(TimerRecord* x) {
   return y;
 }
 
-TimerRecord* AvlTimers::RotateRight(TimerRecord* x) {
+ColdTimerRecord* AvlTimers::RotateRight(ColdTimerRecord* x) {
   ++rotations_;
-  TimerRecord* y = x->left;
+  ColdTimerRecord* y = x->left;
   x->left = y->right;
   if (y->right != nullptr) {
     y->right->parent = x;
@@ -117,7 +118,7 @@ TimerRecord* AvlTimers::RotateRight(TimerRecord* x) {
   return y;
 }
 
-TimerRecord* AvlTimers::Rebalance(TimerRecord* node) {
+ColdTimerRecord* AvlTimers::Rebalance(ColdTimerRecord* node) {
   UpdateHeight(node);
   std::int32_t balance = BalanceOf(node);
   if (balance > 1) {
@@ -135,42 +136,42 @@ TimerRecord* AvlTimers::Rebalance(TimerRecord* node) {
   return node;
 }
 
-void AvlTimers::RetraceFrom(TimerRecord* node) {
+void AvlTimers::RetraceFrom(ColdTimerRecord* node) {
   while (node != nullptr) {
     node = Rebalance(node);
     node = node->parent;
   }
 }
 
-void AvlTimers::Insert(TimerRecord* rec) {
-  rec->left = rec->right = rec->parent = nullptr;
-  rec->rank = 1;
+void AvlTimers::Insert(ColdTimerRecord* node) {
+  node->left = node->right = node->parent = nullptr;
+  node->rank = 1;
 
-  TimerRecord* parent = nullptr;
-  TimerRecord* cur = root_;
+  ColdTimerRecord* parent = nullptr;
+  ColdTimerRecord* cur = root_;
   bool went_left = false;
   while (cur != nullptr) {
     ++counts_.comparisons;
     parent = cur;
-    went_left = Less(rec, cur);
+    went_left = Less(node, cur);
     cur = went_left ? cur->left : cur->right;
   }
-  rec->parent = parent;
+  node->parent = parent;
   if (parent == nullptr) {
-    root_ = rec;
+    root_ = node;
     return;
   }
   if (went_left) {
-    parent->left = rec;
+    parent->left = node;
   } else {
-    parent->right = rec;
+    parent->right = node;
   }
   RetraceFrom(parent);
 }
 
-void AvlTimers::Remove(TimerRecord* z) {
+void AvlTimers::Remove(ColdTimerRecord* z) {
   // The lowest node whose subtree height may have changed; retrace from there.
-  TimerRecord* retrace_start;
+  ColdTimerRecord* retrace_start;
   if (z->left == nullptr) {
     retrace_start = z->parent;
     Transplant(z, z->right);
@@ -178,7 +179,7 @@ void AvlTimers::Remove(TimerRecord* z) {
     retrace_start = z->parent;
     Transplant(z, z->left);
   } else {
-    TimerRecord* y = const_cast<TimerRecord*>(MinimumConst(z->right));  // successor
+    ColdTimerRecord* y = const_cast<ColdTimerRecord*>(MinimumConst(z->right));  // successor
     if (y->parent != z) {
       retrace_start = y->parent;
       Transplant(y, y->right);
@@ -199,7 +200,7 @@ void AvlTimers::Remove(TimerRecord* z) {
   z->rank = 0;
 }
 
-AvlTimers::CheckResult AvlTimers::CheckSubtree(const TimerRecord* node) {
+AvlTimers::CheckResult AvlTimers::CheckSubtree(const ColdTimerRecord* node) {
   if (node == nullptr) {
     return {true, 0};
   }

@@ -9,8 +9,9 @@
 // intervals cannot degenerate it the way they collapse BstTimers — but every
 // operation pays rotation overhead the unbalanced tree skips.
 //
-// Keys are (expiry_tick, seq) like the other tree baselines; heights live in
-// TimerRecord::rank.
+// Keys are (expiry_tick, seq) like the other tree baselines; nodes are the COLD
+// records (timer_record.h) with heights in ColdTimerRecord::rank, and key access
+// hops to the hot twin through node->hot — see bst_timers.h for the trade.
 
 #ifndef TWHEEL_SRC_BASELINES_AVL_TIMERS_H_
 #define TWHEEL_SRC_BASELINES_AVL_TIMERS_H_
@@ -27,33 +28,33 @@ class AvlTimers final : public TimerServiceBase {
  public:
   explicit AvlTimers(std::size_t max_timers = 0) : TimerServiceBase(max_timers) {}
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // O(lg n) in-place reschedule: balanced delete + re-insert of the same node
   // with the new key; no record release, handle stays valid.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override { return "scheme3-avl"; }
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final { return "scheme3-avl"; }
 
   // Per record: three tree pointers (24) + expiry (8) + cookie (8) + seq (8) +
   // height (4, padded to 8) — the balance bookkeeping is the "extra space" of a
   // balanced tree.
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 56;
     return profile;
   }
 
   // Hardware-single-timer capability, like the other peekable schemes.
-  std::optional<Tick> NextExpiryHint() const override {
+  std::optional<Tick> NextExpiryHint() const final {
     if (root_ == nullptr) {
       return std::nullopt;
     }
-    return MinimumConst(root_)->expiry_tick;
+    return MinimumConst(root_)->hot->expiry_tick;
   }
-  bool FastForward(Tick target) override {
+  bool FastForward(Tick target) final {
     TWHEEL_ASSERT(target >= now_);
-    TWHEEL_ASSERT_MSG(root_ == nullptr || target < MinimumConst(root_)->expiry_tick,
+    TWHEEL_ASSERT_MSG(root_ == nullptr || target < MinimumConst(root_)->hot->expiry_tick,
                       "FastForward would skip an expiry");
     now_ = target;
     return true;
@@ -66,21 +67,21 @@ class AvlTimers final : public TimerServiceBase {
   std::uint64_t rotations() const { return rotations_; }
 
  private:
-  static bool Less(const TimerRecord* a, const TimerRecord* b) {
-    if (a->expiry_tick != b->expiry_tick) {
-      return a->expiry_tick < b->expiry_tick;
+  static bool Less(const ColdTimerRecord* a, const ColdTimerRecord* b) {
+    if (a->hot->expiry_tick != b->hot->expiry_tick) {
+      return a->hot->expiry_tick < b->hot->expiry_tick;
     }
-    return a->seq < b->seq;
+    return a->hot->seq < b->hot->seq;
   }
 
-  static std::int32_t HeightOf(const TimerRecord* node) {
+  static std::int32_t HeightOf(const ColdTimerRecord* node) {
     return node == nullptr ? 0 : node->rank;
   }
-  static void UpdateHeight(TimerRecord* node);
-  static std::int32_t BalanceOf(const TimerRecord* node) {
+  static void UpdateHeight(ColdTimerRecord* node);
+  static std::int32_t BalanceOf(const ColdTimerRecord* node) {
     return HeightOf(node->left) - HeightOf(node->right);
   }
-  static const TimerRecord* MinimumConst(const TimerRecord* node) {
+  static const ColdTimerRecord* MinimumConst(const ColdTimerRecord* node) {
     while (node->left != nullptr) {
       node = node->left;
     }
@@ -88,24 +89,24 @@ class AvlTimers final : public TimerServiceBase {
   }
 
   // Replace the subtree rooted at `u` with `v` (v may be null) in u's parent.
-  void Transplant(TimerRecord* u, TimerRecord* v);
-  TimerRecord* RotateLeft(TimerRecord* x);
-  TimerRecord* RotateRight(TimerRecord* x);
+  void Transplant(ColdTimerRecord* u, ColdTimerRecord* v);
+  ColdTimerRecord* RotateLeft(ColdTimerRecord* x);
+  ColdTimerRecord* RotateRight(ColdTimerRecord* x);
   // Restore the AVL property at `node`; returns the subtree's (possibly new) root.
-  TimerRecord* Rebalance(TimerRecord* node);
+  ColdTimerRecord* Rebalance(ColdTimerRecord* node);
   // Walk from `node` to the root, updating heights and rebalancing.
-  void RetraceFrom(TimerRecord* node);
+  void RetraceFrom(ColdTimerRecord* node);
 
-  void Insert(TimerRecord* rec);
-  void Remove(TimerRecord* z);
+  void Insert(ColdTimerRecord* node);
+  void Remove(ColdTimerRecord* z);
 
   struct CheckResult {
     bool valid = false;
     std::int32_t height = 0;
   };
-  static CheckResult CheckSubtree(const TimerRecord* node);
+  static CheckResult CheckSubtree(const ColdTimerRecord* node);
 
-  TimerRecord* root_ = nullptr;
+  ColdTimerRecord* root_ = nullptr;
   std::uint64_t rotations_ = 0;
 };
 

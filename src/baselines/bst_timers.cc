@@ -13,30 +13,30 @@ StartResult BstTimers::StartTimer(Duration interval, RequestId request_id) {
   if (rec == nullptr) {
     return TimerError::kNoCapacity;
   }
-  InsertNode(rec);
+  InsertNode(&cold(rec));
   ++counts_.insert_link_ops;
   return rec->self;
 }
 
-void BstTimers::InsertNode(TimerRecord* rec) {
-  rec->left = rec->right = rec->parent = nullptr;
+void BstTimers::InsertNode(ColdTimerRecord* node) {
+  node->left = node->right = node->parent = nullptr;
 
-  TimerRecord* parent = nullptr;
-  TimerRecord* cur = root_;
+  ColdTimerRecord* parent = nullptr;
+  ColdTimerRecord* cur = root_;
   bool went_left = false;
   while (cur != nullptr) {
     ++counts_.comparisons;
     parent = cur;
-    went_left = Less(rec, cur);
+    went_left = Less(node, cur);
     cur = went_left ? cur->left : cur->right;
   }
-  rec->parent = parent;
+  node->parent = parent;
   if (parent == nullptr) {
-    root_ = rec;
+    root_ = node;
   } else if (went_left) {
-    parent->left = rec;
+    parent->left = node;
   } else {
-    parent->right = rec;
+    parent->right = node;
   }
 }
 
@@ -49,9 +49,10 @@ TimerError BstTimers::RestartTimer(TimerHandle handle, Duration new_interval) {
   // Standard BST re-key: detach the node (successor transplant), re-stamp, and
   // re-descend with the new key. The record is never released, so the handle's
   // generation survives.
-  Remove(rec);
+  ColdTimerRecord* node = &cold(rec);
+  Remove(node);
   StampRestart(rec, new_interval);
-  InsertNode(rec);
+  InsertNode(node);
   return TimerError::kOk;
 }
 
@@ -61,7 +62,7 @@ TimerError BstTimers::StopTimer(TimerHandle handle) {
   if (rec == nullptr) {
     return TimerError::kNoSuchTimer;
   }
-  Remove(rec);
+  Remove(&cold(rec));
   ++counts_.delete_unlink_ops;
   ReleaseRecord(rec);
   return TimerError::kOk;
@@ -72,19 +73,19 @@ std::size_t BstTimers::PerTickBookkeeping() {
   ++now_;
   std::size_t expired = 0;
   while (root_ != nullptr) {
-    TimerRecord* min = Minimum(root_);
+    ColdTimerRecord* min = Minimum(root_);
     ++counts_.comparisons;
-    if (min->expiry_tick > now_) {
+    if (min->hot->expiry_tick > now_) {
       break;
     }
     // A re-armed minimum re-descends with key now + period (> now), so the
     // loop terminates.
-    if (TryFirePeriodic(min)) {
+    if (TryFirePeriodic(min->hot)) {
       ++expired;
       continue;
     }
     Remove(min);
-    Expire(min);
+    Expire(min->hot);
     ++expired;
   }
   if (root_ == nullptr && expired == 0) {
@@ -93,14 +94,14 @@ std::size_t BstTimers::PerTickBookkeeping() {
   return expired;
 }
 
-TimerRecord* BstTimers::Minimum(TimerRecord* node) const {
+ColdTimerRecord* BstTimers::Minimum(ColdTimerRecord* node) const {
   while (node->left != nullptr) {
     node = node->left;
   }
   return node;
 }
 
-void BstTimers::Transplant(TimerRecord* u, TimerRecord* v) {
+void BstTimers::Transplant(ColdTimerRecord* u, ColdTimerRecord* v) {
   if (u->parent == nullptr) {
     root_ = v;
   } else if (u == u->parent->left) {
@@ -113,13 +114,13 @@ void BstTimers::Transplant(TimerRecord* u, TimerRecord* v) {
   }
 }
 
-void BstTimers::Remove(TimerRecord* z) {
+void BstTimers::Remove(ColdTimerRecord* z) {
   if (z->left == nullptr) {
     Transplant(z, z->right);
   } else if (z->right == nullptr) {
     Transplant(z, z->left);
   } else {
-    TimerRecord* y = Minimum(z->right);  // successor; has no left child
+    ColdTimerRecord* y = Minimum(z->right);  // successor; has no left child
     if (y->parent != z) {
       Transplant(y, y->right);
       y->right = z->right;
@@ -132,15 +133,15 @@ void BstTimers::Remove(TimerRecord* z) {
   z->left = z->right = z->parent = nullptr;
 }
 
-std::size_t BstTimers::Height(const TimerRecord* node) {
+std::size_t BstTimers::Height(const ColdTimerRecord* node) {
   if (node == nullptr) {
     return 0;
   }
   return 1 + std::max(Height(node->left), Height(node->right));
 }
 
-bool BstTimers::CheckSubtree(const TimerRecord* node, const TimerRecord* lo,
-                             const TimerRecord* hi) {
+bool BstTimers::CheckSubtree(const ColdTimerRecord* node, const ColdTimerRecord* lo,
+                             const ColdTimerRecord* hi) {
   if (node == nullptr) {
     return true;
   }

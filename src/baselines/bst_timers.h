@@ -12,6 +12,12 @@
 // STOP_TIMER deletes the record's node directly (parent pointers, standard BST
 // deletion) — the structural work is O(1) amortized plus an O(height) successor walk
 // when the node has two children; Figure 6 lists tree stops as O(1)/O(log n).
+//
+// The tree links live in the COLD record (timer_record.h): nodes here are
+// ColdTimerRecord*, and key comparisons hop to the hot twin through node->hot.
+// The hop is a deliberate trade — the tree baselines were already O(log n)
+// pointer-chasing per op, while keeping their three pointers + rank out of the
+// shared hot record is what lets every wheel scheme fit one cache line.
 
 #ifndef TWHEEL_SRC_BASELINES_BST_TIMERS_H_
 #define TWHEEL_SRC_BASELINES_BST_TIMERS_H_
@@ -29,31 +35,31 @@ class BstTimers final : public TimerServiceBase {
  public:
   explicit BstTimers(std::size_t max_timers = 0) : TimerServiceBase(max_timers) {}
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // O(height) in-place reschedule: standard delete + re-insert of the same
   // node with the new key; no record release, handle stays valid.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override { return "scheme3-bst"; }
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final { return "scheme3-bst"; }
 
   // Per record: three tree pointers (24) + expiry (8) + cookie (8) + seq (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 48;
     return profile;
   }
 
   // Hardware-single-timer capability: O(height) min peek, O(1) clock jump.
-  std::optional<Tick> NextExpiryHint() const override {
+  std::optional<Tick> NextExpiryHint() const final {
     if (root_ == nullptr) {
       return std::nullopt;
     }
-    return MinimumConst(root_)->expiry_tick;
+    return MinimumConst(root_)->hot->expiry_tick;
   }
-  bool FastForward(Tick target) override {
+  bool FastForward(Tick target) final {
     TWHEEL_ASSERT(target >= now_);
-    TWHEEL_ASSERT_MSG(root_ == nullptr || target < MinimumConst(root_)->expiry_tick,
+    TWHEEL_ASSERT_MSG(root_ == nullptr || target < MinimumConst(root_)->hot->expiry_tick,
                       "FastForward would skip an expiry");
     now_ = target;
     return true;
@@ -64,32 +70,32 @@ class BstTimers final : public TimerServiceBase {
   bool CheckBstInvariant() const { return CheckSubtree(root_, nullptr, nullptr); }
 
  private:
-  static bool Less(const TimerRecord* a, const TimerRecord* b) {
-    if (a->expiry_tick != b->expiry_tick) {
-      return a->expiry_tick < b->expiry_tick;
+  static bool Less(const ColdTimerRecord* a, const ColdTimerRecord* b) {
+    if (a->hot->expiry_tick != b->hot->expiry_tick) {
+      return a->hot->expiry_tick < b->hot->expiry_tick;
     }
-    return a->seq < b->seq;
+    return a->hot->seq < b->hot->seq;
   }
 
-  // Descend from the root and attach `rec` (key already set); shared by
-  // StartTimer and RestartTimer.
-  void InsertNode(TimerRecord* rec);
-  TimerRecord* Minimum(TimerRecord* node) const;
-  static const TimerRecord* MinimumConst(const TimerRecord* node) {
+  // Descend from the root and attach `node` (key already set on its hot twin);
+  // shared by StartTimer and RestartTimer.
+  void InsertNode(ColdTimerRecord* node);
+  ColdTimerRecord* Minimum(ColdTimerRecord* node) const;
+  static const ColdTimerRecord* MinimumConst(const ColdTimerRecord* node) {
     while (node->left != nullptr) {
       node = node->left;
     }
     return node;
   }
   // Replace the subtree rooted at `u` with the one rooted at `v` (v may be null).
-  void Transplant(TimerRecord* u, TimerRecord* v);
-  void Remove(TimerRecord* z);
+  void Transplant(ColdTimerRecord* u, ColdTimerRecord* v);
+  void Remove(ColdTimerRecord* z);
 
-  static std::size_t Height(const TimerRecord* node);
-  static bool CheckSubtree(const TimerRecord* node, const TimerRecord* lo,
-                           const TimerRecord* hi);
+  static std::size_t Height(const ColdTimerRecord* node);
+  static bool CheckSubtree(const ColdTimerRecord* node, const ColdTimerRecord* lo,
+                           const ColdTimerRecord* hi);
 
-  TimerRecord* root_ = nullptr;
+  ColdTimerRecord* root_ = nullptr;
 };
 
 }  // namespace twheel

@@ -29,18 +29,18 @@ class HeapTimers final : public TimerServiceBase {
  public:
   explicit HeapTimers(std::size_t max_timers = 0) : TimerServiceBase(max_timers) {}
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // O(log n) in-place reschedule: re-key the record at its current heap
   // position via the stored heap_index and sift in whichever direction the new
   // key demands — no removal, no reallocation, handle stays valid.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override { return "scheme3-heap"; }
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final { return "scheme3-heap"; }
 
   // Per record: expiry (8) + cookie (8) + seq tiebreak (8) + heap index (4, padded);
   // plus the pointer array itself as population-dependent auxiliary storage.
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 32;
     profile.auxiliary_bytes = heap_.capacity() * sizeof(TimerRecord*);
@@ -51,10 +51,10 @@ class HeapTimers final : public TimerServiceBase {
   bool CheckHeapInvariant() const;
 
   // Hardware-single-timer capability: O(1) root peek, O(1) clock jump.
-  std::optional<Tick> NextExpiryHint() const override {
+  std::optional<Tick> NextExpiryHint() const final {
     return heap_.empty() ? std::nullopt : std::optional<Tick>(heap_[0]->expiry_tick);
   }
-  bool FastForward(Tick target) override {
+  bool FastForward(Tick target) final {
     TWHEEL_ASSERT(target >= now_);
     TWHEEL_ASSERT_MSG(heap_.empty() || target < heap_[0]->expiry_tick,
                       "FastForward would skip an expiry");

@@ -16,10 +16,11 @@ StartResult LeftistHeapTimers::StartTimer(Duration interval, RequestId request_i
   if (rec == nullptr) {
     return TimerError::kNoCapacity;
   }
-  rec->left = rec->right = rec->parent = nullptr;
-  rec->rank = 0;
+  ColdTimerRecord* node = &cold(rec);
+  node->left = node->right = node->parent = nullptr;
+  node->rank = 0;
   rec->cancelled = false;
-  root_ = Merge(root_, rec);
+  root_ = Merge(root_, node);
   root_->parent = nullptr;
   ++counts_.insert_link_ops;
   return rec->self;
@@ -35,9 +36,10 @@ TimerError LeftistHeapTimers::RestartTimer(TimerHandle handle,
   if (rec->cancelled) {
     return TimerError::kNoSuchTimer;
   }
-  Detach(rec);
+  ColdTimerRecord* node = &cold(rec);
+  Detach(node);
   StampRestart(rec, new_interval);
-  root_ = Merge(root_, rec);
+  root_ = Merge(root_, node);
   root_->parent = nullptr;
   return TimerError::kOk;
 }
@@ -60,27 +62,27 @@ std::size_t LeftistHeapTimers::PerTickBookkeeping() {
   ++now_;
   std::size_t expired = 0;
   while (root_ != nullptr) {
-    if (root_->cancelled) {
+    if (root_->hot->cancelled) {
       // Discard the cancelled notice, as a simulation scheduler would.
-      TimerRecord* dead = root_;
+      ColdTimerRecord* dead = root_;
       PopRoot();
       --cancelled_retained_;
-      ReleaseRecord(dead);
+      ReleaseRecord(dead->hot);
       continue;
     }
     ++counts_.comparisons;
-    if (root_->expiry_tick > now_) {
+    if (root_->hot->expiry_tick > now_) {
       break;
     }
     // A re-armed root detaches and re-merges with key now + period (> now), so
     // the loop terminates.
-    if (TryFirePeriodic(root_)) {
+    if (TryFirePeriodic(root_->hot)) {
       ++expired;
       continue;
     }
-    TimerRecord* due = root_;
+    ColdTimerRecord* due = root_;
     PopRoot();
-    Expire(due);
+    Expire(due->hot);
     ++expired;
   }
   if (root_ == nullptr && expired == 0) {
@@ -89,7 +91,7 @@ std::size_t LeftistHeapTimers::PerTickBookkeeping() {
   return expired;
 }
 
-TimerRecord* LeftistHeapTimers::Merge(TimerRecord* a, TimerRecord* b) {
+ColdTimerRecord* LeftistHeapTimers::Merge(ColdTimerRecord* a, ColdTimerRecord* b) {
   if (a == nullptr) {
     return b;
   }
@@ -98,7 +100,7 @@ TimerRecord* LeftistHeapTimers::Merge(TimerRecord* a, TimerRecord* b) {
   }
   ++counts_.comparisons;
   if (Less(b, a)) {
-    TimerRecord* tmp = a;
+    ColdTimerRecord* tmp = a;
     a = b;
     b = tmp;
   }
@@ -107,7 +109,7 @@ TimerRecord* LeftistHeapTimers::Merge(TimerRecord* a, TimerRecord* b) {
   std::int32_t left_rank = a->left ? a->left->rank : -1;
   std::int32_t right_rank = a->right ? a->right->rank : -1;
   if (left_rank < right_rank) {
-    TimerRecord* tmp = a->left;
+    ColdTimerRecord* tmp = a->left;
     a->left = a->right;
     a->right = tmp;
     std::int32_t t = left_rank;
@@ -119,7 +121,7 @@ TimerRecord* LeftistHeapTimers::Merge(TimerRecord* a, TimerRecord* b) {
 }
 
 void LeftistHeapTimers::PopRoot() {
-  TimerRecord* old = root_;
+  ColdTimerRecord* old = root_;
   root_ = Merge(old->left, old->right);
   if (root_ != nullptr) {
     root_->parent = nullptr;
@@ -128,9 +130,9 @@ void LeftistHeapTimers::PopRoot() {
   old->rank = 0;
 }
 
-void LeftistHeapTimers::Detach(TimerRecord* x) {
-  TimerRecord* sub = Merge(x->left, x->right);
-  TimerRecord* p = x->parent;
+void LeftistHeapTimers::Detach(ColdTimerRecord* x) {
+  ColdTimerRecord* sub = Merge(x->left, x->right);
+  ColdTimerRecord* p = x->parent;
   if (sub != nullptr) {
     sub->parent = p;
   }
@@ -148,12 +150,12 @@ void LeftistHeapTimers::Detach(TimerRecord* x) {
   x->rank = 0;
 }
 
-void LeftistHeapTimers::FixUpFrom(TimerRecord* node) {
+void LeftistHeapTimers::FixUpFrom(ColdTimerRecord* node) {
   while (node != nullptr) {
     std::int32_t left_rank = node->left ? node->left->rank : -1;
     std::int32_t right_rank = node->right ? node->right->rank : -1;
     if (left_rank < right_rank) {
-      TimerRecord* tmp = node->left;
+      ColdTimerRecord* tmp = node->left;
       node->left = node->right;
       node->right = tmp;
       const std::int32_t t = left_rank;
@@ -170,7 +172,7 @@ void LeftistHeapTimers::FixUpFrom(TimerRecord* node) {
   }
 }
 
-std::int64_t LeftistHeapTimers::CheckSubtree(const TimerRecord* node) {
+std::int64_t LeftistHeapTimers::CheckSubtree(const ColdTimerRecord* node) {
   if (node == nullptr) {
     return -1;
   }

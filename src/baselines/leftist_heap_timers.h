@@ -13,6 +13,11 @@
 // only when it reaches the root. RetainedRecords() exposes the gap between allocated
 // and live timers so tests and the fig6-trees bench can measure exactly the growth
 // the paper warns about.
+//
+// Nodes are the COLD records (timer_record.h), keyed through node->hot like the
+// other tree baselines — see bst_timers.h for the trade. The cancelled flag stays
+// HOT: StopTimer is the one O(1) hot op this scheme has, and keeping the flag next
+// to the key means the root-discard loop never touches a second line to test it.
 
 #ifndef TWHEEL_SRC_BASELINES_LEFTIST_HEAP_TIMERS_H_
 #define TWHEEL_SRC_BASELINES_LEFTIST_HEAP_TIMERS_H_
@@ -29,29 +34,29 @@ class LeftistHeapTimers final : public TimerServiceBase {
 
   ~LeftistHeapTimers() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // In-place reschedule. Lazy cancellation cannot express a restart (an
   // earlier deadline would surface too late), so this is the eager path: the
   // node's subtree is cut out via its parent pointer, its children merge into
   // its old position, ranks re-settle up the parent chain (stopping at the
   // first unchanged rank — the standard O(log n) arbitrary-delete), and the
   // re-stamped node merges back at the root. The record is never released.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override { return "scheme3-leftist"; }
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final { return "scheme3-leftist"; }
 
   // Per record: two child pointers (16) + expiry (8) + cookie (8) + seq (8) +
   // null-path length and cancel flag (8). Lazy cancellation means the *count* of
   // resident records can exceed outstanding() (see RetainedRecords).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 48;
     return profile;
   }
 
   // Outstanding excludes records cancelled but not yet physically removed.
-  std::size_t outstanding() const override {
+  std::size_t outstanding() const final {
     return TimerServiceBase::outstanding() - cancelled_retained_;
   }
 
@@ -62,25 +67,25 @@ class LeftistHeapTimers final : public TimerServiceBase {
   bool CheckLeftistInvariant() const { return CheckSubtree(root_) >= 0; }
 
  private:
-  static bool Less(const TimerRecord* a, const TimerRecord* b) {
-    if (a->expiry_tick != b->expiry_tick) {
-      return a->expiry_tick < b->expiry_tick;
+  static bool Less(const ColdTimerRecord* a, const ColdTimerRecord* b) {
+    if (a->hot->expiry_tick != b->hot->expiry_tick) {
+      return a->hot->expiry_tick < b->hot->expiry_tick;
     }
-    return a->seq < b->seq;
+    return a->hot->seq < b->hot->seq;
   }
 
   // Merge maintains child->parent links (RestartTimer's detach needs them);
   // the caller owns the returned root's parent pointer.
-  TimerRecord* Merge(TimerRecord* a, TimerRecord* b);
+  ColdTimerRecord* Merge(ColdTimerRecord* a, ColdTimerRecord* b);
   void PopRoot();
   // Cut `x`'s subtree out of the tree, splicing Merge(x->left, x->right) into
   // its place, and restore ranks/leftist shape up the parent chain.
-  void Detach(TimerRecord* x);
-  void FixUpFrom(TimerRecord* node);
+  void Detach(ColdTimerRecord* x);
+  void FixUpFrom(ColdTimerRecord* node);
   // Returns the subtree's null-path length, or -2 on invariant violation.
-  static std::int64_t CheckSubtree(const TimerRecord* node);
+  static std::int64_t CheckSubtree(const ColdTimerRecord* node);
 
-  TimerRecord* root_ = nullptr;
+  ColdTimerRecord* root_ = nullptr;
   std::size_t cancelled_retained_ = 0;
 };
 

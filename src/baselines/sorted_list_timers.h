@@ -49,21 +49,21 @@ class SortedListTimers final : public TimerServiceBase {
     }
   }
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // In-place reschedule: O(1) unlink plus the configured O(n) insertion scan
   // with the new absolute expiry. The record — and the caller's handle — stay
   // valid throughout.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override {
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final {
     return direction_ == SearchDirection::kFromFront ? "scheme2-sorted-front"
                                                      : "scheme2-sorted-rear";
   }
 
   // "Scheme 2 needs O(n) extra space for the forward and back pointers between
   // queue elements": links (16) + absolute expiry (8) + cookie (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 32;
     return profile;
@@ -78,11 +78,11 @@ class SortedListTimers final : public TimerServiceBase {
   }
 
   // Hardware-single-timer capability: O(1) head peek, O(1) clock jump.
-  std::optional<Tick> NextExpiryHint() const override {
+  std::optional<Tick> NextExpiryHint() const final {
     const TimerRecord* head = list_.front();
     return head == nullptr ? std::nullopt : std::optional<Tick>(head->expiry_tick);
   }
-  bool FastForward(Tick target) override {
+  bool FastForward(Tick target) final {
     TWHEEL_ASSERT(target >= now_);
     const TimerRecord* head = list_.front();
     TWHEEL_ASSERT_MSG(head == nullptr || target < head->expiry_tick,

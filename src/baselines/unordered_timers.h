@@ -49,22 +49,22 @@ class UnorderedTimers final : public TimerServiceBase {
     }
   }
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // O(1) in-place reschedule: reset the count (or absolute expiry) and move the
   // record to the live list's head — the same position a fresh start takes, so
   // a restart from inside an expiry handler is not decremented on the tick that
   // restarted it.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override {
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final {
     return mode_ == Scheme1Mode::kDecrement ? "scheme1-unordered"
                                             : "scheme1-unordered-compare";
   }
 
   // "Scheme 1 needs the minimum space possible": no fixed structure; per record,
   // membership links (16) + count-or-expiry (8) + cookie (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 32;
     return profile;

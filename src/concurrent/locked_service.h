@@ -32,28 +32,28 @@ class LockedService final : public TimerService {
   explicit LockedService(std::unique_ptr<TimerService> inner)
       : inner_(std::move(inner)) {}
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override {
+  StartResult StartTimer(Duration interval, RequestId request_id) final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->StartTimer(interval, request_id);
   }
 
   StartResult StartPeriodic(Duration interval, RequestId request_id,
-                            std::uint64_t repeat_for = kRepeatForever) override {
+                            std::uint64_t repeat_for = kRepeatForever) final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->StartPeriodic(interval, request_id, repeat_for);
   }
 
-  TimerError StopTimer(TimerHandle handle) override {
+  TimerError StopTimer(TimerHandle handle) final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->StopTimer(handle);
   }
 
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override {
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->RestartTimer(handle, new_interval);
   }
 
-  std::size_t PerTickBookkeeping() override {
+  std::size_t PerTickBookkeeping() final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->PerTickBookkeeping();
   }
@@ -61,44 +61,44 @@ class LockedService final : public TimerService {
   // One lock acquisition for the whole batch — the batched analogue of the
   // appendix's criticism: a long AdvanceTo on a slow inner scheme holds the
   // global lock for the full span.
-  std::size_t AdvanceTo(Tick target) override {
+  std::size_t AdvanceTo(Tick target) final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->AdvanceTo(target);
   }
 
-  std::optional<Tick> NextExpiryHint() const override {
+  std::optional<Tick> NextExpiryHint() const final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->NextExpiryHint();
   }
 
-  bool FastForward(Tick target) override {
+  bool FastForward(Tick target) final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->FastForward(target);
   }
 
-  Tick now() const override {
+  Tick now() const final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->now();
   }
 
-  std::size_t outstanding() const override {
+  std::size_t outstanding() const final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->outstanding();
   }
 
-  metrics::OpCounts counts() const override {
+  metrics::OpCounts counts() const final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->counts();
   }
 
-  std::string_view name() const override { return "locked-wrapper"; }
+  std::string_view name() const final { return "locked-wrapper"; }
 
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     std::lock_guard<std::mutex> lock(mutex_);
     return inner_->Space();
   }
 
-  void set_expiry_handler(ExpiryHandler handler) override {
+  void set_expiry_handler(ExpiryHandler handler) final {
     std::lock_guard<std::mutex> lock(mutex_);
     inner_->set_expiry_handler(std::move(handler));
   }

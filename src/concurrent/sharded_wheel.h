@@ -58,7 +58,7 @@ class ShardedWheel final : public TimerService {
   // a generation-checked handle, captures `now() + interval` as the absolute
   // deadline, and enqueues a start command; kNoCapacity under
   // SubmitPolicy::kReject when the shard's ring or table is full.
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
   // Periodic registration. Locked mode: forwards to the inner wheel under the
   // shard mutex (the inner record re-arms itself in place on every non-final
   // fire, so the handle survives between fires). MPSC mode: lock-free — the
@@ -68,11 +68,11 @@ class ShardedWheel final : public TimerService {
   // bumping the word's fire-epoch bits (handle and generation preserved),
   // the final fire claims and reclaims like a one-shot expiry.
   StartResult StartPeriodic(Duration interval, RequestId request_id,
-                            std::uint64_t repeat_for = kRepeatForever) override;
+                            std::uint64_t repeat_for = kRepeatForever) final;
   // Locked mode: removes under the shard mutex. MPSC mode: lock-free — commits
   // the cancel with one CAS (the result is authoritative: kOk means the timer
   // will never fire) and enqueues a best-effort prompt-removal command.
-  TimerError StopTimer(TimerHandle handle) override;
+  TimerError StopTimer(TimerHandle handle) final;
   // Locked mode: in-place relink under the shard mutex (the inner Scheme 6
   // wheel's O(1) RestartTimer). MPSC mode: lock-free — reserves a ring cell,
   // commits with one CAS on the entry word, then publishes a kRestart command
@@ -82,8 +82,8 @@ class ShardedWheel final : public TimerService {
   // restart losing the word to a fire or cancel gets kNoSuchTimer, so
   // restart-vs-fire resolves exactly once. A restart whose start command has
   // not drained yet coalesces onto the same registration entry.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
   // Batched tick advancement: one lock acquisition per shard per *batch* instead
   // of per tick, with each shard's inner wheel jumping its dead slots via the
   // occupancy bitmap. In MPSC mode each shard's submission ring is drained
@@ -91,7 +91,7 @@ class ShardedWheel final : public TimerService {
   // whose enqueue completed before this call can be skipped past. Expiries from
   // all shards are re-merged into chronological order (FIFO within a tick)
   // before dispatch outside the locks.
-  std::size_t AdvanceTo(Tick target) override;
+  std::size_t AdvanceTo(Tick target) final;
   // Minimum of the shards' hints; in MPSC mode also folds in each shard's
   // pending-submission deadline minimum, so a hint taken after a completed
   // StartTimer is never later than that timer's deadline even though its
@@ -99,18 +99,18 @@ class ShardedWheel final : public TimerService {
   // make the hint stale-late; AdvanceTo/FastForward stay correct regardless
   // because they drain before advancing and dispatch (never skip) anything that
   // comes due.
-  std::optional<Tick> NextExpiryHint() const override;
-  bool FastForward(Tick target) override;
-  Tick now() const override { return now_.load(std::memory_order_relaxed); }
-  std::size_t outstanding() const override;
+  std::optional<Tick> NextExpiryHint() const final;
+  bool FastForward(Tick target) final;
+  Tick now() const final { return now_.load(std::memory_order_relaxed); }
+  std::size_t outstanding() const final;
   // Snapshot merged across shards; by value so nothing shared escapes the locks.
   // MPSC mode adds the submission counters (enqueued_starts, drained_commands,
   // submit_retries).
-  metrics::OpCounts counts() const override;
-  std::string_view name() const override {
+  metrics::OpCounts counts() const final;
+  std::string_view name() const final {
     return deferred() ? "scheme6-sharded-mpsc" : "scheme6-sharded";
   }
-  void set_expiry_handler(ExpiryHandler handler) override;
+  void set_expiry_handler(ExpiryHandler handler) final;
 
   std::size_t num_shards() const { return shards_.size(); }
   bool deferred() const { return shards_[0]->submit != nullptr; }
@@ -169,7 +169,7 @@ class ShardedWheel final : public TimerService {
 
   // Sum of the shards' structures; per-record needs match Scheme 6's. MPSC
   // mode adds the rings and registration tables to fixed_bytes.
-  SpaceProfile Space() const override;
+  SpaceProfile Space() const final;
 
  private:
   static constexpr std::uint32_t kShardShift = 24;
@@ -185,7 +185,13 @@ class ShardedWheel final : public TimerService {
     FireBatch* next;
   };
 
-  struct Shard {
+  // Cache-line aligned: shards are stored contiguously and ticked/drained by
+  // different threads, so without the alignas the tail of one shard's atomics
+  // and the head of the next would share a line and ping-pong between cores.
+  // Each shard also owns its own inner wheel, whose TimerServiceBase holds a
+  // private (cache-line-aligned) record arena — allocations from different
+  // shards never interleave within one line.
+  struct alignas(kSlabCacheLine) Shard {
     std::mutex mutex;
     // Expiries the inner wheel reported, staged under `mutex` until the next
     // PerTickBookkeeping drains them for dispatch outside all locks. Declared

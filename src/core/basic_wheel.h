@@ -50,19 +50,19 @@ class BasicWheel final : public TimerServiceBase {
 
   ~BasicWheel() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // O(1) in-place reschedule: unlink from the current slot, relink at
   // cursor + new_interval, maintaining both slots' occupancy bits. The handle
   // stays valid; on kIntervalOutOfRange the timer keeps its old deadline.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::size_t AdvanceTo(Tick target) override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::size_t AdvanceTo(Tick target) final;
   // Exact: cursor-to-next-set-bit distance (intervals < wheel size, so the slot
   // under the cursor is never occupied outside a drain).
-  std::optional<Tick> NextExpiryHint() const override;
-  bool FastForward(Tick target) override;
-  std::string_view name() const override { return "scheme4-basic-wheel"; }
+  std::optional<Tick> NextExpiryHint() const final;
+  bool FastForward(Tick target) final;
+  std::string_view name() const final { return "scheme4-basic-wheel"; }
 
   std::size_t max_interval() const { return slots_.size(); }
   std::size_t cursor() const { return cursor_; }
@@ -70,7 +70,7 @@ class BasicWheel final : public TimerServiceBase {
   // Fixed: one list head per slot plus the occupancy bitmap — the memory-for-speed
   // trade of a bucket sort ("it is difficult to justify 2^32 words of memory to
   // implement 32 bit timers"). Per record: links (16) + expiry (8) + cookie (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>) +
                           OccupancyBitmap::BytesFor(slots_.size());

@@ -46,25 +46,25 @@ class HashedWheelSorted final : public TimerServiceBase {
 
   ~HashedWheelSorted() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // In-place reschedule: O(1) unlink plus the Scheme 2 sorted re-insert into
   // the new bucket (O(bucket) comparisons), occupancy bits maintained.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::size_t AdvanceTo(Tick target) override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::size_t AdvanceTo(Tick target) final;
   // Exact, O(occupied buckets): each occupied bucket's head is its minimum (the
   // Scheme 2 sort order), so the hint is the least head expiry over set bits.
-  std::optional<Tick> NextExpiryHint() const override;
-  bool FastForward(Tick target) override;
-  std::string_view name() const override { return "scheme5-hashed-sorted"; }
+  std::optional<Tick> NextExpiryHint() const final;
+  bool FastForward(Tick target) final;
+  std::string_view name() const final { return "scheme5-hashed-sorted"; }
 
   std::size_t table_size() const { return slots_.size(); }
 
   // Fixed: the hash table's list heads plus the occupancy bitmap. Per record:
   // links (16) + revolution / high-order bits (8) + cookie (8) + expiry (8) + seq
   // for stable order (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>) +
                           OccupancyBitmap::BytesFor(slots_.size());

@@ -47,19 +47,19 @@ class HashedWheelUnsorted final : public TimerServiceBase {
 
   ~HashedWheelUnsorted() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // O(1) in-place reschedule: unlink, recompute (slot, rounds) for the new
   // interval, relink — both buckets' occupancy bits maintained.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::size_t AdvanceTo(Tick target) override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::size_t AdvanceTo(Tick target) final;
   // Exact, but O(n) in outstanding timers: the bitmap confines the scan to live
   // buckets, within which each record's absolute expiry is examined. Use for
   // jump-driving sparse wheels, not as a hot-path query.
-  std::optional<Tick> NextExpiryHint() const override;
-  bool FastForward(Tick target) override;
-  std::string_view name() const override { return "scheme6-hashed-unsorted"; }
+  std::optional<Tick> NextExpiryHint() const final;
+  bool FastForward(Tick target) final;
+  std::string_view name() const final { return "scheme6-hashed-unsorted"; }
 
   std::size_t table_size() const { return slots_.size(); }
   // Occupancy of the bucket the cursor will visit next, for burstiness studies.
@@ -67,7 +67,7 @@ class HashedWheelUnsorted final : public TimerServiceBase {
 
   // Fixed: the hash table's list heads plus the occupancy bitmap. Per record:
   // links (16) + remaining rounds (8) + cookie (8) + expiry (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>) +
                           OccupancyBitmap::BytesFor(slots_.size());

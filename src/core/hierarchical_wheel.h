@@ -81,22 +81,22 @@ class HierarchicalWheel final : public TimerServiceBase {
 
   ~HierarchicalWheel() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // In-place reschedule: O(1) unlink from the current (level, slot), then the
   // O(m) digit-rule re-file, with both occupancy bitmaps maintained and the
   // migration allowance reset. kIntervalOutOfRange leaves the old deadline.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::size_t AdvanceTo(Tick target) override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::size_t AdvanceTo(Tick target) final;
   // kFull: exact — earliest absolute expiry among residents (bitmap-confined O(n)
   // scan). kNone: exact — the earliest occupied-slot visit fires everything in
   // that slot. kSingleStep: a conservative lower bound (the earliest occupied
   // visit may migrate rather than fire); never later than the true next expiry,
   // which is what jump-drivers need.
-  std::optional<Tick> NextExpiryHint() const override;
-  bool FastForward(Tick target) override;
-  std::string_view name() const override { return "scheme7-hierarchical"; }
+  std::optional<Tick> NextExpiryHint() const final;
+  bool FastForward(Tick target) final;
+  std::string_view name() const final { return "scheme7-hierarchical"; }
 
   std::size_t num_levels() const { return levels_.size(); }
   std::uint32_t slop_bits() const { return slop_bits_; }
@@ -113,7 +113,7 @@ class HierarchicalWheel final : public TimerServiceBase {
   // "instead of 100 * 24 * 60 * 60 = 8.64 million locations ... we need only
   // 100 + 24 + 60 + 60 = 244 locations". Per record: links (16) + expiry (8) +
   // cookie (8) + level byte (padded to 8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     for (const Level& level : levels_) {
       profile.fixed_bytes += level.size * sizeof(IntrusiveList<TimerRecord>) +

@@ -36,27 +36,27 @@ class HybridWheel final : public TimerServiceBase {
 
   ~HybridWheel() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // In-place reschedule across all four residence transitions (wheel<->wheel,
   // wheel<->annex): O(1) unlink, then the same placement decision as
   // StartTimer (O(1) wheel relink or sorted annex insert).
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::size_t AdvanceTo(Tick target) override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::size_t AdvanceTo(Tick target) final;
   // Exact: min(wheel's cursor-to-next-set-bit distance, overflow list head). Both
   // sides are exact — the wheel's because intervals there are < wheel size, the
   // annex's because it is ordered by absolute expiry.
-  std::optional<Tick> NextExpiryHint() const override;
-  bool FastForward(Tick target) override;
-  std::string_view name() const override { return "scheme4-2-hybrid"; }
+  std::optional<Tick> NextExpiryHint() const final;
+  bool FastForward(Tick target) final;
+  std::string_view name() const final { return "scheme4-2-hybrid"; }
 
   std::size_t wheel_size() const { return slots_.size(); }
   std::size_t OverflowCountSlow() const { return overflow_.CountSlow(); }
 
   // Fixed: the wheel's list heads, its occupancy bitmap, and the annex list's
   // head. Per record: links (16) + expiry (8) + cookie (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.fixed_bytes =
         (slots_.size() + 1) * sizeof(IntrusiveList<TimerRecord>) +

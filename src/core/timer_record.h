@@ -1,12 +1,32 @@
-// The timer record shared by every scheme.
+// The timer record shared by every scheme, split hot/cold by access frequency.
 //
-// One record per outstanding timer, slab-allocated (src/base/slab_arena.h) so its
-// address is stable while linked into wheel slots, sorted lists, heaps, or trees.
-// Rather than a per-scheme record type, a single fat record carries the union of the
-// fields the seven schemes need; the few dozen extra bytes per timer buy a uniform
-// arena, a uniform handle type, and the ability to run differential tests that drive
-// every scheme with identical workloads. A production deployment would keep only the
-// fields of its chosen scheme; the layout cost is documented here deliberately.
+// One timer is one (hot, cold) record pair, slab-allocated at the same slot of a
+// PairedSlabArena (src/base/slab_arena.h) so both addresses are stable while the
+// hot record is linked into wheel slots, sorted lists, heaps, or trees.
+//
+// TimerRecord — the HOT record — carries exactly the fields the per-operation
+// paths touch (links, keys, placement indices) and is pinned to one cache line:
+// a static_assert below fails the build the moment a new field pushes it past 64
+// bytes. At millions of live timers the record layout IS the data structure — a
+// wheel tick that walks a bucket pulls one line per resident, not three — so a
+// field earns a hot slot only if StartTimer/StopTimer/RestartTimer or the tick
+// scan reads it; everything else goes cold. Two unions keep disjoint schemes
+// from paying for each other: Scheme 1's per-tick decrement target overlays the
+// hashed wheels' revolution count, and the heap's array index overlays the
+// wheels' slot index (no scheme uses both members of either pair).
+//
+// ColdTimerRecord carries the fields touched at most once per timer lifetime or
+// only by the tree baselines: the client cookie delivered at expiry, the
+// periodic cadence, and the per-baseline tree links. The tree schemes (BST,
+// AVL, leftist) link cold records directly and hop to the hot twin through the
+// `hot` back-pointer for key comparisons — their per-op cost is O(log n)
+// pointer-chasing either way, while the wheels' O(1) paths never load a cold
+// line outside expiry dispatch.
+//
+// The pairing rule for new fields: hot if any scheme's start/stop/restart/tick
+// path reads it per operation, cold otherwise — and the hot addition must fit
+// the 64-byte budget or displace something colder (tests/core/layout_test.cc
+// pins the current layout so a displacement is a deliberate, reviewed change).
 
 #ifndef TWHEEL_SRC_CORE_TIMER_RECORD_H_
 #define TWHEEL_SRC_CORE_TIMER_RECORD_H_
@@ -22,13 +42,55 @@ namespace twheel {
 struct TimerRecord : ListNode {
   static constexpr std::uint32_t kNoIndex = std::numeric_limits<std::uint32_t>::max();
 
-  // -- Common to all schemes -------------------------------------------------------
-  RequestId request_id = 0;  // client cookie, delivered to the ExpiryHandler
-  TimerHandle self;          // this record's own handle (arena slot + generation)
-  Tick start_tick = 0;       // absolute tick at which START_TIMER ran
-  Duration interval = 0;     // requested interval
-  Tick expiry_tick = 0;      // absolute tick at which the timer is due
-  std::uint64_t seq = 0;     // start order; tiebreak so equal expiries stay FIFO
+  // -- Common to all schemes: the key and the handle -------------------------------
+  Tick expiry_tick = 0;   // absolute tick at which the timer is due
+  TimerHandle self;       // this record's own handle (arena slot + generation)
+  std::uint64_t seq = 0;  // start order; tiebreak so equal expiries stay FIFO
+  Duration interval = 0;  // effective interval (after clamp/quantize); re-filing
+                          // and Lawn's TTL-bucket lookup key on it per op
+
+  // -- Scheme 1 / Schemes 5-6: the per-visit counter -------------------------------
+  // Scheme 1 decrements `remaining` once per tick; Schemes 5/6 decrement `rounds`
+  // (remaining full wheel revolutions) once per cursor visit. No scheme uses both.
+  union {
+    std::uint64_t rounds = 0;
+    Duration remaining;
+  };
+
+  // -- Placement index: where the record currently sits ----------------------------
+  // Wheels/Lawn: slot (bucket) index, so StopTimer can clear the slot's occupancy
+  // bit in O(1) when it empties; kNoIndex when not in a slot (hybrid/Lawn overflow
+  // annex). Heap: position in the pointer array for O(log n) arbitrary deletion.
+  // No scheme uses both.
+  union {
+    std::uint32_t home_slot = kNoIndex;
+    std::uint32_t heap_index;
+  };
+
+  // -- Scheme 7 (hierarchy): which wheel currently holds the record ----------------
+  std::uint8_t level = 0;
+  std::uint8_t migrations_done = 0;  // for the single-migration precision variant
+
+  // -- Lazy cancellation (leftist-heap baseline, Section 4.2's simulation idiom) ---
+  bool cancelled = false;
+};
+
+// Hot records are pinned to one cache line. This static_assert is the layout
+// contract: a change that grows the record past 64 bytes fails every build.
+static_assert(sizeof(TimerRecord) <= 64,
+              "TimerRecord (hot) must fit one 64-byte cache line");
+
+// Cold twin, stored in the parallel slab of the same arena slot. Touched at
+// allocation, at expiry dispatch, on periodic re-arm decisions, and by the tree
+// baselines — never by the wheels' per-op hot paths.
+struct ColdTimerRecord {
+  // Back-pointer to the hot twin (same arena slot); lets the tree baselines
+  // navigate cold links and reach the key without an arena lookup.
+  TimerRecord* hot = nullptr;
+
+  // -- Delivery: the paper's Request_ID, handed to the ExpiryHandler ---------------
+  RequestId request_id = 0;
+  Tick start_tick = 0;  // absolute tick at which START_TIMER (or a restart) ran
 
   // -- Periodic registration (StartPeriodic) ---------------------------------------
   // period == 0 marks a one-shot. A firing periodic record is relinked to the next
@@ -39,36 +101,11 @@ struct TimerRecord : ListNode {
   Duration period = 0;
   std::uint64_t repeats_left = 0;
 
-  // -- Scheme 1 (straightforward): per-tick DECREMENT target -----------------------
-  Duration remaining = 0;
-
-  // -- Schemes 5/6 (hashed wheels): the quotient ("high order bits") --------------
-  // Scheme 6 stores the number of remaining full wheel revolutions and decrements it
-  // each time the cursor passes; Scheme 5 stores the absolute revolution number so
-  // bucket order is stable (see hashed_wheel_sorted.h for the equivalence argument).
-  std::uint64_t rounds = 0;
-
-  // -- Scheme 3 (binary heap): position for O(log n) arbitrary deletion ------------
-  std::uint32_t heap_index = kNoIndex;
-
-  // -- Scheme 3 (BST / leftist tree) ------------------------------------------------
-  TimerRecord* left = nullptr;
-  TimerRecord* right = nullptr;
-  TimerRecord* parent = nullptr;
-  std::int32_t rank = 0;  // leftist tree null-path length
-
-  // -- Scheme 7 (hierarchy): which wheel currently holds the record ----------------
-  std::uint8_t level = 0;
-  std::uint8_t migrations_done = 0;  // for the single-migration precision variant
-
-  // -- Schemes 4-7 (wheels): slot index currently holding the record ---------------
-  // Lets StopTimer clear the slot's occupancy bit in O(1) when the slot empties
-  // (base/bitmap.h). kNoIndex when the record is not in a wheel slot (e.g. the
-  // hybrid wheel's overflow annex). For Scheme 7 the slot is within `level`.
-  std::uint32_t home_slot = kNoIndex;
-
-  // -- Lazy cancellation (leftist-heap baseline, Section 4.2's simulation idiom) ---
-  bool cancelled = false;
+  // -- Scheme 3 (BST / AVL / leftist tree) -----------------------------------------
+  ColdTimerRecord* left = nullptr;
+  ColdTimerRecord* right = nullptr;
+  ColdTimerRecord* parent = nullptr;
+  std::int32_t rank = 0;  // AVL height / leftist null-path length
 };
 
 }  // namespace twheel

@@ -152,9 +152,13 @@ class TimerService {
     // (key, cookie, links/indices) — the minimal record a scheme-specific
     // deployment would allocate.
     std::size_t essential_record_bytes = 0;
-    // Bytes per record actually allocated here: the shared fat TimerRecord that
-    // lets one arena serve every scheme (see timer_record.h for the rationale).
-    std::size_t actual_record_bytes = sizeof(TimerRecord);
+    // Bytes per record actually allocated: the shared hot/cold pair that lets one
+    // arena serve every scheme (see timer_record.h for the placement rule). The
+    // hot record is the per-op cache footprint; the cold twin is only touched at
+    // allocation, expiry dispatch, and by the tree baselines.
+    std::size_t hot_record_bytes = sizeof(TimerRecord);
+    std::size_t cold_record_bytes = sizeof(ColdTimerRecord);
+    std::size_t actual_record_bytes = sizeof(TimerRecord) + sizeof(ColdTimerRecord);
     // Population-dependent auxiliary storage beyond the records themselves, at its
     // current size (e.g. the binary heap's pointer array capacity).
     std::size_t auxiliary_bytes = 0;
@@ -219,6 +223,12 @@ class TimerServiceBase : public TimerService {
   // Live records in the arena. Lazy-deletion schemes (leftist heap) override this to
   // exclude cancelled-but-not-yet-reclaimed records.
   std::size_t outstanding() const override { return arena_.live(); }
+
+  // Measured arena slab footprint — whole chunks, free slots included. These
+  // are the numbers behind bench_static_dispatch's space-at-scale sweep: what
+  // the record store actually costs at N live timers, not sizeof arithmetic.
+  std::size_t hot_slab_bytes() const { return arena_.hot_slab_bytes(); }
+  std::size_t cold_slab_bytes() const { return arena_.cold_slab_bytes(); }
   metrics::OpCounts counts() const final { return counts_; }
   void set_expiry_handler(ExpiryHandler handler) final { handler_ = std::move(handler); }
 
@@ -236,9 +246,10 @@ class TimerServiceBase : public TimerService {
     if (rec == nullptr) {
       return TimerError::kNoSuchTimer;
     }
-    const RequestId request_id = rec->request_id;
-    const Duration period = rec->period;
-    const std::uint64_t repeats_left = rec->repeats_left;
+    const ColdTimerRecord& old_cold = cold(rec);
+    const RequestId request_id = old_cold.request_id;
+    const Duration period = old_cold.period;
+    const std::uint64_t repeats_left = old_cold.repeats_left;
     const TimerError stopped = StopTimer(handle);
     if (stopped != TimerError::kOk) {
       return stopped;
@@ -249,9 +260,9 @@ class TimerServiceBase : public TimerService {
     }
     // A restarted periodic keeps its cadence and remaining-fire budget even
     // across the handle burn.
-    TimerRecord* fresh = Resolve(restarted.value());
-    fresh->period = period;
-    fresh->repeats_left = repeats_left;
+    ColdTimerRecord& fresh = cold(Resolve(restarted.value()));
+    fresh.period = period;
+    fresh.repeats_left = repeats_left;
     return TimerError::kOk;
   }
 
@@ -266,34 +277,42 @@ class TimerServiceBase : public TimerService {
       return started;
     }
     TimerRecord* rec = Resolve(started.value());
-    rec->period = rec->interval;
-    rec->repeats_left = repeat_for;
+    ColdTimerRecord& c = cold(rec);
+    c.period = rec->interval;
+    c.repeats_left = repeat_for;
     ++counts_.periodic_starts;
     return started;
   }
 
  protected:
-  // Allocate and pre-fill a record; nullptr when the arena is full.
+  // Allocate and pre-fill a hot/cold record pair; nullptr when the arena is full.
+  // The arena placement-news both records fresh, so a recycled slot cannot
+  // resurrect a previous timer's periodic cadence or tree links.
   TimerRecord* AllocateRecord(Duration interval, RequestId request_id) {
     auto [rec, ref] = arena_.Allocate();
     if (rec == nullptr) {
       return nullptr;
     }
-    rec->request_id = request_id;
     rec->self = TimerHandle{ref.slot, ref.generation};
     rec->seq = next_seq_++;
-    rec->start_tick = now_;
     rec->interval = interval;
     rec->expiry_tick = now_ + interval;
-    // The arena recycles records: scrub the periodic fields so a slot that last
-    // held a periodic timer does not resurrect its cadence on a fresh one-shot.
-    rec->period = 0;
-    rec->repeats_left = 0;
+    ColdTimerRecord* c = arena_.ColdOf(ref.slot);
+    c->hot = rec;
+    c->request_id = request_id;
+    c->start_tick = now_;
     return rec;
   }
 
   TimerRecord* Resolve(TimerHandle handle) const {
     return arena_.Get(SlabRef{handle.slot, handle.generation});
+  }
+
+  // The cold twin of a live hot record (same arena slot, parallel slab). Valid
+  // exactly while `rec` is live; per-op hot paths must not call this — it pulls
+  // a second cache line (see timer_record.h for what lives where and why).
+  ColdTimerRecord& cold(const TimerRecord* rec) const {
+    return *arena_.ColdOf(rec->self.slot);
   }
 
   // Return a record's storage to the arena (after unlinking it from any structure).
@@ -323,7 +342,7 @@ class TimerServiceBase : public TimerService {
   // deliberately neither a start nor a stop in OpCounts: the conservation law
   // stays start_calls == expiries + cancels + outstanding.
   void StampRestart(TimerRecord* rec, Duration new_interval) {
-    rec->start_tick = now_;
+    cold(rec).start_tick = now_;
     rec->interval = new_interval;
     rec->expiry_tick = now_ + new_interval;
     ++counts_.restart_calls;
@@ -353,19 +372,20 @@ class TimerServiceBase : public TimerService {
   // (one-shot, final fire, or a re-arm the scheme rejected — then accounted as
   // a periodic_drop and degraded to a final expiry).
   bool TryFirePeriodic(TimerRecord* rec) {
-    if (rec->period == 0 || rec->repeats_left == 1) {
+    ColdTimerRecord& c = cold(rec);
+    if (c.period == 0 || c.repeats_left == 1) {
       return false;
     }
-    const RequestId id = rec->request_id;
-    const Duration delay = NextPeriodicDelay(rec->expiry_tick, rec->period);
+    const RequestId id = c.request_id;
+    const Duration delay = NextPeriodicDelay(rec->expiry_tick, c.period);
     if (RearmPeriodic(rec, delay) != TimerError::kOk) {
       // Degrade to a one-shot so the caller's Expire releases it exactly once.
-      rec->period = 0;
+      c.period = 0;
       ++counts_.periodic_drops;
       return false;
     }
-    if (rec->repeats_left > 1) {
-      --rec->repeats_left;
+    if (c.repeats_left > 1) {
+      --c.repeats_left;
     }
     ++counts_.periodic_fires;
     ++counts_.expiry_dispatches;
@@ -397,17 +417,18 @@ class TimerServiceBase : public TimerService {
   // re-arm is a documented drop (periodic_drops) that degrades to a final expiry
   // instead of aborting.
   void Expire(TimerRecord* rec) {
-    const RequestId id = rec->request_id;
-    if (rec->period != 0 && rec->repeats_left != 1) {
-      const Duration period = rec->period;
-      const std::uint64_t repeats = rec->repeats_left;
+    const ColdTimerRecord& c = cold(rec);
+    const RequestId id = c.request_id;
+    if (c.period != 0 && c.repeats_left != 1) {
+      const Duration period = c.period;
+      const std::uint64_t repeats = c.repeats_left;
       const Duration delay = NextPeriodicDelay(rec->expiry_tick, period);
       ReleaseRecord(rec);
       StartResult rearmed = this->StartTimer(delay, id);
       if (rearmed.has_value()) {
-        TimerRecord* fresh = Resolve(rearmed.value());
-        fresh->period = period;
-        fresh->repeats_left = repeats > 1 ? repeats - 1 : repeats;
+        ColdTimerRecord& fresh = cold(Resolve(rearmed.value()));
+        fresh.period = period;
+        fresh.repeats_left = repeats > 1 ? repeats - 1 : repeats;
         --counts_.start_calls;  // a re-arm is not a client start
         ++counts_.periodic_fires;
         ++counts_.expiry_dispatches;
@@ -436,7 +457,7 @@ class TimerServiceBase : public TimerService {
   metrics::OpCounts counts_;
 
  private:
-  SlabArena<TimerRecord> arena_;
+  PairedSlabArena<TimerRecord, ColdTimerRecord> arena_;
   ExpiryHandler handler_;
   std::uint64_t next_seq_ = 0;
 };

@@ -41,10 +41,10 @@ class ChipAssistedWheel final : public TimerServiceBase {
 
   ~ChipAssistedWheel() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override { return "scheme6-chip-assisted"; }
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final { return "scheme6-chip-assisted"; }
 
   std::size_t table_size() const { return busy_.size(); }
 
@@ -57,7 +57,7 @@ class ChipAssistedWheel final : public TimerServiceBase {
   // Fixed: the host's queue heads plus the chip's busy bits (one per slot, held in
   // the chip's own memory). Per record: links (16) + rounds (8) + cookie (8) +
   // expiry (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.fixed_bytes = slots_.size() * sizeof(IntrusiveList<TimerRecord>) +
                           (busy_.size() + 7) / 8;

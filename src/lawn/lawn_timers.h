@@ -72,20 +72,20 @@ class LawnTimers final : public TimerServiceBase {
 
   ~LawnTimers() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // O(1) in-place reschedule: unlink from the current bucket, re-stamp, append
   // to the new TTL's bucket tail (rear-search insert if it lands in the
   // overflow list). Handle and generation survive.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
-  std::size_t AdvanceTo(Tick target) override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
+  std::size_t AdvanceTo(Tick target) final;
   // Exact: the minimum over bucket heads (each head is its bucket's earliest
   // expiry by the bucket-sorted invariant) plus the overflow head. O(distinct
   // TTLs), independent of population.
-  std::optional<Tick> NextExpiryHint() const override;
-  bool FastForward(Tick target) override;
-  std::string_view name() const override { return "scheme8-lawn"; }
+  std::optional<Tick> NextExpiryHint() const final;
+  bool FastForward(Tick target) final;
+  std::string_view name() const final { return "scheme8-lawn"; }
 
   std::uint32_t slop_bits() const { return slop_bits_; }
   // Buckets currently allocated (== distinct effective TTLs ever started,
@@ -98,7 +98,7 @@ class LawnTimers final : public TimerServiceBase {
   // No fixed arrays: space is one list head per distinct TTL plus the TTL->
   // bucket index. Per record: links (16) + expiry (8) + cookie (8) + bucket
   // index (4, padded to 8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 40;
     profile.auxiliary_bytes =

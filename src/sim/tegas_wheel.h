@@ -44,10 +44,10 @@ class TegasWheel final : public TimerServiceBase {
 
   ~TegasWheel() override;
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
-  TimerError StopTimer(TimerHandle handle) override;
-  std::size_t PerTickBookkeeping() override;
-  std::string_view name() const override {
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
+  TimerError StopTimer(TimerHandle handle) final;
+  std::size_t PerTickBookkeeping() final;
+  std::string_view name() const final {
     return policy_ == RotatePolicy::kFullCycle ? "tegas-wheel-full"
                                                : "tegas-wheel-half";
   }
@@ -61,7 +61,7 @@ class TegasWheel final : public TimerServiceBase {
 
   // Fixed: the cycle array plus the single overflow list head. Per record: links
   // (16) + expiry (8) + cookie (8).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.fixed_bytes = (slots_.size() + 1) * sizeof(IntrusiveList<TimerRecord>);
     profile.essential_record_bytes = 32;

@@ -44,7 +44,7 @@ class OracleTimers final : public TimerService {
   // uses the quantized period, matching the schemes' StartPeriodic.
   explicit OracleTimers(std::uint32_t slop_bits = 0) : slop_bits_(slop_bits) {}
 
-  StartResult StartTimer(Duration interval, RequestId request_id) override;
+  StartResult StartTimer(Duration interval, RequestId request_id) final;
   // Native periodic model: the multimap entry re-inserts itself at expiry +
   // interval on every non-final fire, keeping its slot — so the handle stays
   // valid between fires, exactly the schemes' relink contract. Re-arms happen
@@ -53,25 +53,25 @@ class OracleTimers final : public TimerService {
   // slot like a one-shot expiry. Non-final fires count periodic_fires, never
   // expiries, so the conservation law is shared with the schemes.
   StartResult StartPeriodic(Duration interval, RequestId request_id,
-                            std::uint64_t repeat_for = kRepeatForever) override;
-  TimerError StopTimer(TimerHandle handle) override;
+                            std::uint64_t repeat_for = kRepeatForever) final;
+  TimerError StopTimer(TimerHandle handle) final;
   // In-place restart: the multimap entry moves to now + new_interval but the
   // slot — and therefore the caller's handle — survives, stating the
   // handle-stability half of the RestartTimer contract by construction.
-  TimerError RestartTimer(TimerHandle handle, Duration new_interval) override;
-  std::size_t PerTickBookkeeping() override;
+  TimerError RestartTimer(TimerHandle handle, Duration new_interval) final;
+  std::size_t PerTickBookkeeping() final;
 
-  Tick now() const override { return now_; }
-  std::size_t outstanding() const override { return live_.size(); }
-  metrics::OpCounts counts() const override { return counts_; }
-  std::string_view name() const override { return "verify-oracle"; }
-  void set_expiry_handler(ExpiryHandler handler) override {
+  Tick now() const final { return now_; }
+  std::size_t outstanding() const final { return live_.size(); }
+  metrics::OpCounts counts() const final { return counts_; }
+  std::string_view name() const final { return "verify-oracle"; }
+  void set_expiry_handler(ExpiryHandler handler) final {
     handler_ = std::move(handler);
   }
 
   // The oracle's ordered map answers the earliest expiry for free, so the §3.2
   // single-timer drivers can also be cross-checked against it.
-  std::optional<Tick> NextExpiryHint() const override {
+  std::optional<Tick> NextExpiryHint() const final {
     if (by_expiry_.empty()) {
       return std::nullopt;
     }
@@ -80,7 +80,7 @@ class OracleTimers final : public TimerService {
 
   // Not a contender in the paper's space comparison; report the honest shape of
   // the model (two node-based maps per outstanding timer).
-  SpaceProfile Space() const override {
+  SpaceProfile Space() const final {
     SpaceProfile profile;
     profile.essential_record_bytes = 0;
     profile.actual_record_bytes = 0;

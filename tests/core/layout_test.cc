@@ -1,0 +1,153 @@
+// Layout regression pins for the hot/cold TimerRecord split (timer_record.h).
+//
+// The hot record's one-cache-line budget is enforced at compile time by the
+// static_assert in timer_record.h; this suite pins the rest of the contract so
+// a layout change is a deliberate, reviewed diff rather than silent drift:
+// field offsets within the hot record, the union overlays that keep disjoint
+// schemes from paying for each other, hot-slab cache-line alignment, and
+// hot/cold slot agreement while the paired arena grows and recycles.
+//
+// TimerRecord derives from ListNode (which has members), so it is not a
+// standard-layout type and offsetof on it is conditionally-supported; the
+// offset pins below use pointer arithmetic on a live object instead.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/base/slab_arena.h"
+#include "src/core/timer_record.h"
+
+namespace twheel {
+namespace {
+
+static_assert(sizeof(TimerRecord) <= 64,
+              "hot record must fit one 64-byte cache line");
+static_assert(sizeof(TimerRecord) == 64,
+              "hot record is exactly one line today; if a field was removed, "
+              "reclaim the slack deliberately (or relax this pin)");
+static_assert(alignof(TimerRecord) == 8, "hot record is pointer-aligned");
+static_assert(sizeof(ListNode) == 16, "intrusive links: prev + next");
+
+// The cold record is allowed to grow — that is the point of the split — but a
+// *shrink* of the pair below the old fat record would be news worth noticing,
+// and accidental growth past two lines deserves a look too.
+static_assert(sizeof(ColdTimerRecord) <= 128,
+              "cold record grew past two cache lines; was a hot field dumped "
+              "here wholesale?");
+
+template <typename Field>
+std::size_t OffsetIn(const TimerRecord& rec, const Field& field) {
+  return static_cast<std::size_t>(reinterpret_cast<const unsigned char*>(&field) -
+                                  reinterpret_cast<const unsigned char*>(&rec));
+}
+
+TEST(LayoutTest, HotFieldOffsetsArePinned) {
+  TimerRecord rec;
+  // ListNode's prev/next occupy [0, 16); every hot field follows in declaration
+  // order with no padding holes until the trailing byte fields.
+  EXPECT_EQ(OffsetIn(rec, rec.expiry_tick), 16u);
+  EXPECT_EQ(OffsetIn(rec, rec.self), 24u);
+  EXPECT_EQ(OffsetIn(rec, rec.seq), 32u);
+  EXPECT_EQ(OffsetIn(rec, rec.interval), 40u);
+  EXPECT_EQ(OffsetIn(rec, rec.rounds), 48u);
+  EXPECT_EQ(OffsetIn(rec, rec.home_slot), 56u);
+  EXPECT_EQ(OffsetIn(rec, rec.level), 60u);
+  EXPECT_EQ(OffsetIn(rec, rec.migrations_done), 61u);
+  EXPECT_EQ(OffsetIn(rec, rec.cancelled), 62u);
+}
+
+TEST(LayoutTest, UnionsOverlayAsDocumented) {
+  TimerRecord rec;
+  // Scheme 1's per-tick decrement target overlays the hashed wheels' revolution
+  // count; the heap's array index overlays the wheels' slot index.
+  EXPECT_EQ(OffsetIn(rec, rec.rounds), OffsetIn(rec, rec.remaining));
+  EXPECT_EQ(OffsetIn(rec, rec.home_slot), OffsetIn(rec, rec.heap_index));
+  rec.rounds = 0x0123456789abcdefull;
+  EXPECT_EQ(rec.remaining, 0x0123456789abcdefull);
+  rec.heap_index = 7;
+  EXPECT_EQ(rec.home_slot, 7u);
+}
+
+TEST(LayoutTest, FreshRecordDefaultsMatchSchemeExpectations) {
+  TimerRecord rec;
+  EXPECT_EQ(rec.rounds, 0u);
+  EXPECT_EQ(rec.home_slot, TimerRecord::kNoIndex);
+  EXPECT_EQ(rec.level, 0u);
+  EXPECT_FALSE(rec.cancelled);
+  ColdTimerRecord cold;
+  EXPECT_EQ(cold.hot, nullptr);
+  EXPECT_EQ(cold.period, 0u);
+  EXPECT_EQ(cold.repeats_left, 0u);
+  EXPECT_EQ(cold.left, nullptr);
+  EXPECT_EQ(cold.right, nullptr);
+  EXPECT_EQ(cold.parent, nullptr);
+}
+
+TEST(LayoutTest, HotSlabIsCacheLineAligned) {
+  // sizeof(TimerRecord) == 64 and chunks are 64-aligned, so EVERY hot record
+  // starts on its own cache line — a bucket walk pulls one line per resident.
+  PairedSlabArena<TimerRecord, ColdTimerRecord> arena;
+  for (int i = 0; i < 5000; ++i) {
+    auto [hot, ref] = arena.Allocate();
+    ASSERT_NE(hot, nullptr);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(hot) % 64, 0u)
+        << "record " << i << " straddles a cache line";
+  }
+}
+
+TEST(LayoutTest, HotColdSlotsAgreeAcrossArenaGrowth) {
+  PairedSlabArena<TimerRecord, ColdTimerRecord> arena;
+  struct Pair {
+    TimerRecord* hot;
+    ColdTimerRecord* cold;
+    SlabRef ref;
+  };
+  std::vector<Pair> pairs;
+  // Span several chunks (chunk size is 1024 slots) so growth reallocates the
+  // chunk index vectors while earlier pairs are live.
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    auto [hot, ref] = arena.Allocate();
+    ASSERT_NE(hot, nullptr);
+    ColdTimerRecord* cold = arena.ColdOf(ref.slot);
+    cold->hot = hot;
+    cold->request_id = i;
+    hot->seq = i;
+    pairs.push_back({hot, cold, ref});
+  }
+  // Addresses are stable and the parallel slabs still agree slot-for-slot.
+  for (const Pair& p : pairs) {
+    EXPECT_EQ(arena.Get(p.ref), p.hot);
+    EXPECT_EQ(arena.ColdOf(p.ref.slot), p.cold);
+    EXPECT_EQ(p.cold->hot, p.hot);
+    EXPECT_EQ(p.cold->request_id, p.hot->seq);
+  }
+  EXPECT_EQ(arena.live(), pairs.size());
+  EXPECT_EQ(arena.hot_slab_bytes(), 5u * 1024u * sizeof(TimerRecord));
+  EXPECT_EQ(arena.cold_slab_bytes(), 5u * 1024u * sizeof(ColdTimerRecord));
+}
+
+TEST(LayoutTest, FreeingInvalidatesBothHalvesAndRecyclesTheSlot) {
+  PairedSlabArena<TimerRecord, ColdTimerRecord> arena;
+  auto [hot, ref] = arena.Allocate();
+  arena.ColdOf(ref.slot)->period = 99;
+  hot->expiry_tick = 42;
+  arena.Free(ref);
+  EXPECT_EQ(arena.Get(ref), nullptr) << "stale ref must miss";
+  EXPECT_EQ(arena.live(), 0u);
+
+  // The recycled slot hands out a higher generation and FRESH records on both
+  // sides — the old timer's cadence cannot resurrect.
+  auto [hot2, ref2] = arena.Allocate();
+  EXPECT_EQ(ref2.slot, ref.slot);
+  EXPECT_NE(ref2.generation, ref.generation);
+  EXPECT_EQ(hot2->expiry_tick, 0u);
+  EXPECT_EQ(arena.ColdOf(ref2.slot)->period, 0u);
+  EXPECT_EQ(arena.Get(ref), nullptr);
+  EXPECT_EQ(arena.Get(ref2), hot2);
+}
+
+}  // namespace
+}  // namespace twheel

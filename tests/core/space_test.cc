@@ -25,8 +25,14 @@ TEST(SpaceTest, EverySchemeReportsAProfile) {
     auto profile = service->Space();
     EXPECT_GE(profile.essential_record_bytes, 24u) << SchemeName(id);
     EXPECT_LE(profile.essential_record_bytes, profile.actual_record_bytes)
-        << SchemeName(id) << ": essentials can't exceed the fat shared record";
-    EXPECT_EQ(profile.actual_record_bytes, sizeof(TimerRecord)) << SchemeName(id);
+        << SchemeName(id) << ": essentials can't exceed the shared hot+cold pair";
+    EXPECT_EQ(profile.hot_record_bytes, sizeof(TimerRecord)) << SchemeName(id);
+    EXPECT_EQ(profile.cold_record_bytes, sizeof(ColdTimerRecord)) << SchemeName(id);
+    EXPECT_EQ(profile.actual_record_bytes,
+              sizeof(TimerRecord) + sizeof(ColdTimerRecord))
+        << SchemeName(id);
+    // The whole point of the split: the per-op working set is one cache line.
+    EXPECT_LE(profile.hot_record_bytes, 64u) << SchemeName(id);
   }
 }
 
