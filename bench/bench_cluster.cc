@@ -1,0 +1,85 @@
+// Experiment cluster: replication cost at the client — delivered callbacks/s
+// for a steady-state population of >= 256Ki replicated sessions, swept over
+// replication factor R in {1, 2, 3}.
+//
+// The cluster runs the async transport with lossless links (delays still
+// apply), 3 nodes hosting Scheme 6 hashed wheels, and no fault schedule: the
+// measurement isolates the protocol overhead itself — R arm messages per set,
+// R-1 standby leases armed in the host schemes, the pop/notify/disarm/ack
+// round per fire — not recovery behaviour (that is what tests/cluster/
+// exercises). Every delivered fire immediately re-Sets its key, so the live
+// population holds at kSessions for the whole run and each measured Step
+// carries a steady mix of deliveries, re-arms, and lease disarms.
+//
+// scripts/bench_record.sh records this binary into BENCH_cluster.json; the
+// per-R items/s (delivered client callbacks per second) is the headline:
+// R=2 and R=3 buy failure survival at a measured multiple of the R=1 cost.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_main.h"
+
+#include <cstdint>
+#include <memory>
+
+#include "src/cluster/cluster.h"
+
+namespace {
+
+using namespace twheel;
+
+constexpr std::size_t kSessions = 1u << 18;  // 256Ki live replicated timers
+constexpr std::size_t kNodes = 3;
+// Interval spread: sessions re-arm across [1, kSpread], so every tick expires
+// ~kSessions/kSpread timers once warm.
+constexpr Duration kSpread = 1024;
+
+Duration IntervalFor(std::uint64_t key) { return 1 + (key % kSpread); }
+
+void BM_ClusterSteadyState(benchmark::State& state) {
+  const auto replication = static_cast<std::uint32_t>(state.range(0));
+
+  cluster::ClusterConfig config;
+  config.nodes = kNodes;
+  config.replication_factor = replication;
+  config.link.loss_probability = 0.0;  // lossless: no retries in the measure
+  config.link.delay_lo = 1;
+  config.link.delay_hi = 2;
+  config.node_scheme.scheme = SchemeId::kScheme6HashedUnsorted;
+  config.node_scheme.wheel_size = 1u << 14;
+  auto cluster = std::make_unique<cluster::TimerCluster>(config);
+
+  // Steady state: every delivery re-arms its own key at the same cadence.
+  cluster->set_fire_callback(
+      [&cluster](std::uint64_t key, std::uint32_t, Tick) {
+        cluster->Set(key, IntervalFor(key));
+      });
+  for (std::uint64_t key = 0; key < kSessions; ++key) {
+    cluster->Set(key, IntervalFor(key));
+  }
+  // Warm through one full interval spread plus link delay so the arm traffic
+  // settles and every tick thereafter carries its steady share of fires.
+  for (Duration t = 0; t < kSpread + 16; ++t) {
+    cluster->Step();
+  }
+
+  std::uint64_t delivered_base = cluster->stats().delivered;
+  for (auto _ : state) {
+    cluster->Step();
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(cluster->stats().delivered - delivered_base));
+  state.counters["live"] = static_cast<double>(cluster->live_timers());
+  state.counters["R"] = replication;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClusterSteadyState)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Name("cluster/steady_state_R");
+
+TWHEEL_BENCHMARK_MAIN();

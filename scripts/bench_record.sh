@@ -34,6 +34,11 @@
 #                 (start_stop/restart/tick), and the measured hot/cold slab
 #                 footprint out to 100M live timers
 #                 (bench/bench_static_dispatch.cc).
+#   cluster       BENCH_cluster.json — the replicated timer cluster's
+#                 steady-state delivered-callback throughput at 256Ki live
+#                 replicated sessions, swept over replication factor
+#                 R in {1, 2, 3} (bench/bench_cluster.cc): what failure
+#                 survival costs as a multiple of the R=1 protocol overhead.
 #
 # Recordings are performance claims, so they are only taken from an optimized
 # build: benchmarks are built in a dedicated -DCMAKE_BUILD_TYPE=Release tree
@@ -60,7 +65,7 @@ JOBS="${JOBS:-$(nproc)}"
 
 TARGET="all"
 case "${1:-}" in
-  sparse_tick|mpsc_submit|restart|periodic|mpmc_dispatch|lawn|space|static_dispatch|all)
+  sparse_tick|mpsc_submit|restart|periodic|mpmc_dispatch|lawn|space|static_dispatch|cluster|all)
     TARGET="$1"
     shift ;;
 esac
@@ -415,6 +420,45 @@ for name in sorted(n for n in rows if n.startswith("space_coverage/")):
     b = rows[name]
     print(f"{name[len('space_coverage/'):]:<34}{b.get('slots', 0):>14,.0f}"
           f"{b.get('fixed_B', 0):>18,.0f}")
+PYEOF
+fi
+
+if [ "$TARGET" = "cluster" ] || [ "$TARGET" = "all" ]; then
+  record bench_cluster BENCH_cluster.json "$@"
+  summarize BENCH_cluster.json <<'PYEOF'
+import json
+import re
+import sys
+
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+
+# rows[R] = benchmark dict; prefer *_mean rows when repetitions add
+# aggregates.
+rows = {}
+for b in data.get("benchmarks", []):
+    name = b["name"]
+    if name.endswith(("_median", "_stddev", "_cv")):
+        continue
+    m = re.match(r"cluster/steady_state_R/(\d+)", name)
+    if not m or "items_per_second" not in b:
+        continue
+    key = int(m.group(1))
+    if name.endswith("_mean") or key not in rows:
+        rows[key] = b
+
+print("cluster steady state (delivered client callbacks/s, 256Ki sessions):")
+print(f"  {'R':<4}{'callbacks/s':>16}{'live':>12}{'vs R=1':>10}")
+base = rows.get(1, {}).get("items_per_second")
+for r in sorted(rows):
+    b = rows[r]
+    ips = b["items_per_second"]
+    rel = f"{base / ips:>9.2f}x" if base and ips else f"{'-':>10}"
+    print(f"  {r:<4}{ips:>16,.0f}{b.get('live', 0):>12,.0f}{rel}")
+print()
+print("Read: every client timer costs R arms, R-1 standby leases in the host")
+print("wheels, and a pop/notify/disarm round per fire; 'vs R=1' is the")
+print("throughput COST multiple of that redundancy (higher = slower).")
 PYEOF
 fi
 

@@ -1,0 +1,747 @@
+#include "src/cluster/cluster.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/rng/rng.h"
+
+namespace twheel::cluster {
+
+namespace {
+
+// Pack/unpack helpers for the replication payload words (see net::PacketType).
+std::uint64_t ArmPayload(std::uint32_t gen, std::uint32_t rank,
+                         std::uint32_t replication) {
+  return (static_cast<std::uint64_t>(gen) << 16) |
+         (static_cast<std::uint64_t>(rank & 0xFF) << 8) |
+         static_cast<std::uint64_t>(replication & 0xFF);
+}
+
+}  // namespace
+
+TimerCluster::TimerCluster(const ClusterConfig& config, FaultSchedule schedule)
+    : config_(config), schedule_(std::move(schedule)) {
+  assert(config_.nodes > 0);
+  assert(config_.failover_delay >= 1);
+  assert(config_.retry_every >= 1);
+  // Simulator::After needs delay >= 1; clamp rather than silently losing
+  // deliveries.
+  if (config_.link.delay_lo < 1) {
+    config_.link.delay_lo = 1;
+  }
+  if (config_.link.delay_hi < config_.link.delay_lo) {
+    config_.link.delay_hi = config_.link.delay_lo;
+  }
+  // Synchronous transport is the zero-fault torture mode; a schedule would
+  // have nothing to act on (and nothing gates direct calls).
+  assert(!config_.synchronous_transport || schedule_.empty());
+
+  nodes_.resize(config_.nodes);
+  node_epoch_seen_.assign(config_.nodes, 0);
+  for (NodeId i = 0; i < config_.nodes; ++i) {
+    MakeHost(i);
+  }
+
+  if (!config_.synchronous_transport) {
+    FacilityConfig net_config;
+    net_config.scheme = SchemeId::kScheme3Heap;
+    network_ = std::make_unique<sim::Simulator>(MakeTimerService(net_config));
+    rng::SplitMix64 seeder(config_.seed ^ 0x5EEDC4A77E1DULL);
+    up_.resize(config_.nodes);
+    down_.resize(config_.nodes);
+    mesh_.resize(config_.nodes * config_.nodes);
+    for (NodeId i = 0; i < config_.nodes; ++i) {
+      up_[i] = std::make_unique<net::Channel>(*network_, seeder.Next(),
+                                              config_.link);
+      up_[i]->set_receiver(
+          [this](const net::Packet& p) { OnCoordMessage(p); });
+      down_[i] = std::make_unique<net::Channel>(*network_, seeder.Next(),
+                                                config_.link);
+      down_[i]->set_receiver([this, i](const net::Packet& p) {
+        Node& n = nodes_[i];
+        if (!n.alive) {
+          ++stats_.dead_receiver_drops;
+          return;
+        }
+        if (n.partitioned) {
+          ++stats_.partition_drops;
+          return;
+        }
+        OnNodeMessage(i, p);
+      });
+    }
+    for (NodeId from = 0; from < config_.nodes; ++from) {
+      for (NodeId to = 0; to < config_.nodes; ++to) {
+        if (from == to) {
+          continue;
+        }
+        auto& link = mesh_[from * config_.nodes + to];
+        link = std::make_unique<net::Channel>(*network_, seeder.Next(),
+                                              config_.link);
+        link->set_receiver([this, to](const net::Packet& p) {
+          Node& n = nodes_[to];
+          if (!n.alive) {
+            ++stats_.dead_receiver_drops;
+            return;
+          }
+          if (n.partitioned) {
+            ++stats_.partition_drops;
+            return;
+          }
+          OnNodeMessage(to, p);
+        });
+      }
+    }
+  }
+}
+
+TimerCluster::~TimerCluster() = default;
+
+// --- transport ---------------------------------------------------------------
+
+bool TimerCluster::GateSend(std::uint32_t from, NodeId /*to*/) {
+  if (from == kCoordinatorId) {
+    return true;  // the coordinator is never faulted
+  }
+  Node& sender = nodes_[from];
+  if (!sender.alive) {
+    return false;  // a dead node has no state to send from
+  }
+  if (sender.partitioned) {
+    ++stats_.partition_drops;
+    return false;
+  }
+  if (sender.dropping) {
+    ++stats_.window_drops;
+    return false;
+  }
+  return true;
+}
+
+void TimerCluster::SendToNode(NodeId to, net::Packet packet) {
+  if (config_.synchronous_transport) {
+    OnNodeMessage(to, packet);
+    return;
+  }
+  down_[to]->Send(packet);
+}
+
+void TimerCluster::SendToCoord(NodeId from, net::Packet packet) {
+  if (config_.synchronous_transport) {
+    OnCoordMessage(packet);
+    return;
+  }
+  if (!GateSend(from, 0)) {
+    return;
+  }
+  up_[from]->Send(packet);
+}
+
+void TimerCluster::SendNodeToNode(NodeId from, NodeId to, net::Packet packet) {
+  if (config_.synchronous_transport) {
+    OnNodeMessage(to, packet);
+    return;
+  }
+  if (!GateSend(from, to)) {
+    return;
+  }
+  mesh_[from * config_.nodes + to]->Send(packet);
+}
+
+// --- client ops --------------------------------------------------------------
+
+std::vector<NodeId> TimerCluster::ReplicaSetFor(
+    std::uint64_t key, std::uint32_t replication) const {
+  const std::size_t n = nodes_.size();
+  std::uint32_t r = std::max<std::uint32_t>(1, replication);
+  r = std::min<std::uint32_t>(r, kMaxReplication);
+  r = std::min<std::uint32_t>(r, static_cast<std::uint32_t>(n));
+  rng::SplitMix64 hash(key ^ (config_.seed * 0x9E3779B97F4A7C15ULL));
+  const NodeId start = static_cast<NodeId>(hash.Next() % n);
+  std::vector<NodeId> set;
+  set.reserve(r);
+  for (std::uint32_t i = 0; i < r; ++i) {
+    set.push_back(static_cast<NodeId>((start + i) % n));
+  }
+  return set;
+}
+
+bool TimerCluster::Set(std::uint64_t key, Duration interval) {
+  return Set(key, interval, config_.replication_factor);
+}
+
+bool TimerCluster::Set(std::uint64_t key, Duration interval,
+                       std::uint32_t replication) {
+  if (interval == 0) {
+    return false;
+  }
+  const std::vector<NodeId> set = ReplicaSetFor(key, replication);
+  PendingTimer& entry = timers_[key];
+  const bool was_live =
+      entry.gen != 0 && entry.state == PendingTimer::State::kLive;
+  // A Set superseding a resolved generation aborts its disarm fan-out: the
+  // fresh arms overwrite the replicas by generation anyway.
+  if (!entry.disarm_done) {
+    entry.disarm_done = true;
+    --pending_disarms_;
+  }
+  ++entry.gen;
+  entry.deadline = now_ + interval;
+  entry.replication = static_cast<std::uint32_t>(set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    entry.replicas[i] = set[i];
+  }
+  entry.arm_acked = 0;
+  entry.disarm_acked = 0;
+  entry.disarm_round = 0;
+  entry.state = PendingTimer::State::kLive;
+  if (!was_live) {
+    ++live_count_;
+  }
+  ++stats_.accepted;
+  events_.push_back({ClientEventKind::kAccepted, key, entry.gen, now_,
+                     entry.deadline});
+  for (std::uint32_t rank = 0; rank < entry.replication; ++rank) {
+    SendArm(key, entry, rank);
+  }
+  QueueRetry(key, entry);
+  return true;
+}
+
+bool TimerCluster::Restart(std::uint64_t key, Duration interval) {
+  if (interval == 0) {
+    return false;
+  }
+  auto it = timers_.find(key);
+  if (it == timers_.end() ||
+      it->second.state != PendingTimer::State::kLive) {
+    ++stats_.restart_misses;
+    return false;
+  }
+  PendingTimer& entry = it->second;
+  ++entry.gen;
+  entry.deadline = now_ + interval;
+  entry.arm_acked = 0;
+  ++stats_.restarts;
+  events_.push_back({ClientEventKind::kRestarted, key, entry.gen, now_,
+                     entry.deadline});
+  for (std::uint32_t rank = 0; rank < entry.replication; ++rank) {
+    SendArm(key, entry, rank);
+  }
+  QueueRetry(key, entry);
+  return true;
+}
+
+bool TimerCluster::Cancel(std::uint64_t key) {
+  auto it = timers_.find(key);
+  if (it == timers_.end() ||
+      it->second.state != PendingTimer::State::kLive) {
+    ++stats_.cancel_misses;
+    return false;
+  }
+  PendingTimer& entry = it->second;
+  entry.state = PendingTimer::State::kCancelled;
+  --live_count_;
+  ++stats_.cancels;
+  events_.push_back({ClientEventKind::kCancelAcked, key, entry.gen, now_,
+                     entry.deadline});
+  BeginDisarm(key, entry, /*fired=*/false);
+  return true;
+}
+
+// --- coordinator internals ---------------------------------------------------
+
+void TimerCluster::SendArm(const std::uint64_t key, const PendingTimer& entry,
+                           std::uint32_t rank) {
+  net::Packet packet;
+  packet.connection_id = kCoordinatorId;
+  packet.seq = key;
+  packet.type = net::PacketType::kClusterArm;
+  packet.arg0 = entry.deadline;
+  packet.arg1 = ArmPayload(entry.gen, rank, entry.replication);
+  ++stats_.arm_sends;
+  SendToNode(entry.replicas[rank], packet);
+}
+
+void TimerCluster::BeginDisarm(std::uint64_t key, PendingTimer& entry,
+                               bool fired) {
+  // Only reachable from state kLive, where no fan-out is outstanding.
+  ++pending_disarms_;
+  entry.disarm_done = false;
+  entry.disarm_round = 0;
+  entry.disarm_fired_flag = fired;
+  const std::uint32_t full = (1u << entry.replication) - 1;
+  if ((entry.disarm_acked & full) == full) {
+    // Single replica that itself fired: nothing left to disarm.
+    entry.disarm_done = true;
+    --pending_disarms_;
+    return;
+  }
+  SendDisarms(key, entry);
+  QueueRetry(key, entry);
+}
+
+void TimerCluster::SendDisarms(std::uint64_t key, PendingTimer& entry) {
+  for (std::uint32_t rank = 0; rank < entry.replication; ++rank) {
+    if ((entry.disarm_acked >> rank) & 1u) {
+      continue;
+    }
+    net::Packet packet;
+    packet.connection_id = kCoordinatorId;
+    packet.seq = key;
+    packet.type = net::PacketType::kClusterDisarm;
+    packet.arg0 = entry.gen;
+    packet.arg1 = (static_cast<std::uint64_t>(entry.disarm_fired_flag) << 8) |
+                  rank;
+    ++stats_.disarm_sends;
+    SendToNode(entry.replicas[rank], packet);
+  }
+}
+
+void TimerCluster::QueueRetry(std::uint64_t key, PendingTimer& entry) {
+  if (!entry.retry_queued) {
+    retry_queue_.emplace(now_ + config_.retry_every, key);
+    entry.retry_queued = true;
+  }
+}
+
+void TimerCluster::CoordRetryScan() {
+  while (!retry_queue_.empty() && retry_queue_.begin()->first <= now_) {
+    const std::uint64_t key = retry_queue_.begin()->second;
+    retry_queue_.erase(retry_queue_.begin());
+    auto it = timers_.find(key);
+    if (it == timers_.end()) {
+      continue;
+    }
+    PendingTimer& entry = it->second;
+    entry.retry_queued = false;
+    bool again = false;
+    if (entry.state == PendingTimer::State::kLive) {
+      const std::uint32_t full = (1u << entry.replication) - 1;
+      if ((entry.arm_acked & full) != full) {
+        for (std::uint32_t rank = 0; rank < entry.replication; ++rank) {
+          if (!((entry.arm_acked >> rank) & 1u)) {
+            ++stats_.arm_retries;
+            SendArm(key, entry, rank);
+          }
+        }
+        again = true;
+      }
+    } else if (!entry.disarm_done) {
+      if (entry.disarm_round < config_.disarm_retry_cap) {
+        ++entry.disarm_round;
+        SendDisarms(key, entry);
+        again = true;
+      } else {
+        // Unreachable replicas (dead forever, or long-partitioned — their
+        // copy will pop and be suppressed by generation/state instead).
+        entry.disarm_done = true;
+        --pending_disarms_;
+      }
+    }
+    if (again) {
+      QueueRetry(key, entry);
+    }
+  }
+}
+
+void TimerCluster::RearmNodeTimers(NodeId node) {
+  for (auto& [key, entry] : timers_) {
+    if (entry.state != PendingTimer::State::kLive) {
+      continue;
+    }
+    for (std::uint32_t rank = 0; rank < entry.replication; ++rank) {
+      if (entry.replicas[rank] != node) {
+        continue;
+      }
+      entry.arm_acked &= ~(1u << rank);
+      ++stats_.rearms_on_node_up;
+      SendArm(key, entry, rank);
+      QueueRetry(key, entry);
+    }
+  }
+}
+
+void TimerCluster::OnCoordMessage(const net::Packet& packet) {
+  const std::uint64_t key = packet.seq;
+  const NodeId sender = packet.connection_id;
+  switch (packet.type) {
+    case net::PacketType::kClusterArmAck: {
+      auto it = timers_.find(key);
+      if (it == timers_.end()) {
+        return;
+      }
+      PendingTimer& entry = it->second;
+      if (entry.state == PendingTimer::State::kLive &&
+          entry.gen == static_cast<std::uint32_t>(packet.arg0)) {
+        entry.arm_acked |= 1u << (packet.arg1 & 0xFF);
+      }
+      return;
+    }
+    case net::PacketType::kClusterDisarmAck: {
+      auto it = timers_.find(key);
+      if (it == timers_.end()) {
+        return;
+      }
+      PendingTimer& entry = it->second;
+      if (entry.state != PendingTimer::State::kLive && !entry.disarm_done &&
+          entry.gen == static_cast<std::uint32_t>(packet.arg0)) {
+        entry.disarm_acked |= 1u << (packet.arg1 & 0xFF);
+        const std::uint32_t full = (1u << entry.replication) - 1;
+        if ((entry.disarm_acked & full) == full) {
+          entry.disarm_done = true;
+          --pending_disarms_;
+        }
+      }
+      return;
+    }
+    case net::PacketType::kClusterFire: {
+      ++stats_.fire_receipts;
+      const std::uint32_t gen = static_cast<std::uint32_t>(packet.arg1);
+      const std::uint32_t rank =
+          static_cast<std::uint32_t>(packet.arg1 >> 32) & 0xFF;
+      const Tick pop_tick = packet.arg0;
+      bool deliver = false;
+      auto it = timers_.find(key);
+      if (it == timers_.end() || gen != it->second.gen) {
+        ++stats_.stale_gen_suppressed;
+      } else if (it->second.state == PendingTimer::State::kCancelled) {
+        ++stats_.after_cancel_suppressed;
+      } else if (it->second.state == PendingTimer::State::kFired) {
+        ++stats_.duplicate_suppressed;
+      } else {
+        deliver = true;
+      }
+      if (deliver) {
+        PendingTimer& entry = it->second;
+        entry.state = PendingTimer::State::kFired;
+        --live_count_;
+        ++stats_.delivered;
+        events_.push_back(
+            {ClientEventKind::kFired, key, gen, now_, pop_tick});
+        // The popping replica resolves via the fire-ack, not a disarm.
+        entry.disarm_acked = 1u << rank;
+        BeginDisarm(key, entry, /*fired=*/true);
+      }
+      // Ack the notify regardless of classification so the sender stops
+      // retransmitting; the callback runs last — it may re-enter the cluster.
+      net::Packet ack;
+      ack.connection_id = kCoordinatorId;
+      ack.seq = key;
+      ack.type = net::PacketType::kClusterFireAck;
+      ack.arg0 = gen;
+      SendToNode(sender, ack);
+      if (deliver && fire_callback_) {
+        fire_callback_(key, gen, pop_tick);
+      }
+      return;
+    }
+    case net::PacketType::kClusterNodeUp: {
+      net::Packet ack;
+      ack.connection_id = kCoordinatorId;
+      ack.type = net::PacketType::kClusterNodeUpAck;
+      ack.arg0 = packet.arg0;
+      SendToNode(sender, ack);
+      if (packet.arg0 > node_epoch_seen_[sender]) {
+        node_epoch_seen_[sender] = packet.arg0;
+        RearmNodeTimers(sender);
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+// --- node internals ----------------------------------------------------------
+
+void TimerCluster::MakeHost(NodeId node) {
+  nodes_[node].host = MakeTimerService(config_.node_scheme);
+  nodes_[node].host->set_expiry_handler(
+      [this, node](RequestId key, Tick /*host_now*/) {
+        OnHostPop(node, key);
+      });
+}
+
+void TimerCluster::OnHostPop(NodeId node, std::uint64_t key) {
+  Node& n = nodes_[node];
+  auto it = n.local.find(key);
+  if (it == n.local.end() || it->second.popped) {
+    ++stats_.orphan_pops;
+    return;
+  }
+  ReplicaLocal& replica = it->second;
+  replica.popped = true;
+  replica.pop_tick = now_;
+  ++stats_.pops;
+  // Copy everything needed before the first send: with synchronous transport
+  // the notify chain (fire -> fire-ack) erases this very entry re-entrantly.
+  const std::uint32_t gen = replica.gen;
+  const std::uint32_t rank = replica.rank;
+  const std::uint32_t replication = replica.replication;
+  n.notify_retry.emplace(now_ + config_.retry_every, std::make_pair(key, gen));
+  SendFireNotify(node, key, gen, rank, now_);
+  // Best-effort lease-extension hints: peers push their takeover lease out
+  // rather than cancelling it, so a lost hint can only cost a duplicate pop.
+  for (NodeId peer : ReplicaSetFor(key, replication)) {
+    if (peer == node) {
+      continue;
+    }
+    net::Packet hint;
+    hint.connection_id = node;
+    hint.seq = key;
+    hint.type = net::PacketType::kClusterSuppress;
+    hint.arg0 = gen;
+    SendNodeToNode(node, peer, hint);
+  }
+}
+
+void TimerCluster::SendFireNotify(NodeId node, std::uint64_t key,
+                                  std::uint32_t gen, std::uint32_t rank,
+                                  Tick pop_tick) {
+  net::Packet notify;
+  notify.connection_id = node;
+  notify.seq = key;
+  notify.type = net::PacketType::kClusterFire;
+  notify.arg0 = pop_tick;
+  notify.arg1 = static_cast<std::uint64_t>(gen) |
+                (static_cast<std::uint64_t>(rank) << 32);
+  SendToCoord(node, notify);
+}
+
+void TimerCluster::OnNodeMessage(NodeId node, const net::Packet& packet) {
+  Node& n = nodes_[node];
+  const std::uint64_t key = packet.seq;
+  switch (packet.type) {
+    case net::PacketType::kClusterArm: {
+      const std::uint32_t gen = static_cast<std::uint32_t>(packet.arg1 >> 16);
+      const std::uint32_t rank =
+          static_cast<std::uint32_t>(packet.arg1 >> 8) & 0xFF;
+      const std::uint32_t replication =
+          static_cast<std::uint32_t>(packet.arg1) & 0xFF;
+      const Tick deadline = packet.arg0;
+      auto it = n.local.find(key);
+      if (it != n.local.end() && it->second.gen >= gen) {
+        // Duplicate (retried) or stale arm: idempotent, just re-ack.
+      } else {
+        if (it != n.local.end()) {
+          if (!it->second.popped) {
+            n.host->StopTimer(it->second.handle);
+          }
+          n.local.erase(it);
+          --replica_entries_;
+        }
+        // The rank-k lease: arm the HOST scheme for the deadline plus k
+        // failover delays (catching up past-due deadlines to the host's next
+        // tick). Both the floor and the interval are computed on the host's
+        // own clock position — see Node::host_base.
+        const Tick host_now = n.host_base + n.host->now();
+        const Tick target = std::max(deadline, host_now + 1) +
+                            static_cast<Tick>(rank) * config_.failover_delay;
+        StartResult started = n.host->StartTimer(target - host_now, key);
+        if (!started.has_value()) {
+          ++stats_.arm_rejects;  // config error; no ack, coordinator retries
+          return;
+        }
+        ReplicaLocal replica;
+        replica.gen = gen;
+        replica.rank = rank;
+        replica.replication = replication;
+        replica.deadline = deadline;
+        replica.handle = started.value();
+        n.local.emplace(key, replica);
+        ++replica_entries_;
+      }
+      net::Packet ack;
+      ack.connection_id = node;
+      ack.seq = key;
+      ack.type = net::PacketType::kClusterArmAck;
+      ack.arg0 = gen;
+      ack.arg1 = rank;
+      SendToCoord(node, ack);
+      return;
+    }
+    case net::PacketType::kClusterDisarm: {
+      const std::uint32_t gen = static_cast<std::uint32_t>(packet.arg0);
+      const bool fired = ((packet.arg1 >> 8) & 1u) != 0;
+      auto it = n.local.find(key);
+      if (it != n.local.end() && it->second.gen <= gen) {
+        if (!it->second.popped) {
+          n.host->StopTimer(it->second.handle);
+          if (fired) {
+            ++stats_.lease_disarms;
+          } else {
+            ++stats_.cancel_disarms;
+          }
+        }
+        // A popped entry's pending notify dies with it: the coordinator has
+        // already resolved this generation.
+        n.local.erase(it);
+        --replica_entries_;
+      }
+      net::Packet ack;
+      ack.connection_id = node;
+      ack.seq = key;
+      ack.type = net::PacketType::kClusterDisarmAck;
+      ack.arg0 = packet.arg0;
+      ack.arg1 = packet.arg1 & 0xFF;  // echo the rank
+      SendToCoord(node, ack);
+      return;
+    }
+    case net::PacketType::kClusterSuppress: {
+      const std::uint32_t gen = static_cast<std::uint32_t>(packet.arg0);
+      auto it = n.local.find(key);
+      if (it != n.local.end() && it->second.gen == gen &&
+          !it->second.popped &&
+          it->second.extensions < kMaxLeaseExtensions) {
+        if (n.host->RestartTimer(it->second.handle,
+                                 config_.failover_delay) == TimerError::kOk) {
+          ++it->second.extensions;
+          ++stats_.lease_extensions;
+        }
+      }
+      return;
+    }
+    case net::PacketType::kClusterFireAck: {
+      auto it = n.local.find(key);
+      if (it != n.local.end() && it->second.popped &&
+          it->second.gen == static_cast<std::uint32_t>(packet.arg0)) {
+        n.local.erase(it);
+        --replica_entries_;
+      }
+      return;
+    }
+    case net::PacketType::kClusterNodeUpAck: {
+      if (packet.arg0 == n.epoch) {
+        n.up_acked = true;
+      }
+      return;
+    }
+    default:
+      return;
+  }
+}
+
+void TimerCluster::NodeRetryScan(NodeId node) {
+  Node& n = nodes_[node];
+  if (!n.up_acked && now_ >= n.next_up_retry) {
+    net::Packet up;
+    up.connection_id = node;
+    up.type = net::PacketType::kClusterNodeUp;
+    up.arg0 = n.epoch;
+    SendToCoord(node, up);
+    n.next_up_retry = now_ + config_.retry_every;
+  }
+  while (!n.notify_retry.empty() && n.notify_retry.begin()->first <= now_) {
+    const auto [key, gen] = n.notify_retry.begin()->second;
+    n.notify_retry.erase(n.notify_retry.begin());
+    auto it = n.local.find(key);
+    if (it == n.local.end() || !it->second.popped || it->second.gen != gen) {
+      continue;  // resolved or superseded since the retry was queued
+    }
+    ++stats_.notify_retries;
+    SendFireNotify(node, key, gen, it->second.rank, it->second.pop_tick);
+    n.notify_retry.emplace(now_ + config_.retry_every,
+                           std::make_pair(key, gen));
+  }
+}
+
+// --- clock -------------------------------------------------------------------
+
+void TimerCluster::ApplyFaults() {
+  while (schedule_cursor_ < schedule_.events.size() &&
+         schedule_.events[schedule_cursor_].at <= now_) {
+    const FaultEvent& event = schedule_.events[schedule_cursor_++];
+    Node& n = nodes_[event.node];
+    switch (event.kind) {
+      case FaultKind::kKill:
+        if (n.alive) {
+          n.alive = false;
+          n.host.reset();
+          replica_entries_ -= n.local.size();
+          n.local.clear();
+          n.notify_retry.clear();
+          ++stats_.kills;
+        }
+        break;
+      case FaultKind::kRestart:
+        if (!n.alive) {
+          n.alive = true;
+          ++n.epoch;
+          // The fresh host ticks to 1 later this very Step (faults apply
+          // before hosts tick), anchoring host tick 1 at cluster tick now_.
+          n.host_base = now_ - 1;
+          MakeHost(event.node);
+          n.up_acked = false;
+          n.next_up_retry = now_;  // announce this very tick
+          ++stats_.node_restarts;
+        }
+        break;
+      case FaultKind::kPartitionStart:
+        n.partitioned = true;
+        ++stats_.partitions;
+        break;
+      case FaultKind::kPartitionEnd:
+        n.partitioned = false;
+        break;
+      case FaultKind::kDropStart:
+        n.dropping = true;
+        ++stats_.drop_windows;
+        break;
+      case FaultKind::kDropEnd:
+        n.dropping = false;
+        break;
+    }
+  }
+}
+
+void TimerCluster::Step() {
+  ++now_;
+  ApplyFaults();
+  if (network_ != nullptr) {
+    network_->Step();
+  }
+  for (Node& n : nodes_) {
+    if (n.alive) {
+      n.host->PerTickBookkeeping();
+    }
+  }
+  CoordRetryScan();
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].alive) {
+      NodeRetryScan(i);
+    }
+  }
+}
+
+bool TimerCluster::quiesced() const {
+  return live_count_ == 0 && replica_entries_ == 0 && pending_disarms_ == 0 &&
+         (network_ == nullptr || network_->pending() == 0);
+}
+
+Tick TimerCluster::Drain(Tick max_ticks) {
+  Tick stepped = 0;
+  while (!quiesced() && stepped < max_ticks) {
+    Step();
+    ++stepped;
+  }
+  return stepped;
+}
+
+std::uint64_t TimerCluster::link_drops() const {
+  std::uint64_t total = 0;
+  for (const auto& channel : up_) {
+    total += channel->dropped();
+  }
+  for (const auto& channel : down_) {
+    total += channel->dropped();
+  }
+  for (const auto& channel : mesh_) {
+    if (channel != nullptr) {
+      total += channel->dropped();
+    }
+  }
+  return total;
+}
+
+}  // namespace twheel::cluster

@@ -1,0 +1,78 @@
+// The fault-schedule oracle: exactly-once-within-slop, judged from the
+// client-visible event trace alone.
+//
+// The oracle deliberately does NOT trust the coordinator's classification — it
+// re-derives per-key legality from the ordered ClientEvent stream (which gen
+// was current and live at each instant) and checks the coordinator's counters
+// only through the conservation law. Its inputs are the same ClusterConfig and
+// FaultSchedule the episode ran under, from which it computes the slop bound a
+// delivered fire must land in:
+//
+//   slop = (R-1 + kMaxLeaseExtensions) * failover_delay   // lease ladder
+//        + schedule.total_outage                          // bounded outages
+//        + kRetryBudget * retry_every + 2 * delay_hi      // loss retries
+//        + small constant
+//
+// The retry budget covers probabilistic channel loss: with loss p <= 0.05 and
+// 12 retransmission rounds inside the budget, a message series outlives the
+// bound with probability ~p^12 ≈ 2e-16 — and since channel fates are pure
+// functions of the seed, a seeded episode that passes once passes forever.
+//
+// Checked invariants:
+//   1. exactly-once: the final un-cancelled generation of every key fires
+//      exactly once; no generation ever fires twice (zero duplicate client
+//      callbacks);
+//   2. never early: every pop tick >= its generation's deadline;
+//   3. within slop: pop <= deadline + slop, delivery <= pop + delivery slack;
+//   4. no fire after acknowledged cancel, no fire of a superseded (restarted)
+//      generation, no fire of a replaced generation after its replacement;
+//   5. duplicate-suppression conservation: fire_receipts == delivered +
+//      duplicate_suppressed + stale_gen_suppressed + after_cancel_suppressed,
+//      delivered == |kFired events|, and zero arm_rejects / orphan_pops.
+
+#ifndef TWHEEL_SRC_CLUSTER_CLUSTER_ORACLE_H_
+#define TWHEEL_SRC_CLUSTER_CLUSTER_ORACLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/fault_schedule.h"
+
+namespace twheel::cluster {
+
+struct OracleReport {
+  bool ok = true;
+  std::string violation;  // first violation, human-readable; empty when ok
+
+  std::size_t keys = 0;
+  std::size_t generations = 0;
+  std::size_t fires_checked = 0;
+  std::size_t cancels_checked = 0;
+};
+
+class ClusterOracle {
+ public:
+  // Retransmission rounds the slop bound budgets for probabilistic loss.
+  static constexpr Duration kRetryBudget = 12;
+
+  ClusterOracle(const ClusterConfig& config, const FaultSchedule& schedule);
+
+  // Latest legal pop tick is deadline + slop_bound().
+  Duration slop_bound() const { return slop_; }
+  // Latest legal delivery is pop + delivery_slack().
+  Duration delivery_slack() const { return delivery_slack_; }
+
+  OracleReport Check(const std::vector<ClientEvent>& events,
+                     const ClusterStats& stats) const;
+
+ private:
+  ClusterConfig config_;
+  Duration slop_ = 0;
+  Duration delivery_slack_ = 0;
+};
+
+}  // namespace twheel::cluster
+
+#endif  // TWHEEL_SRC_CLUSTER_CLUSTER_ORACLE_H_

@@ -1,0 +1,150 @@
+#include "src/cluster/fault_schedule.h"
+
+#include <algorithm>
+
+#include "src/rng/rng.h"
+
+namespace twheel::cluster {
+
+const char* ScheduleKindName(ScheduleKind kind) {
+  switch (kind) {
+    case ScheduleKind::kKills:
+      return "kills";
+    case ScheduleKind::kRestarts:
+      return "restarts";
+    case ScheduleKind::kPartitions:
+      return "partitions";
+    case ScheduleKind::kDrops:
+      return "drops";
+  }
+  return "?";
+}
+
+FaultSchedule MakeFaultSchedule(ScheduleKind kind,
+                                const ScheduleParams& params) {
+  FaultSchedule schedule;
+  if (params.replication_factor <= 1 || params.nodes == 0) {
+    return schedule;  // no redundancy, no survivable faults
+  }
+  rng::Xoshiro256 rng(params.seed ^ 0xC1A57E12DULL);
+  const std::uint32_t budget = params.replication_factor - 1;
+
+  if (kind == ScheduleKind::kKills) {
+    // Up to R-1 permanent kills at random instants: the strongest adversary
+    // the rank ladder must absorb with no recovery at all.
+    const std::uint32_t kills = std::min<std::uint32_t>(
+        budget, 1 + static_cast<std::uint32_t>(rng.NextBounded(budget)));
+    std::vector<NodeId> victims(params.nodes);
+    for (NodeId i = 0; i < params.nodes; ++i) {
+      victims[i] = i;
+    }
+    for (std::uint32_t k = 0; k < kills && !victims.empty(); ++k) {
+      const std::size_t pick = rng.NextBounded(victims.size());
+      const NodeId node = victims[pick];
+      victims.erase(victims.begin() + static_cast<std::ptrdiff_t>(pick));
+      schedule.events.push_back(
+          {1 + rng.NextBounded(params.horizon), FaultKind::kKill, node});
+    }
+    std::sort(schedule.events.begin(), schedule.events.end(),
+              [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+    return schedule;
+  }
+
+  // Recoverable shapes: sequential non-overlapping windows, so the concurrent
+  // outage count never exceeds 1 (<= budget by construction).
+  FaultKind start_kind = FaultKind::kKill;
+  FaultKind end_kind = FaultKind::kRestart;
+  if (kind == ScheduleKind::kPartitions) {
+    start_kind = FaultKind::kPartitionStart;
+    end_kind = FaultKind::kPartitionEnd;
+  } else if (kind == ScheduleKind::kDrops) {
+    start_kind = FaultKind::kDropStart;
+    end_kind = FaultKind::kDropEnd;
+  }
+  const Duration span = params.max_outage - params.min_outage + 1;
+  Tick cursor = 1 + rng.NextBounded(16);
+  while (cursor < params.horizon) {
+    const NodeId node = static_cast<NodeId>(rng.NextBounded(params.nodes));
+    const Duration len = params.min_outage + rng.NextBounded(span);
+    schedule.events.push_back({cursor, start_kind, node});
+    schedule.events.push_back({cursor + len, end_kind, node});
+    schedule.total_outage += len;
+    cursor += len + 2 + rng.NextBounded(24);
+  }
+  return schedule;
+}
+
+bool ValidateSchedule(const FaultSchedule& schedule, std::size_t nodes,
+                      std::uint32_t max_concurrent, std::string* why) {
+  auto fail = [&](const std::string& message) {
+    if (why != nullptr) {
+      *why = message;
+    }
+    return false;
+  };
+  std::vector<std::uint8_t> dead(nodes, 0);
+  std::vector<std::uint8_t> partitioned(nodes, 0);
+  std::vector<std::uint8_t> dropping(nodes, 0);
+  Tick last = 0;
+  std::uint32_t concurrent = 0;
+  for (const FaultEvent& event : schedule.events) {
+    if (event.at < last) {
+      return fail("events not sorted by tick");
+    }
+    last = event.at;
+    if (event.node >= nodes) {
+      return fail("node id out of range");
+    }
+    const NodeId n = event.node;
+    switch (event.kind) {
+      case FaultKind::kKill:
+        if (dead[n]) {
+          return fail("kill of an already-dead node");
+        }
+        dead[n] = 1;
+        ++concurrent;
+        break;
+      case FaultKind::kRestart:
+        if (!dead[n]) {
+          return fail("restart of a live node");
+        }
+        dead[n] = 0;
+        --concurrent;
+        break;
+      case FaultKind::kPartitionStart:
+        if (partitioned[n]) {
+          return fail("nested partition window");
+        }
+        partitioned[n] = 1;
+        ++concurrent;
+        break;
+      case FaultKind::kPartitionEnd:
+        if (!partitioned[n]) {
+          return fail("partition end without start");
+        }
+        partitioned[n] = 0;
+        --concurrent;
+        break;
+      case FaultKind::kDropStart:
+        if (dropping[n]) {
+          return fail("nested drop window");
+        }
+        dropping[n] = 1;
+        ++concurrent;
+        break;
+      case FaultKind::kDropEnd:
+        if (!dropping[n]) {
+          return fail("drop end without start");
+        }
+        dropping[n] = 0;
+        --concurrent;
+        break;
+    }
+    if (concurrent > max_concurrent) {
+      return fail("more than R-1 nodes concurrently faulted");
+    }
+  }
+  return true;
+}
+
+}  // namespace twheel::cluster

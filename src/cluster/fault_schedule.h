@@ -1,0 +1,93 @@
+// Fault schedules: the scripted adversary a TimerCluster episode runs under.
+//
+// A schedule is a sorted list of fault events on the cluster clock — node
+// kills, restarts, symmetric partitions, and sender-side drop windows. The
+// generator and the ClusterOracle consume the SAME schedule object: the
+// generator promises the liveness precondition (never more than R-1 nodes
+// concurrently dead/partitioned/dropping, so every replica set keeps a live
+// member), and the oracle derives its slop bound from the schedule's total
+// outage time. ValidateSchedule re-checks the precondition so a generator bug
+// surfaces as a named validation error, not a flaky exactly-once failure.
+
+#ifndef TWHEEL_SRC_CLUSTER_FAULT_SCHEDULE_H_
+#define TWHEEL_SRC_CLUSTER_FAULT_SCHEDULE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/base/types.h"
+
+namespace twheel::cluster {
+
+using NodeId = std::uint32_t;
+
+enum class FaultKind : std::uint8_t {
+  kKill,            // node loses all state (host service included), stops ticking
+  kRestart,         // dead node returns empty with a bumped epoch, announces itself
+  kPartitionStart,  // symmetric isolation: nothing in, nothing out
+  kPartitionEnd,
+  kDropStart,  // asymmetric: every packet the node SENDS is dropped
+  kDropEnd,
+};
+
+struct FaultEvent {
+  Tick at = 0;
+  FaultKind kind = FaultKind::kKill;
+  NodeId node = 0;
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultSchedule {
+  std::vector<FaultEvent> events;  // sorted by `at`, ties in emission order
+  // Sum of all bounded outage window lengths (kill->restart gaps, partition
+  // windows, drop windows). Kills that never restart contribute nothing: the
+  // node simply stops participating and the rank ladder covers it. Feeds the
+  // oracle's slop bound.
+  Duration total_outage = 0;
+
+  bool empty() const { return events.empty(); }
+};
+
+// The four adversary shapes of the acceptance matrix.
+enum class ScheduleKind : std::uint8_t {
+  kKills,       // up to R-1 permanent kills, no recovery
+  kRestarts,    // kill -> restart windows, one outage at a time
+  kPartitions,  // partition windows, one at a time
+  kDrops,       // sender-side drop windows, one at a time
+};
+
+inline constexpr std::array<ScheduleKind, 4> kAllScheduleKinds = {
+    ScheduleKind::kKills, ScheduleKind::kRestarts, ScheduleKind::kPartitions,
+    ScheduleKind::kDrops};
+
+const char* ScheduleKindName(ScheduleKind kind);
+
+struct ScheduleParams {
+  std::size_t nodes = 4;
+  std::uint32_t replication_factor = 2;  // outage budget is R-1
+  Tick horizon = 250;                    // all faults land in [1, horizon]
+  Duration min_outage = 4;               // bounds for one recoverable window
+  Duration max_outage = 32;
+  std::uint64_t seed = 1;
+};
+
+// Deterministically generate a schedule of the given shape. The result always
+// satisfies ValidateSchedule for `params.nodes` nodes and a concurrency budget
+// of replication_factor - 1 (an R of 1 yields an empty schedule: with no
+// redundancy there is no fault the cluster is expected to survive).
+FaultSchedule MakeFaultSchedule(ScheduleKind kind, const ScheduleParams& params);
+
+// Check the liveness precondition: events sorted, node ids in range, windows
+// well-formed (restart only after kill, ends match starts), and at no instant
+// are more than `max_concurrent` nodes dead, partitioned, or dropping at once.
+// On failure returns false and, if `why` is non-null, names the violation.
+bool ValidateSchedule(const FaultSchedule& schedule, std::size_t nodes,
+                      std::uint32_t max_concurrent, std::string* why);
+
+}  // namespace twheel::cluster
+
+#endif  // TWHEEL_SRC_CLUSTER_FAULT_SCHEDULE_H_

@@ -14,6 +14,7 @@
 #ifndef TWHEEL_SRC_NET_CHANNEL_H_
 #define TWHEEL_SRC_NET_CHANNEL_H_
 
+#include <atomic>
 #include <functional>
 #include <utility>
 
@@ -35,24 +36,34 @@ class Channel {
   // Transmit: either silently dropped or delivered to the receiver after a
   // packet-identity-determined delay in [delay_lo, delay_hi].
   void Send(const Packet& packet) {
-    ++sent_;
+    sent_.fetch_add(1, std::memory_order_relaxed);
     rng::SplitMix64 hash(seed_ ^ PacketFingerprint(packet, network_.now()));
     const double loss_draw = static_cast<double>(hash.Next() >> 11) * 0x1.0p-53;
     if (loss_draw < config_.loss_probability) {
-      ++dropped_;
+      dropped_.fetch_add(1, std::memory_order_relaxed);
       return;
     }
     const Duration spread = config_.delay_hi - config_.delay_lo + 1;
     const Duration delay = config_.delay_lo + hash.Next() % spread;
     network_.After(delay, [this, packet] {
-      ++delivered_;
+      delivered_.fetch_add(1, std::memory_order_relaxed);
       receiver_(packet);
     });
   }
 
-  std::uint64_t sent() const { return sent_; }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t delivered() const { return delivered_; }
+  // Counter snapshots. Send()/delivery themselves stay single-threaded by
+  // contract (the network Simulator is not thread-safe), but a TimerServer
+  // dispatch-pool drainer transmits under the server's send mutex while
+  // harness/monitor threads snapshot these counters without it — so the
+  // counters are relaxed atomics, not plain words. A snapshot taken
+  // mid-transmission may lag by the in-flight packet; it is never torn.
+  std::uint64_t sent() const { return sent_.load(std::memory_order_relaxed); }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
 
  private:
   // splitmix64-style finalizer: full-width multiply + xor-shift avalanche, so
@@ -86,9 +97,9 @@ class Channel {
   std::uint64_t seed_;
   ChannelConfig config_;
   Receiver receiver_;
-  std::uint64_t sent_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t delivered_ = 0;
+  std::atomic<std::uint64_t> sent_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> delivered_{0};
 };
 
 }  // namespace twheel::net

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "src/concurrent/sharded_wheel.h"
+#include "src/net/wire.h"
 
 namespace twheel::net {
 
@@ -90,6 +91,16 @@ void TimerServer::OnRequest(const Packet& request) {
   }
 }
 
+bool TimerServer::OnWire(const std::uint8_t* data, std::size_t size) {
+  std::optional<Packet> decoded = DecodePacket(data, size);
+  if (!decoded.has_value()) {
+    stats_.decode_rejects.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  OnRequest(*decoded);
+  return true;
+}
+
 void TimerServer::OnExpiry(RequestId cookie, twheel::Tick now) {
   Packet fire;
   {
@@ -168,6 +179,8 @@ TimerServerStats TimerServer::stats() const {
   snapshot.cancel_misses = stats_.cancel_misses.load(std::memory_order_relaxed);
   snapshot.fires_sent = stats_.fires_sent.load(std::memory_order_relaxed);
   snapshot.periodic_laps = stats_.periodic_laps.load(std::memory_order_relaxed);
+  snapshot.decode_rejects =
+      stats_.decode_rejects.load(std::memory_order_relaxed);
   return snapshot;
 }
 

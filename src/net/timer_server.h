@@ -32,6 +32,7 @@
 #define TWHEEL_SRC_NET_TIMER_SERVER_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -68,6 +69,7 @@ struct TimerServerStats {
   std::uint64_t cancel_misses = 0;   // kTimerCancel for an unknown timer
   std::uint64_t fires_sent = 0;      // kTimerFire callbacks handed to the channel
   std::uint64_t periodic_laps = 0;   // fires that left the registration armed
+  std::uint64_t decode_rejects = 0;  // OnWire buffers that failed DecodePacket
 };
 
 class TimerServer {
@@ -78,6 +80,13 @@ class TimerServer {
 
   // A request packet arrived (the harness wires this as the uplink receiver).
   void OnRequest(const Packet& request);
+
+  // A raw request buffer arrived (the byte-transport uplink). Decodes via
+  // net::DecodePacket and dispatches to OnRequest; malformed buffers —
+  // truncated, oversized, or with an out-of-range type byte — are counted in
+  // stats().decode_rejects and otherwise ignored. Returns whether the buffer
+  // decoded.
+  bool OnWire(const std::uint8_t* data, std::size_t size);
 
   // Advance the host timer module one tick, dispatching expiry callbacks.
   // With a manual-mode dispatch pool attached, the tick is delivered through
@@ -147,6 +156,7 @@ class TimerServer {
     std::atomic<std::uint64_t> cancel_misses{0};
     std::atomic<std::uint64_t> fires_sent{0};
     std::atomic<std::uint64_t> periodic_laps{0};
+    std::atomic<std::uint64_t> decode_rejects{0};
   };
   AtomicStats stats_;
 

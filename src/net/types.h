@@ -30,7 +30,28 @@ enum class PacketType : std::uint8_t {
   kTimerRestart,      // arg0 = new interval
   kTimerCancel,
   kTimerFire,  // server -> client callback; arg0 = server tick at dispatch
+  // Replication protocol (src/cluster/): the coordinator fans a client timer
+  // out to R replicas; the rank-0 replica owns the pop and survivors take the
+  // lease over rank by rank after `failover_delay` (DESIGN.md "Replication
+  // protocol"). seq carries the client timer key; connection_id carries the
+  // sending node id (or the coordinator sentinel).
+  kClusterArm,        // arg0 = absolute deadline; arg1 = gen<<16 | rank<<8 | R
+  kClusterArmAck,     // arg0 = gen; arg1 = rank
+  kClusterDisarm,     // arg0 = gen; arg1 = 1 if suppressing after a delivered
+                      //   fire, 0 for a client cancel
+  kClusterDisarmAck,  // arg0 = gen
+  kClusterFire,       // replica -> coordinator; arg0 = pop tick; arg1 = gen
+  kClusterFireAck,    // coordinator -> replica; arg0 = gen
+  kClusterSuppress,   // popping replica -> peer replicas, best-effort lease
+                      //   hint; arg0 = gen
+  kClusterNodeUp,     // restarted node -> coordinator; arg0 = node epoch
+  kClusterNodeUpAck,  // coordinator -> node; arg0 = node epoch
 };
+
+// One past the last valid PacketType, for wire-decode range checks
+// (src/net/wire.h). Keep in sync when extending the enum.
+inline constexpr std::uint8_t kPacketTypeCount =
+    static_cast<std::uint8_t>(PacketType::kClusterNodeUpAck) + 1;
 
 struct Packet {
   std::uint32_t connection_id = 0;

@@ -1,0 +1,98 @@
+// Wire encoding for net::Packet: the byte layout a real transport would carry.
+//
+// The simulated channels pass Packet structs by value, so nothing in-tree
+// needs serialization for correctness — this header exists so the decode path
+// can be hardened and fuzzed like a real server's would be. The layout is
+// fixed-width little-endian, 29 bytes:
+//
+//   offset 0  : connection_id  (4 bytes)
+//   offset 4  : seq            (8 bytes)
+//   offset 12 : type           (1 byte; must be < kPacketTypeCount)
+//   offset 13 : arg0           (8 bytes)
+//   offset 21 : arg1           (8 bytes)
+//
+// DecodePacket rejects anything that is not exactly one well-formed packet:
+// short buffers, trailing garbage, and out-of-range type bytes all return
+// nullopt without reading past `size`. tests/net/wire_test.cc feeds it
+// truncations and random garbage under ASan/UBSan.
+
+#ifndef TWHEEL_SRC_NET_WIRE_H_
+#define TWHEEL_SRC_NET_WIRE_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "src/net/types.h"
+
+namespace twheel::net {
+
+inline constexpr std::size_t kWirePacketSize = 29;
+
+namespace wire_internal {
+
+inline void PutU32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+inline void PutU64(std::uint8_t* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+  }
+}
+
+inline std::uint32_t GetU32(const std::uint8_t* in) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+inline std::uint64_t GetU64(const std::uint8_t* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace wire_internal
+
+inline std::array<std::uint8_t, kWirePacketSize> EncodePacket(
+    const Packet& packet) {
+  std::array<std::uint8_t, kWirePacketSize> out{};
+  wire_internal::PutU32(out.data(), packet.connection_id);
+  wire_internal::PutU64(out.data() + 4, packet.seq);
+  out[12] = static_cast<std::uint8_t>(packet.type);
+  wire_internal::PutU64(out.data() + 13, packet.arg0);
+  wire_internal::PutU64(out.data() + 21, packet.arg1);
+  return out;
+}
+
+// Strict decode: exactly kWirePacketSize bytes with an in-range type byte, or
+// nullopt. Never reads beyond `size`; a null `data` is rejected (size must be
+// wrong too, but don't rely on it).
+inline std::optional<Packet> DecodePacket(const std::uint8_t* data,
+                                          std::size_t size) {
+  if (data == nullptr || size != kWirePacketSize) {
+    return std::nullopt;
+  }
+  if (data[12] >= kPacketTypeCount) {
+    return std::nullopt;
+  }
+  Packet packet;
+  packet.connection_id = wire_internal::GetU32(data);
+  packet.seq = wire_internal::GetU64(data + 4);
+  packet.type = static_cast<PacketType>(data[12]);
+  packet.arg0 = wire_internal::GetU64(data + 13);
+  packet.arg1 = wire_internal::GetU64(data + 21);
+  return packet;
+}
+
+}  // namespace twheel::net
+
+#endif  // TWHEEL_SRC_NET_WIRE_H_

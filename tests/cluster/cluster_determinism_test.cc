@@ -1,0 +1,162 @@
+// Seed determinism (ISSUE satellite): the cluster is a pure function of
+// (seed, schedule, workload script).
+//
+//   * Twin test: two runs with identical seed, fault schedule, and scripted
+//     client workload produce BYTE-IDENTICAL client event traces, stats
+//     blocks, and channel drop counts — full lossy links and faults included.
+//     Channel fates are content-hashed (net::Channel), faults apply at a fixed
+//     Step phase, and all receiver logic commutes within a tick, so there is
+//     no hidden iteration-order or allocator dependence to diverge on.
+//
+//   * Lockstep cross-scheme test: the same seed + schedule + script run over
+//     EVERY wheel scheme in the registry yields the same canonical fire trace
+//     — identical (tick, key, gen, deadline) multisets — because the protocol
+//     never depends on how a host orders same-tick pops. Links are fixed-delay
+//     lossless here: with probabilistic fates, packet sequence numbers (which
+//     DO depend on intra-tick pop order) would legitimately perturb timing
+//     across schemes; determinism within one scheme is the twin test's job.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <tuple>
+#include <vector>
+
+#include "src/cluster/cluster.h"
+#include "src/cluster/cluster_oracle.h"
+#include "src/cluster/fault_schedule.h"
+#include "src/rng/rng.h"
+
+namespace twheel::cluster {
+namespace {
+
+// Open-loop scripted workload: every op is decided by the rng alone (never by
+// cluster responses), so the identical script can drive any configuration.
+// Cancels and restarts may miss — deterministically.
+void DriveScripted(TimerCluster& cluster, std::uint64_t seed, Tick horizon) {
+  rng::Xoshiro256 rng(seed ^ 0x5C21A7EDULL);
+  std::uint64_t next_key = 0;
+  for (Tick t = 0; t < horizon; ++t) {
+    if (rng.NextBool(0.55)) {
+      (void)cluster.Set(next_key++, 1 + rng.NextBounded(40));
+    }
+    if (next_key != 0 && rng.NextBool(0.15)) {
+      (void)cluster.Restart(rng.NextBounded(next_key),
+                            1 + rng.NextBounded(40));
+    }
+    if (next_key != 0 && rng.NextBool(0.12)) {
+      (void)cluster.Cancel(rng.NextBounded(next_key));
+    }
+    cluster.Step();
+  }
+  cluster.Drain(20000);
+}
+
+TEST(ClusterDeterminismTest, TwinLossyFaultedRunsAreByteIdentical) {
+  for (ScheduleKind kind : kAllScheduleKinds) {
+    ScheduleParams params;
+    params.nodes = 5;
+    params.replication_factor = 3;
+    params.horizon = 150;
+    params.seed = 42;
+    const FaultSchedule schedule = MakeFaultSchedule(kind, params);
+
+    ClusterConfig config;  // default lossy links
+    config.nodes = params.nodes;
+    config.replication_factor = params.replication_factor;
+    config.seed = 42;
+    auto run = [&](std::vector<ClientEvent>* events, ClusterStats* stats,
+                   std::uint64_t* drops, Tick* end) {
+      TimerCluster cluster(config, schedule);
+      cluster.set_fire_callback([](std::uint64_t, std::uint32_t, Tick) {});
+      DriveScripted(cluster, 42, params.horizon);
+      ASSERT_TRUE(cluster.quiesced())
+          << ScheduleKindName(kind) << ": twin run failed to quiesce";
+      *events = cluster.events();
+      *stats = cluster.stats();
+      *drops = cluster.link_drops();
+      *end = cluster.now();
+    };
+    std::vector<ClientEvent> events_a, events_b;
+    ClusterStats stats_a, stats_b;
+    std::uint64_t drops_a = 0, drops_b = 0;
+    Tick end_a = 0, end_b = 0;
+    run(&events_a, &stats_a, &drops_a, &end_a);
+    run(&events_b, &stats_b, &drops_b, &end_b);
+    EXPECT_EQ(events_a, events_b)
+        << ScheduleKindName(kind) << ": event traces diverge";
+    EXPECT_EQ(stats_a, stats_b) << ScheduleKindName(kind);
+    EXPECT_EQ(drops_a, drops_b) << ScheduleKindName(kind);
+    EXPECT_EQ(end_a, end_b) << ScheduleKindName(kind);
+    EXPECT_GT(drops_a, 0u)
+        << ScheduleKindName(kind) << ": lossy links never dropped — vacuous";
+  }
+}
+
+// Canonical form: events sorted by (tick, key, gen, kind, payload). Intra-tick
+// delivery order is the ONLY thing allowed to vary across host schemes.
+std::vector<ClientEvent> Canonicalize(std::vector<ClientEvent> events) {
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ClientEvent& a, const ClientEvent& b) {
+                     return std::tuple(a.at, a.key, a.gen,
+                                       static_cast<int>(a.kind), a.deadline) <
+                            std::tuple(b.at, b.key, b.gen,
+                                       static_cast<int>(b.kind), b.deadline);
+                   });
+  return events;
+}
+
+TEST(ClusterDeterminismTest, AllSchemesProduceTheSameCanonicalTrace) {
+  ScheduleParams params;
+  params.nodes = 5;
+  params.replication_factor = 3;
+  params.horizon = 150;
+  params.seed = 7;
+  const FaultSchedule schedule =
+      MakeFaultSchedule(ScheduleKind::kRestarts, params);
+
+  std::vector<ClientEvent> reference;
+  SchemeId reference_scheme = SchemeId::kScheme1Unordered;
+  bool first = true;
+  for (SchemeId scheme : kAllSchemes) {
+    ClusterConfig config;
+    config.nodes = params.nodes;
+    config.replication_factor = params.replication_factor;
+    config.seed = 7;
+    config.link.loss_probability = 0.0;  // fixed fates across schemes
+    config.link.delay_lo = 2;
+    config.link.delay_hi = 2;
+    // Bounded-range wheels must span the largest arm: interval + rank ladder
+    // + lease extensions + catch-up after an outage.
+    config.node_scheme.scheme = scheme;
+    config.node_scheme.wheel_size = 512;
+    TimerCluster cluster(config, schedule);
+    cluster.set_fire_callback([](std::uint64_t, std::uint32_t, Tick) {});
+    DriveScripted(cluster, 7, params.horizon);
+    ASSERT_TRUE(cluster.quiesced())
+        << SchemeName(scheme) << " failed to quiesce";
+    ASSERT_EQ(cluster.stats().arm_rejects, 0u)
+        << SchemeName(scheme) << " rejected arms: span misconfigured";
+
+    ClusterOracle oracle(config, schedule);
+    const OracleReport report =
+        oracle.Check(cluster.events(), cluster.stats());
+    ASSERT_TRUE(report.ok) << SchemeName(scheme) << ": " << report.violation;
+
+    std::vector<ClientEvent> canonical = Canonicalize(cluster.events());
+    if (first) {
+      reference = std::move(canonical);
+      reference_scheme = scheme;
+      first = false;
+      ASSERT_FALSE(reference.empty());
+      continue;
+    }
+    EXPECT_EQ(canonical, reference)
+        << SchemeName(scheme) << " diverges from "
+        << SchemeName(reference_scheme);
+  }
+}
+
+}  // namespace
+}  // namespace twheel::cluster

@@ -1,0 +1,125 @@
+// Differential torture over the whole replication stack: the decide-then-
+// replay driver (src/verify/) hammers ClusterFacadeService — the synchronous-
+// transport TimerCluster behind the four-routine interface — against
+// OracleTimers, with the full client alphabet: starts, cancels, stale and
+// fabricated handle pokes, zero intervals, in-place restarts (fresh, stale,
+// zero), and the in-handler re-entrancy set (re-arm, sibling stop/restart,
+// start-next-tick, self-poke). Every host pop threads through arm / fire /
+// notify / disarm / suppress rounds before the client sees it, and the driver
+// checks per-tick expiry multisets, clocks, outstanding counts, return codes,
+// and the conservation law after every tick.
+//
+// Episode count honors TWHEEL_TORTURE_EPISODES like the rest of the torture
+// suite; scripts/verify.sh reduces it under sanitizers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "src/cluster/facade_service.h"
+#include "src/verify/differential_driver.h"
+
+namespace twheel::cluster {
+namespace {
+
+std::size_t Episodes(std::size_t scale_down = 1) {
+  std::size_t episodes = 50;
+  if (const char* env = std::getenv("TWHEEL_TORTURE_EPISODES")) {
+    const long parsed = std::atol(env);
+    if (parsed > 0) {
+      episodes = static_cast<std::size_t>(parsed);
+    }
+  }
+  return std::max<std::size_t>(1, episodes / scale_down);
+}
+
+constexpr SchemeId kHostSchemes[] = {
+    SchemeId::kScheme3Heap,
+    SchemeId::kScheme6HashedUnsorted,
+    SchemeId::kScheme7Hierarchical,
+};
+
+verify::DriverOptions TortureOptions(std::uint64_t seed) {
+  verify::DriverOptions options;
+  options.seed = seed;
+  options.ticks = 96;
+  options.starts_per_tick = 1.5;
+  options.max_interval = 48;
+  options.stop_probability = 0.3;
+  options.stale_poke_probability = 0.4;
+  options.zero_interval_probability = 0.1;
+  options.restart_probability = 0.25;
+  options.restart_stale_probability = 0.15;
+  options.restart_zero_probability = 0.1;
+  options.rearm_probability = 0.15;
+  options.restart_sibling_probability = 0.1;
+  options.stop_sibling_probability = 0.1;
+  options.start_next_tick_probability = 0.15;
+  options.self_poke_probability = 0.2;
+  // The facade refuses StartPeriodic (kNotSupported) by documented design.
+  options.periodic_probability = 0.0;
+  return options;
+}
+
+TEST(ClusterTortureTest, DifferentialOverFacadeAllHostSchemes) {
+  const std::size_t episodes = Episodes();
+  for (SchemeId scheme : kHostSchemes) {
+    for (std::size_t ep = 0; ep < episodes; ++ep) {
+      FacadeConfig config;
+      config.node_scheme.scheme = scheme;
+      config.seed = 31 + ep;
+      ClusterFacadeService sut(config);
+      const verify::DriverReport report =
+          verify::RunDifferential(sut, TortureOptions(9000 + ep));
+      ASSERT_TRUE(report.ok) << SchemeName(scheme) << " episode " << ep << ": "
+                             << report.divergence;
+      ASSERT_GT(report.expiries, 0u);
+    }
+  }
+}
+
+TEST(ClusterTortureTest, DifferentialWithReplicationThree) {
+  // Wider fan-out: every client op drives three replicas, so the disarm and
+  // suppress machinery runs at full width under the same exactness bar.
+  const std::size_t episodes = Episodes(2);
+  for (std::size_t ep = 0; ep < episodes; ++ep) {
+    FacadeConfig config;
+    config.nodes = 4;
+    config.replication_factor = 3;
+    config.node_scheme.scheme = SchemeId::kScheme6HashedUnsorted;
+    config.seed = 77 + ep;
+    ClusterFacadeService sut(config);
+    const verify::DriverReport report =
+        verify::RunDifferential(sut, TortureOptions(11000 + ep));
+    ASSERT_TRUE(report.ok) << "episode " << ep << ": " << report.divergence;
+  }
+}
+
+TEST(ClusterTortureTest, FacadeRefusesPeriodicRegistration) {
+  FacadeConfig config;
+  ClusterFacadeService sut(config);
+  const StartResult result = sut.StartPeriodic(5, 1);
+  ASSERT_FALSE(result.has_value());
+  EXPECT_EQ(result.error(), TimerError::kNotSupported);
+}
+
+TEST(ClusterTortureTest, FacadeSuppressionStatsStayConserved) {
+  // After a torture episode the cluster-side conservation law must hold on
+  // the facade's inner cluster too: every receipt delivered or classified.
+  FacadeConfig config;
+  config.node_scheme.scheme = SchemeId::kScheme3Heap;
+  ClusterFacadeService sut(config);
+  const verify::DriverReport report =
+      verify::RunDifferential(sut, TortureOptions(424242));
+  ASSERT_TRUE(report.ok) << report.divergence;
+  const ClusterStats& stats = sut.cluster().stats();
+  EXPECT_EQ(stats.fire_receipts,
+            stats.delivered + stats.duplicate_suppressed +
+                stats.stale_gen_suppressed + stats.after_cancel_suppressed);
+  EXPECT_EQ(stats.arm_rejects, 0u);
+  EXPECT_EQ(stats.orphan_pops, 0u);
+}
+
+}  // namespace
+}  // namespace twheel::cluster

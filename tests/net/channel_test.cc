@@ -3,7 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "src/core/timer_facility.h"
@@ -146,6 +148,59 @@ TEST(ChannelTest, HighSequenceNumbersDoNotAliasConnectionFates) {
   // fingerprint gave exactly 0 divergent pairs.
   EXPECT_GT(divergent, kPairs / 3);
   network->RunUntilIdle();
+}
+
+TEST(ChannelTest, CounterSnapshotsAreRaceFreeUnderConcurrentReaders) {
+  // Regression for the counter data race (ISSUE satellite): sent_/dropped_/
+  // delivered_ used to be plain words, so a monitor thread snapshotting them
+  // while the simulation thread transmitted was undefined behaviour — TSan
+  // flagged it, and torn 32-bit halves were possible on some targets. The
+  // counters are relaxed atomics now; this test recreates exactly that shape
+  // (one sender driving Send/Step, two monitor threads hammering the
+  // accessors) so a TSan build of the `cluster` suite re-proves it on every
+  // run. The monitors also check the only cross-counter invariant relaxed
+  // ordering still guarantees per observer: each counter is monotone.
+  auto network = MakeNetSim();
+  ChannelConfig config;
+  config.loss_probability = 0.3;
+  Channel channel(*network, 11, config);
+  channel.set_receiver([](const Packet&) {});
+
+  std::atomic<bool> done{false};
+  std::atomic<bool> monotone{true};
+  auto monitor = [&] {
+    std::uint64_t last_sent = 0, last_dropped = 0, last_delivered = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      const std::uint64_t sent = channel.sent();
+      const std::uint64_t dropped = channel.dropped();
+      const std::uint64_t delivered = channel.delivered();
+      if (sent < last_sent || dropped < last_dropped ||
+          delivered < last_delivered) {
+        monotone.store(false, std::memory_order_relaxed);
+      }
+      last_sent = sent;
+      last_dropped = dropped;
+      last_delivered = delivered;
+    }
+  };
+  std::thread reader_a(monitor);
+  std::thread reader_b(monitor);
+  for (std::uint64_t seq = 0; seq < 20000; ++seq) {
+    channel.Send(Packet{1, seq, PacketType::kData});
+    if ((seq & 7) == 0) {
+      network->Step();
+    }
+  }
+  network->RunUntilIdle();
+  done.store(true, std::memory_order_release);
+  reader_a.join();
+  reader_b.join();
+
+  EXPECT_TRUE(monotone.load()) << "a monitor observed a counter run backwards";
+  EXPECT_EQ(channel.sent(), 20000u);
+  EXPECT_EQ(channel.sent(), channel.dropped() + channel.delivered());
+  EXPECT_GT(channel.dropped(), 0u);
+  EXPECT_GT(channel.delivered(), 0u);
 }
 
 TEST(ChannelTest, DifferentSeedsDifferentFates) {
